@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-figure benchmark suite.
+
+The :class:`~repro.bench.harness.ExperimentContext` is session-scoped so
+dataset bundles and evaluated universes are built once and shared across
+all figures (exactly like one experimental campaign over one set of
+graphs). Each benchmark archives its table under ``benchmarks/results/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentContext, bench_settings
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def ctx(settings):
+    return ExperimentContext(settings)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path

@@ -1,0 +1,28 @@
+"""A2 — incVerify ablation: parent-seeded incremental verification on/off.
+
+The refinement algorithms seed each child's candidate pools from its
+verified parent (sound by Lemma 2). With it disabled every verification
+starts from full label pools; results must be identical, only costlier.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import ablation_incverify
+
+
+def test_ablation_incverify(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(ablation_incverify, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "ablation_incverify.txt",
+        "A2: incVerify on/off (RfQGen)",
+        extra=settings.paper_mapping,
+    )
+    for dataset in {row["dataset"] for row in rows}:
+        on = next(r for r in rows if r["dataset"] == dataset and r["incVerify"] == "on")
+        off = next(
+            r for r in rows if r["dataset"] == dataset and r["incVerify"] == "off"
+        )
+        # Same result set size either way — incVerify is a pure optimization.
+        assert on["|returned|"] == off["|returned|"]
+        assert on["incremental"] > 0
+        assert off["incremental"] == 0

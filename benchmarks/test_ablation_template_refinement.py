@@ -1,0 +1,38 @@
+"""A3 — template-refinement ablation (Spawn's d-hop domain restriction).
+
+With template refinement on, Spawn restricts range-variable domains to
+attribute values present in the d-hop neighborhood of the current matches
+and never raises edge variables whose label is absent there — generating
+at most as many children. Results must stay equivalent in quality.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import ablation_template_refinement
+
+
+def test_ablation_template_refinement(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(
+        ablation_template_refinement, args=(ctx,), rounds=1, iterations=1
+    )
+    save_table(
+        rows,
+        results_dir / "ablation_template_refinement.txt",
+        "A3: template refinement on/off (RfQGen)",
+        extra=settings.paper_mapping,
+    )
+    for dataset in {row["dataset"] for row in rows}:
+        on = next(
+            r
+            for r in rows
+            if r["dataset"] == dataset and r["template refinement"] == "on"
+        )
+        off = next(
+            r
+            for r in rows
+            if r["dataset"] == dataset and r["template refinement"] == "off"
+        )
+        # Refinement never generates *more* spawn candidates.
+        assert on["generated"] <= off["generated"]
+        assert on["verified"] <= off["verified"]
+        # And never changes the returned set size.
+        assert on["|returned|"] == off["|returned|"]

@@ -1,0 +1,30 @@
+"""The "Performance of CBM" paragraph of Exp-1.
+
+Paper shape: Kungs outperforms CBM in runtime by ~1.2× (CBM's repeated
+constrained scans are the extra cost) while BiQGen matches or beats CBM's
+I_R with a bounded-size result set.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import cbm_comparison
+
+
+def test_cbm_comparison(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(cbm_comparison, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "cbm_comparison.txt",
+        "Exp-1: CBM vs Kungs vs BiQGen (DBP)",
+        extra=settings.paper_mapping,
+    )
+    by_name = {row["algorithm"]: row for row in rows}
+    # CBM pays for the per-threshold constrained sweeps on top of the same
+    # enumeration Kungs performs; at laptop scale wall-clock is noisy, so
+    # the check uses best-of-3 timings (see the driver) with headroom.
+    assert by_name["CBM"]["time (s)"] >= by_name["Kungs"]["time (s)"] * 0.7
+    # BiQGen's preference quality is at least CBM's (small tolerance).
+    assert (
+        by_name["BiQGen"]["I_R (λ=0.5)"] >= by_name["CBM"]["I_R (λ=0.5)"] - 0.05
+    )
+    # CBM returns a bounded anchor set, not the full front.
+    assert by_name["CBM"]["|returned|"] <= by_name["Kungs"]["|returned|"]

@@ -1,0 +1,31 @@
+"""Fig. 10(b) — efficiency vs ε (LKI).
+
+Paper shape: EnumQGen and Kungs are insensitive to ε (enumeration
+dominates); RfQGen/BiQGen get slightly cheaper as ε grows because more
+instances are ε-dominated early. We assert the insensitivity of the
+exhaustive algorithms' work and that the pruned algorithms never exceed
+exhaustive work at any ε.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig10b_vary_epsilon
+
+
+def test_fig10b_vary_epsilon(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig10b_vary_epsilon, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig10b_vary_epsilon.txt",
+        "Fig 10(b): runtime/work vs epsilon (LKI)",
+        extra=settings.paper_mapping,
+    )
+    enum_counts = {
+        row["setting"]: row["verified"]
+        for row in rows
+        if row["algorithm"] == "EnumQGen"
+    }
+    # Exhaustive verification work does not depend on ε.
+    assert len(set(enum_counts.values())) == 1
+    for row in rows:
+        if row["algorithm"] in ("RfQGen", "BiQGen"):
+            assert row["verified"] <= enum_counts[row["setting"]]

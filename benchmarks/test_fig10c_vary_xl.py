@@ -1,0 +1,23 @@
+"""Fig. 10(c) — efficiency vs |X_L| (DBP).
+
+Paper shape: work grows with the number of range variables (the instance
+space multiplies), with BiQGen the least sensitive thanks to pruning.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig10c_vary_xl
+
+
+def test_fig10c_vary_xl(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig10c_vary_xl, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig10c_vary_xl.txt",
+        "Fig 10(c): runtime/work vs |X_L| (DBP, |Q|=4)",
+        extra=settings.paper_mapping,
+    )
+    assert rows, "at least one |X_L| setting must run"
+    for setting in {row["setting"] for row in rows}:
+        series = {r["algorithm"]: r for r in rows if r["setting"] == setting}
+        assert series["RfQGen"]["verified"] <= series["EnumQGen"]["verified"]
+        assert series["BiQGen"]["verified"] <= series["EnumQGen"]["verified"]

@@ -1,0 +1,31 @@
+"""Fig. 10(d) — efficiency vs |X_E| (LKI).
+
+Paper shape: more edge variables enlarge the space 2× each, but enforcing
+them to '1' sharply reduces feasible instances, which the refinement-based
+spawners capture — RfQGen/BiQGen stay well below exhaustive work.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig10d_vary_xe
+
+
+def test_fig10d_vary_xe(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig10d_vary_xe, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig10d_vary_xe.txt",
+        "Fig 10(d): runtime/work vs |X_E| (LKI, |Q|=5)",
+        extra=settings.paper_mapping,
+    )
+    assert rows, "at least one |X_E| setting must run"
+    enum_by_setting = {
+        row["setting"]: row["verified"]
+        for row in rows
+        if row["algorithm"] == "EnumQGen"
+    }
+    # Exhaustive work grows with |X_E| (space doubles per variable).
+    ordered = [enum_by_setting[k] for k in sorted(enum_by_setting)]
+    assert ordered == sorted(ordered)
+    for row in rows:
+        if row["algorithm"] in ("RfQGen", "BiQGen"):
+            assert row["verified"] <= enum_by_setting[row["setting"]]

@@ -1,0 +1,32 @@
+"""Fig. 11(a) — OnlineQGen delay time, varying k, batch size and window w.
+
+Paper shape: roughly constant per-instance delay (≈1s/instance on their
+3M-node LKI; milliseconds here); batch time scales with batch size; larger
+windows cost more per instance (more unexpired cached instances to
+re-check) while larger k needs less ε-maintenance.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig11a_online_delay
+
+
+def test_fig11a_online_delay(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig11a_online_delay, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig11a_online_delay.txt",
+        "Fig 11(a): OnlineQGen per-batch delay (LKI)",
+        extra=settings.paper_mapping,
+    )
+    assert {row["k"] for row in rows} == {5, 10, 15, 20}
+    for row in rows:
+        assert row["mean delay (ms)"] >= 0.0
+        assert row["final eps"] >= settings.epsilon
+    # Batch time grows with batch size for matched (w, k) settings. Wall
+    # clock at ~40 ms per batch is noisy, so assert the dominant trend and
+    # the aggregate, not every pair.
+    small = {(r["w"], r["k"]): r["batch time (s)"] for r in rows if r["batch"] == 40}
+    large = {(r["w"], r["k"]): r["batch time (s)"] for r in rows if r["batch"] == 80}
+    grew = sum(1 for key in small if large[key] >= small[key])
+    assert grew >= len(small) * 0.5
+    assert sum(large.values()) >= sum(small.values())

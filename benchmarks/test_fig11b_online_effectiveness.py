@@ -1,0 +1,38 @@
+"""Fig. 11(b) — anytime effectiveness of OnlineQGen (ε-indicator).
+
+Paper shape: I_ε decays (or at best holds) as more stream instances
+arrive — the fixed k forces ε compromises — while the maintained set stays
+useful at any time; larger windows help larger k hold quality.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig11b_online_effectiveness
+from repro.bench.plotting import render_series
+
+
+def test_fig11b_online_effectiveness(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(
+        fig11b_online_effectiveness, args=(ctx,), rounds=1, iterations=1
+    )
+    chart_rows = [dict(r, series=f"k={r['k']},w={r['w']}") for r in rows]
+    chart = render_series(
+        chart_rows, "seen", "I_eps", group_by="series",
+        title="anytime I_eps vs stream position",
+    )
+    save_table(
+        rows,
+        results_dir / "fig11b_online_effectiveness.txt",
+        "Fig 11(b): anytime I_eps of OnlineQGen (LKI)",
+        extra=settings.paper_mapping + "\n\n" + chart,
+    )
+    assert {row["k"] for row in rows} == {10, 20}
+    assert {row["w"] for row in rows} == {40, 80}
+    for row in rows:
+        assert 0.0 <= row["I_eps"] <= 1.0
+        assert row["|archive|"] <= row["k"]
+        assert row["eps_t"] >= settings.epsilon
+    # ε never decreases along any (k, w) series.
+    for k in (10, 20):
+        for w in (40, 80):
+            series = [r["eps_t"] for r in rows if r["k"] == k and r["w"] == w]
+            assert series == sorted(series)

@@ -1,0 +1,32 @@
+"""Fig. 9(b) — impact of ε on effectiveness (LKI).
+
+Paper shape: as ε grows the archives keep fewer boxes, so ε_m grows (all
+bounded by ε) — the exact Kungs stays at 1 while the approximations trade
+quality for set size. The trend we assert: Kungs = 1 everywhere and the
+approximations are never *above* Kungs.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig9b_vary_epsilon
+
+
+def test_fig9b_vary_epsilon(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig9b_vary_epsilon, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig9b_vary_epsilon.txt",
+        "Fig 9(b): I_eps vs epsilon (LKI)",
+        extra=settings.paper_mapping,
+    )
+    assert [row["epsilon"] for row in rows] == [0.2, 0.4, 0.6, 0.8, 1.0]
+    for row in rows:
+        assert row["Kungs"] == 1.0
+        for algo in ("EnumQGen", "RfQGen", "BiQGen"):
+            assert 0.0 <= row[algo] <= 1.0
+    # At some ε above the default the approximation becomes strictly lossy
+    # (the trade-off the figure demonstrates).
+    assert any(
+        row[algo] < 1.0
+        for row in rows
+        for algo in ("EnumQGen", "RfQGen", "BiQGen")
+    )

@@ -1,0 +1,25 @@
+"""Fig. 9(c) — impact of the number of range variables |X_L| (DBP).
+
+Paper shape: larger |X_L| increases query complexity, shrinking the
+feasible instance set and making the Pareto front easier to approximate —
+I_ε trends upward (or saturates at 1) with |X_L|.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig9c_vary_xl
+
+
+def test_fig9c_vary_xl(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig9c_vary_xl, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig9c_vary_xl.txt",
+        "Fig 9(c): I_eps vs |X_L| (DBP, |Q|=4)",
+        extra=settings.paper_mapping,
+    )
+    measured = [row for row in rows if "note" not in row]
+    assert measured, "at least one |X_L| setting must admit a feasible template"
+    for row in measured:
+        assert row["Kungs"] == 1.0
+        for algo in ("EnumQGen", "RfQGen", "BiQGen"):
+            assert 0.0 <= row[algo] <= 1.0

@@ -1,0 +1,28 @@
+"""Fig. 9(d) — impact of the number of edge variables |X_E| (LKI).
+
+Paper shape: consistent with Fig. 9(c) — more edge variables mean more
+dominating instances and (with each forced to '1') fewer feasible
+instances, so the approximations track the exact front at least as well.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig9d_vary_xe
+
+
+def test_fig9d_vary_xe(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig9d_vary_xe, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig9d_vary_xe.txt",
+        "Fig 9(d): I_eps vs |X_E| (LKI, |Q|=5)",
+        extra=settings.paper_mapping,
+    )
+    measured = [row for row in rows if "note" not in row]
+    assert measured, "at least one |X_E| setting must admit a feasible template"
+    for row in measured:
+        assert row["Kungs"] == 1.0
+        for algo in ("EnumQGen", "RfQGen", "BiQGen"):
+            assert 0.0 <= row[algo] <= 1.0
+    # |I(Q)| doubles with each extra edge variable.
+    sizes = [row["|I(Q)|"] for row in measured]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,27 @@
+"""Fig. 9(f) — impact of the coverage requirement C (DBP, |P| = 3).
+
+Paper shape: as C grows (equal-opportunity split over 3 groups), fewer
+instances are feasible and exact coverage gets harder, so I_R (λ_R = 0.5)
+declines.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig9f_vary_coverage
+
+
+def test_fig9f_vary_coverage(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig9f_vary_coverage, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig9f_vary_coverage.txt",
+        "Fig 9(f): I_R (λ=0.5) vs coverage C (DBP, |P|=3)",
+        extra=settings.paper_mapping,
+    )
+    assert len(rows) >= 3
+    for row in rows:
+        for algo in ("Kungs", "EnumQGen", "RfQGen", "BiQGen"):
+            assert 0.0 <= row[algo] <= 0.5  # I_R's formula divides by 2.
+    # Non-increasing trend from the smallest to the largest C (allowing
+    # small non-monotonic wiggles between adjacent points).
+    for algo in ("Kungs", "BiQGen"):
+        assert rows[-1][algo] <= rows[0][algo] + 1e-9

@@ -1,0 +1,28 @@
+"""Fig. 9(g, h) — impact of the number of groups |P| (DBP).
+
+Paper shape: both I_ε and I_R decrease as |P| grows — more groups to cover
+means fewer feasible instances, hence fewer ε-dominating instances to
+approximate the front with.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import fig9gh_vary_groups
+
+
+def test_fig9gh_vary_groups(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(fig9gh_vary_groups, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "fig9gh_vary_groups.txt",
+        "Fig 9(g,h): I_eps and I_R vs |P| (DBP)",
+        extra=settings.paper_mapping,
+    )
+    group_counts = sorted({row["|P|"] for row in rows})
+    assert group_counts == [2, 3, 4, 5]
+    for row in rows:
+        assert 0.0 <= row["I_eps"] <= 1.0
+        assert 0.0 <= row["I_R (λ=0.5)"] <= 0.5
+    # The I_R trend: the hardest setting scores no better than the easiest.
+    for algo in ("Kungs", "BiQGen"):
+        series = [r for r in rows if r["algorithm"] == algo]
+        assert series[-1]["I_R (λ=0.5)"] <= series[0]["I_R (λ=0.5)"] + 1e-9

@@ -1,0 +1,63 @@
+"""Scaling sweep — the paper's "feasible for large graphs" claim (Exp-2).
+
+The paper reports BiQGen finishing in 78 s on the 3M-node/26M-edge LKI.
+Absolute scale is out of reach for a default CI run, so this bench sweeps
+the emulation scale and tracks how runtime and verification work grow —
+the trend a user extrapolates before running `REPRO_BENCH_SCALE=1.0`.
+"""
+
+from repro.bench import save_table
+from repro.bench.harness import make_config
+from repro.bench.settings import BenchSettings
+from repro.core import BiQGen, EnumQGen, RfQGen
+from repro.datasets import lki_bundle
+
+
+def run_sweep(base_settings):
+    rows = []
+    for scale in (0.1, 0.2, 0.4):
+        bundle = lki_bundle(scale=scale, coverage_total=base_settings.coverage_total)
+        settings = BenchSettings(
+            scale,
+            base_settings.coverage_total,
+            base_settings.max_domain_values,
+            base_settings.epsilon,
+        )
+        config = make_config(bundle, settings)
+        for algo_cls in (EnumQGen, RfQGen, BiQGen):
+            result = algo_cls(config).run()
+            rows.append(
+                {
+                    "scale": scale,
+                    "|V|": bundle.graph.num_nodes,
+                    "|E|": bundle.graph.num_edges,
+                    "algorithm": result.algorithm,
+                    "time (s)": round(result.stats.elapsed_seconds, 4),
+                    "verified": result.stats.verified,
+                    "|returned|": len(result),
+                }
+            )
+    return rows
+
+
+def test_scaling_graph_size(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(run_sweep, args=(settings,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "scaling_graph_size.txt",
+        "Scaling: runtime/work vs graph size (LKI emulation)",
+        extra=settings.paper_mapping,
+    )
+    # Graph size grows with scale.
+    sizes = sorted({(row["scale"], row["|V|"]) for row in rows})
+    assert all(a[1] < b[1] for a, b in zip(sizes, sizes[1:]))
+    # At every scale the pruned algorithms verify no more than Enum.
+    for scale in (0.1, 0.2, 0.4):
+        at_scale = {r["algorithm"]: r for r in rows if r["scale"] == scale}
+        assert at_scale["RfQGen"]["verified"] <= at_scale["EnumQGen"]["verified"]
+        assert at_scale["BiQGen"]["verified"] <= at_scale["EnumQGen"]["verified"]
+    # Enum's wall time grows from the smallest to the largest graph.
+    enum_times = [
+        r["time (s)"] for r in rows if r["algorithm"] == "EnumQGen"
+    ]
+    assert enum_times[-1] >= enum_times[0]

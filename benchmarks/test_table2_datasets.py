@@ -1,0 +1,25 @@
+"""Table II — overview of the (emulated) real-life graphs.
+
+Paper: DBP 1M/3.18M, LKI 3M/26M, Cite 4.9M/46M with |P| 2-5, |Q| 3-5,
+C 100-800, |X| 3-5. Here the same schemas at laptop scale; the parameter
+columns keep the paper's structure with the scaled coverage budget.
+"""
+
+from repro.bench import save_table
+from repro.bench.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark, ctx, settings, results_dir):
+    rows = benchmark.pedantic(table2_datasets, args=(ctx,), rounds=1, iterations=1)
+    save_table(
+        rows,
+        results_dir / "table2_datasets.txt",
+        "Table II: overview of (emulated) real-life graphs",
+        extra=settings.paper_mapping,
+    )
+    assert {row["dataset"] for row in rows} == {"DBP", "LKI", "Cite"}
+    for row in rows:
+        assert row["|V|"] > 0 and row["|E|"] > 0
+        assert row["avg #attr"] > 1
+        assert 2 <= row["|X|"] <= 5  # Paper's |X| band.
+        assert 2 <= row["|Q(u_o)|"] <= 5  # Paper's |Q| band.

@@ -1,0 +1,83 @@
+"""Quickstart: FairSQG on a ten-node graph you can check by hand.
+
+Builds a tiny professional network, writes a talent-search template with
+one range variable and one optional edge, and asks BiQGen for an ε-Pareto
+set of query instances balancing answer diversity against covering each
+gender group with exactly one candidate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BiQGen,
+    GenerationConfig,
+    GraphBuilder,
+    GroupSet,
+    Literal,
+    NodeGroup,
+    Op,
+    QueryTemplate,
+)
+
+
+def build_graph():
+    """Two orgs, two recommenders, four director candidates."""
+    b = GraphBuilder("quickstart")
+    small = b.node("org", name="smallco", employees=100)
+    big = b.node("org", name="bigco", employees=1000)
+    r1 = b.node("person", name="ann", title="analyst", yearsOfExp=5, gender="F")
+    r2 = b.node("person", name="bob", title="analyst", yearsOfExp=12, gender="M")
+    d1 = b.node("person", name="carol", title="director", yearsOfExp=15, gender="F")
+    d2 = b.node("person", name="dave", title="director", yearsOfExp=18, gender="M")
+    d3 = b.node("person", name="erin", title="director", yearsOfExp=20, gender="F")
+    d4 = b.node("person", name="fred", title="director", yearsOfExp=9, gender="M")
+    b.edge(r1, small, "worksAt")
+    b.edge(r2, big, "worksAt")
+    for recommender, candidate in [(r1, d1), (r1, d2), (r1, d4), (r2, d2), (r2, d3)]:
+        b.edge(recommender, candidate, "recommend")
+    return b.build(), {"directors": [d1, d2, d3, d4]}
+
+
+def build_template():
+    """Find directors recommended by someone at a sufficiently large org."""
+    return (
+        QueryTemplate.builder("talent")
+        .node("u0", "person", Literal("title", Op.EQ, "director"))
+        .node("u1", "person")
+        .node("u2", "org")
+        .fixed_edge("u1", "u0", "recommend")
+        .fixed_edge("u1", "u2", "worksAt")
+        .range_var("min_exp", "u1", "yearsOfExp", Op.GE)
+        .range_var("min_size", "u2", "employees", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+def main():
+    graph, info = build_graph()
+    template = build_template()
+
+    directors = info["directors"]
+    male = frozenset(v for v in directors if graph.attribute(v, "gender") == "M")
+    female = frozenset(v for v in directors if graph.attribute(v, "gender") == "F")
+    groups = GroupSet(
+        [NodeGroup("M", male, 1), NodeGroup("F", female, 1)]
+    )
+
+    config = GenerationConfig(graph, template, groups, epsilon=0.3)
+    result = BiQGen(config).run()
+
+    print(f"BiQGen returned {len(result)} instances "
+          f"(verified {result.stats.verified}, pruned {result.stats.pruned}):\n")
+    for point in result.instances:
+        names = sorted(graph.attribute(v, "name") for v in point.matches)
+        overlaps = groups.overlaps(point.matches)
+        print(f"δ = {point.delta:.3f}  f = {point.coverage:.1f}  "
+              f"matches = {names}  per-group = {overlaps}")
+        print(point.instance.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

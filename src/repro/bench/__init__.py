@@ -1,0 +1,24 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+Each figure/table has a driver in :mod:`repro.bench.experiments` returning
+plain row-dicts; :mod:`repro.bench.reporting` renders them as the ASCII
+tables the ``benchmarks/`` suite prints and archives, and
+:mod:`repro.bench.settings` centralizes the scaled-down defaults (the paper
+ran on 1M-30M-element graphs; we default to laptop-scale emulations — set
+``REPRO_BENCH_SCALE`` to push the sizes up).
+"""
+
+from repro.bench.settings import BenchSettings, bench_settings
+from repro.bench.reporting import format_table, print_table, save_table
+from repro.bench.harness import ExperimentContext, evaluate_universe, make_config
+
+__all__ = [
+    "BenchSettings",
+    "bench_settings",
+    "format_table",
+    "print_table",
+    "save_table",
+    "ExperimentContext",
+    "make_config",
+    "evaluate_universe",
+]

@@ -1,0 +1,558 @@
+"""Experiment drivers — one function per paper table/figure.
+
+Every driver takes an :class:`~repro.bench.harness.ExperimentContext` and
+returns a list of row-dicts ready for
+:func:`~repro.bench.reporting.print_table`. The rows mirror the series the
+paper plots; absolute values differ (scaled-down synthetic graphs, Python
+runtime) but the qualitative shape — who wins, what rises or falls — is the
+reproduction target recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.harness import ExperimentContext, make_config
+from repro.core import BiQGen, CBM, EnumQGen, Kungs, OnlineQGen, RfQGen
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.indicators import normalized_epsilon_indicator, r_indicator
+from repro.core.lattice import InstanceLattice
+from repro.datasets.registry import DatasetBundle
+from repro.graph.statistics import compute_statistics
+from repro.groups.fairness import equal_opportunity_constraints
+from repro.workload.stream import shuffled_space_stream
+from repro.workload.template_gen import TemplateGenerator, TemplateSpec
+
+#: The algorithm lineup of Exp-1/Exp-2, in the paper's presentation order.
+ALGORITHMS: Dict[str, Callable[..., object]] = {
+    "Kungs": Kungs,
+    "EnumQGen": EnumQGen,
+    "RfQGen": RfQGen,
+    "BiQGen": BiQGen,
+}
+
+DATASETS = ("dbp", "lki", "cite")
+
+
+def feasible_template(
+    ctx: ExperimentContext,
+    bundle: DatasetBundle,
+    spec: TemplateSpec,
+    max_tries: int = 12,
+    base_seed: int = 0,
+):
+    """Generate a template whose most relaxed instance is feasible.
+
+    Mirrors the paper's setup step: "we generated a set of Q(u_o) and P and
+    ensure the existence of feasible query instances". Tries successive
+    seeds until the lattice root verifies feasible.
+    """
+    for attempt in range(max_tries):
+        generator = TemplateGenerator(bundle.schema, seed=base_seed + attempt)
+        try:
+            template = generator.generate(spec, name=f"{bundle.name}-{spec.size}-{attempt}")
+        except Exception:
+            continue
+        config = make_config(bundle, ctx.settings, template=template)
+        evaluator = InstanceEvaluator(config)
+        root = InstanceLattice(config).root()
+        if evaluator.evaluate(root).feasible:
+            return template
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------- #
+
+
+def table2_datasets(ctx: ExperimentContext) -> List[dict]:
+    """Table II: dataset overview (graph stats + experiment parameters)."""
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        stats = compute_statistics(bundle.graph)
+        config = make_config(bundle, ctx.settings)
+        rows.append(
+            {
+                "dataset": bundle.name,
+                "|V|": stats.num_nodes,
+                "|E|": stats.num_edges,
+                "avg #attr": round(stats.avg_attributes, 2),
+                "|P|": len(bundle.groups),
+                "|Q(u_o)|": bundle.template.size,
+                "C": bundle.groups.total_coverage,
+                "|X|": bundle.template.num_variables,
+                "|I(Q)|": InstanceLattice(config).instance_space_size(),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Exp-1: effectiveness (Fig. 9)
+# --------------------------------------------------------------------- #
+
+
+def fig9a_effectiveness(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(a): I_ε of the four algorithms over DBP/LKI/Cite.
+
+    Also reports the returned-set sizes: the paper observes that RfQGen and
+    BiQGen "approximate Pareto optimal sets with a representative subset of
+    10% of their sizes" — the |front| vs |returned| columns carry that
+    comparison (the ratio grows toward the paper's once fronts are large).
+    """
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        row = {"dataset": bundle.name}
+        config = make_config(bundle, ctx.settings)
+        front_size = None
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            row[algo_name] = round(ctx.i_epsilon(result, config), 4)
+            if algo_name == "Kungs":
+                front_size = len(result)
+            elif algo_name == "BiQGen":
+                row["|front|"] = front_size
+                row["|returned|"] = len(result)
+        rows.append(row)
+    return rows
+
+
+def fig9b_vary_epsilon(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(b): I_ε vs ε ∈ {0.2..1.0} over LKI."""
+    bundle = ctx.bundle("lki")
+    rows = []
+    for epsilon in (0.2, 0.4, 0.6, 0.8, 1.0):
+        row = {"epsilon": epsilon}
+        config = make_config(bundle, ctx.settings, epsilon=epsilon)
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            row[algo_name] = round(ctx.i_epsilon(result, config), 4)
+        rows.append(row)
+    return rows
+
+
+def fig9c_vary_xl(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(c): I_ε vs number of range variables (2..5) over DBP."""
+    bundle = ctx.bundle("dbp")
+    rows = []
+    for num_xl in (2, 3, 4, 5):
+        spec = TemplateSpec(
+            "movie", size=4, num_range_vars=num_xl, num_edge_vars=1
+        )
+        template = feasible_template(ctx, bundle, spec, base_seed=40)
+        if template is None:
+            rows.append({"|X_L|": num_xl, "note": "no feasible template"})
+            continue
+        # Deeper variable spaces get a tighter domain cap so |I(Q)| stays
+        # in the few-hundreds band the paper reports.
+        cap = 5 if num_xl <= 3 else 3
+        config = make_config(
+            bundle, ctx.settings, template=template, max_domain_values=cap
+        )
+        row = {"|X_L|": num_xl, "|I(Q)|": InstanceLattice(config).instance_space_size()}
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            row[algo_name] = round(ctx.i_epsilon(result, config), 4)
+        rows.append(row)
+    return rows
+
+
+def fig9d_vary_xe(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(d): I_ε vs number of edge variables (2..5) over LKI."""
+    bundle = ctx.bundle("lki")
+    rows = []
+    for num_xe in (2, 3, 4, 5):
+        spec = TemplateSpec(
+            "person", size=5, num_range_vars=1, num_edge_vars=num_xe
+        )
+        template = feasible_template(ctx, bundle, spec, base_seed=80)
+        if template is None:
+            rows.append({"|X_E|": num_xe, "note": "no feasible template"})
+            continue
+        config = make_config(bundle, ctx.settings, template=template)
+        row = {"|X_E|": num_xe, "|I(Q)|": InstanceLattice(config).instance_space_size()}
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            row[algo_name] = round(ctx.i_epsilon(result, config), 4)
+        rows.append(row)
+    return rows
+
+
+def fig9e_anytime_rindicator(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(e): anytime I_R of RfQGen/BiQGen for λ_R ∈ {0.1, 0.9} (DBP).
+
+    Rows report I_R at increasing fractions of the explored instance space.
+    RfQGen should converge to high diversity faster (λ_R = 0.1 column),
+    BiQGen to high coverage (λ_R = 0.9 column).
+    """
+    bundle = ctx.bundle("dbp")
+    config = make_config(bundle, ctx.settings)
+    universe = ctx.universe(config)
+    if not universe:
+        return [{"note": "no feasible instances"}]
+    delta_max = max(p.delta for p in universe)
+    coverage_max = float(config.groups.total_coverage)
+    space = InstanceLattice(config).instance_space_size()
+    trace_every = max(1, space // 10)
+
+    rows: List[dict] = []
+    for algo_name, algo_cls in (("RfQGen", RfQGen), ("BiQGen", BiQGen)):
+        result = algo_cls(config, trace_every=trace_every).run()
+        for verified, snapshot in result.trace:
+            rows.append(
+                {
+                    "algorithm": algo_name,
+                    "fraction": round(min(1.0, verified / space), 3),
+                    "I_R (λ=0.1)": round(
+                        r_indicator(snapshot, 0.1, delta_max, coverage_max), 4
+                    ),
+                    "I_R (λ=0.9)": round(
+                        r_indicator(snapshot, 0.9, delta_max, coverage_max), 4
+                    ),
+                }
+            )
+    return rows
+
+
+def fig9f_vary_coverage(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(f): I_R (λ_R = 0.5) vs total coverage C over DBP, |P| = 3."""
+    rows = []
+    base = ctx.settings.coverage_total
+    for multiplier in (0.5, 1.0, 1.5, 2.0, 3.0):
+        total = max(3, int(base * multiplier))
+        bundle = ctx.bundle("dbp", num_groups=3, coverage_total=total)
+        # Clamp so the even split fits every group (tiny-scale emulations
+        # can have genre groups smaller than the requested share).
+        fits = len(bundle.groups) * min(len(g) for g in bundle.groups)
+        groups = equal_opportunity_constraints(
+            bundle.groups.with_constraints(
+                {g.name: 0 for g in bundle.groups}
+            ),
+            min(total, fits),
+        )
+        config = make_config(bundle, ctx.settings, groups=groups)
+        row = {"C": groups.total_coverage}
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            row[algo_name] = round(ctx.i_r(result, config, 0.5), 4)
+        rows.append(row)
+    return rows
+
+
+def fig9gh_vary_groups(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 9(g,h): I_ε and I_R vs number of groups |P| ∈ 2..5 over DBP."""
+    rows = []
+    for num_groups in (2, 3, 4, 5):
+        bundle = ctx.bundle("dbp", num_groups=num_groups)
+        config = make_config(bundle, ctx.settings)
+        for algo_name, algo_cls in ALGORITHMS.items():
+            result = algo_cls(config).run()
+            rows.append(
+                {
+                    "|P|": num_groups,
+                    "algorithm": algo_name,
+                    "I_eps": round(ctx.i_epsilon(result, config), 4),
+                    "I_R (λ=0.5)": round(ctx.i_r(result, config, 0.5), 4),
+                }
+            )
+    return rows
+
+
+def cbm_comparison(ctx: ExperimentContext) -> List[dict]:
+    """The "Performance of CBM" paragraph: Kungs vs CBM time, BiQGen vs CBM I_R."""
+    bundle = ctx.bundle("dbp")
+    config = make_config(bundle, ctx.settings)
+    rows = []
+    for algo_name, make_algo in (
+        ("Kungs", lambda: Kungs(config)),
+        ("CBM", lambda: CBM(config, levels=10)),
+        ("BiQGen", lambda: BiQGen(config)),
+    ):
+        # Best-of-3 timing: at laptop scale a single run's wall clock is
+        # noise-dominated; the minimum is the stable estimator.
+        results = [make_algo().run() for _ in range(3)]
+        result = results[0]
+        best_time = min(r.stats.elapsed_seconds for r in results)
+        rows.append(
+            {
+                "algorithm": algo_name,
+                "time (s)": round(best_time, 4),
+                "I_R (λ=0.5)": round(ctx.i_r(result, config, 0.5), 4),
+                "|returned|": len(result),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Exp-2: efficiency (Fig. 10)
+# --------------------------------------------------------------------- #
+
+
+def _efficiency_row(label: object, config: GenerationConfig) -> List[dict]:
+    rows = []
+    for algo_name, algo_cls in ALGORITHMS.items():
+        result = algo_cls(config).run()
+        rows.append(
+            {
+                "setting": label,
+                "algorithm": algo_name,
+                "time (s)": round(result.stats.elapsed_seconds, 4),
+                "verified": result.stats.verified,
+                "pruned": result.stats.pruned,
+                "|returned|": len(result),
+            }
+        )
+    return rows
+
+
+def fig10a_efficiency(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 10(a): runtimes of the four algorithms over the three datasets."""
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        config = make_config(bundle, ctx.settings)
+        rows.extend(_efficiency_row(bundle.name, config))
+    return rows
+
+
+def fig10b_vary_epsilon(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 10(b): runtime vs ε over LKI."""
+    bundle = ctx.bundle("lki")
+    rows = []
+    for epsilon in (0.2, 0.4, 0.6, 0.8, 1.0):
+        config = make_config(bundle, ctx.settings, epsilon=epsilon)
+        rows.extend(_efficiency_row(epsilon, config))
+    return rows
+
+
+def fig10c_vary_xl(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 10(c): runtime vs |X_L| over DBP."""
+    bundle = ctx.bundle("dbp")
+    rows = []
+    for num_xl in (2, 3, 4, 5):
+        spec = TemplateSpec("movie", size=4, num_range_vars=num_xl, num_edge_vars=1)
+        template = feasible_template(ctx, bundle, spec, base_seed=40)
+        if template is None:
+            continue
+        cap = 5 if num_xl <= 3 else 3
+        config = make_config(
+            bundle, ctx.settings, template=template, max_domain_values=cap
+        )
+        rows.extend(_efficiency_row(f"|X_L|={num_xl}", config))
+    return rows
+
+
+def fig10d_vary_xe(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 10(d): runtime vs |X_E| over LKI."""
+    bundle = ctx.bundle("lki")
+    rows = []
+    for num_xe in (2, 3, 4, 5):
+        spec = TemplateSpec("person", size=5, num_range_vars=1, num_edge_vars=num_xe)
+        template = feasible_template(ctx, bundle, spec, base_seed=80)
+        if template is None:
+            continue
+        config = make_config(bundle, ctx.settings, template=template)
+        rows.extend(_efficiency_row(f"|X_E|={num_xe}", config))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Exp-3: online generation (Fig. 11)
+# --------------------------------------------------------------------- #
+
+
+def fig11a_online_delay(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 11(a): per-batch delay of OnlineQGen, varying k, batch, w (LKI)."""
+    bundle = ctx.bundle("lki")
+    config = make_config(bundle, ctx.settings)
+    rows = []
+    for batch_size in (40, 80):
+        for window in (10, 40):
+            for k in (5, 10, 15, 20):
+                online = OnlineQGen(config, k=k, window=window)
+                stream = shuffled_space_stream(
+                    config.template, online.lattice.domains, seed=17, limit=batch_size
+                )
+                result = online.run(stream)
+                rows.append(
+                    {
+                        "batch": batch_size,
+                        "w": window,
+                        "k": k,
+                        "batch time (s)": round(result.stats.elapsed_seconds, 4),
+                        "mean delay (ms)": round(result.stats.mean_delay * 1000, 3),
+                        "final eps": round(result.epsilon, 4),
+                    }
+                )
+    return rows
+
+
+def fig11b_online_effectiveness(ctx: ExperimentContext) -> List[dict]:
+    """Fig. 11(b): anytime I_ε of OnlineQGen, k ∈ {10, 20}, w ∈ {40, 80}."""
+    bundle = ctx.bundle("lki")
+    config = make_config(bundle, ctx.settings)
+    # Evaluate the full stream once so anytime indicators use true prefixes.
+    probe = OnlineQGen(config, k=10, window=40)
+    stream_instances = list(
+        shuffled_space_stream(config.template, probe.lattice.domains, seed=23)
+    )
+    evaluator = InstanceEvaluator(config)
+    evaluated = [evaluator.evaluate(i) for i in stream_instances]
+
+    rows = []
+    snapshot_every = max(1, len(stream_instances) // 6)
+    for k in (10, 20):
+        for window in (40, 80):
+            online = OnlineQGen(config, k=k, window=window, snapshot_every=snapshot_every)
+            result = online.run(iter(stream_instances))
+            for snap in online.snapshots:
+                prefix_feasible = [
+                    e for e in evaluated[: snap.timestamp] if e.feasible
+                ]
+                i_eps = normalized_epsilon_indicator(
+                    snap.archive, prefix_feasible, max(snap.epsilon, config.epsilon)
+                )
+                # The paper reports OnlineQGen "retains an I_R ≥ 0.63 at
+                # any time" — compute the same preference quality.
+                if prefix_feasible:
+                    delta_max = max(p.delta for p in prefix_feasible)
+                    i_r = r_indicator(
+                        snap.archive, 0.5, delta_max,
+                        float(config.groups.total_coverage),
+                    )
+                else:
+                    i_r = 0.0
+                rows.append(
+                    {
+                        "k": k,
+                        "w": window,
+                        "seen": snap.timestamp,
+                        "eps_t": round(snap.epsilon, 4),
+                        "I_eps": round(i_eps, 4),
+                        "I_R (λ=0.5)": round(i_r, 4),
+                        "|archive|": len(snap.archive),
+                    }
+                )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Exp-4: case study (Fig. 12)
+# --------------------------------------------------------------------- #
+
+
+def fig12_case_study(ctx: ExperimentContext) -> Tuple[List[dict], List[str]]:
+    """Exp-4: movie search with equal genre coverage over DBP.
+
+    Returns rows (per algorithm, the most coverage-preferred and most
+    diversity-preferred instances with their per-genre overlaps) plus the
+    rendered query texts — the Fig. 12 narrative.
+    """
+    bundle = ctx.bundle("dbp")
+    config = make_config(bundle, ctx.settings)
+    rows: List[dict] = []
+    renderings: List[str] = []
+    for algo_name, algo_cls in (("RfQGen", RfQGen), ("BiQGen", BiQGen)):
+        result = algo_cls(config).run()
+        if not result.instances:
+            rows.append({"algorithm": algo_name, "note": "no feasible instances"})
+            continue
+        best_cov = result.best_by_coverage()
+        best_div = result.best_by_diversity()
+        evaluator = InstanceEvaluator(config)
+        for role, point in (("coverage-pick", best_cov), ("diversity-pick", best_div)):
+            overlaps = config.groups.overlaps(point.matches)
+            rows.append(
+                {
+                    "algorithm": algo_name,
+                    "pick": role,
+                    "|q(G)|": point.cardinality,
+                    **{f"#{name}": count for name, count in overlaps.items()},
+                    "δ": round(point.delta, 3),
+                    "f": round(point.coverage, 1),
+                }
+            )
+            renderings.append(
+                f"--- {algo_name} / {role} ---\n{point.instance.describe()}"
+            )
+    return rows, renderings
+
+
+# --------------------------------------------------------------------- #
+# Ablations (Section IV claims)
+# --------------------------------------------------------------------- #
+
+
+def ablation_pruning(ctx: ExperimentContext) -> List[dict]:
+    """A1: fraction of EnumQGen's verifications avoided by RfQGen/BiQGen.
+
+    The paper reports ~40% (RfQGen) and ~60% (BiQGen) fewer inspected
+    instances on average.
+    """
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        config = make_config(bundle, ctx.settings)
+        enum_verified = EnumQGen(config).run().stats.verified
+        for algo_name, algo_cls in (("RfQGen", RfQGen), ("BiQGen", BiQGen)):
+            result = algo_cls(config).run()
+            saved = 1.0 - result.stats.verified / max(1, enum_verified)
+            rows.append(
+                {
+                    "dataset": bundle.name,
+                    "algorithm": algo_name,
+                    "Enum verified": enum_verified,
+                    "verified": result.stats.verified,
+                    "saved": f"{100 * saved:.1f}%",
+                }
+            )
+    return rows
+
+
+def ablation_incverify(ctx: ExperimentContext) -> List[dict]:
+    """A2: incVerify (parent-seeded verification) on vs off."""
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        for use_incremental in (True, False):
+            config = make_config(bundle, ctx.settings, use_incremental=use_incremental)
+            result = RfQGen(config).run()
+            rows.append(
+                {
+                    "dataset": bundle.name,
+                    "incVerify": "on" if use_incremental else "off",
+                    "time (s)": round(result.stats.elapsed_seconds, 4),
+                    "incremental": result.stats.incremental,
+                    "|returned|": len(result),
+                }
+            )
+    return rows
+
+
+def ablation_template_refinement(ctx: ExperimentContext) -> List[dict]:
+    """A3: Spawn's d-hop template refinement on vs off."""
+    rows = []
+    for name in DATASETS:
+        bundle = ctx.bundle(name)
+        for use_tr in (True, False):
+            config = make_config(
+                bundle, ctx.settings, use_template_refinement=use_tr
+            )
+            result = RfQGen(config).run()
+            rows.append(
+                {
+                    "dataset": bundle.name,
+                    "template refinement": "on" if use_tr else "off",
+                    "time (s)": round(result.stats.elapsed_seconds, 4),
+                    "generated": result.stats.generated,
+                    "verified": result.stats.verified,
+                    "|returned|": len(result),
+                }
+            )
+    return rows

@@ -1,0 +1,95 @@
+"""Terminal-friendly ASCII charts for experiment series.
+
+The paper's Figures 9(e) and 11(b) are curves; archiving only their row
+tables loses the shape at a glance. :func:`render_series` draws a compact
+character plot (one marker per series) that lands in the same results file
+as the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+Row = Mapping[str, object]
+
+#: Marker characters cycled across series.
+MARKERS = "ox+*#@%&"
+
+
+def render_series(
+    rows: Sequence[Row],
+    x: str,
+    y: str,
+    group_by: Optional[str] = None,
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Render (x, y) rows as an ASCII scatter/line chart.
+
+    Args:
+        rows: Row-dicts (the same shape the table printers consume).
+        x: Column providing x values (must be numeric).
+        y: Column providing y values (must be numeric).
+        group_by: Optional column splitting rows into per-marker series.
+        width: Plot width in characters (axis excluded).
+        height: Plot height in rows.
+        title: Optional caption.
+
+    Returns:
+        The rendered multi-line string (also suitable for results files).
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        if x not in row or y not in row:
+            continue
+        try:
+            px = float(row[x])  # type: ignore[arg-type]
+            py = float(row[y])  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
+        key = str(row.get(group_by, "")) if group_by else ""
+        series.setdefault(key, []).append((px, py))
+    if not series:
+        return f"{title or 'chart'}: (no data)"
+
+    points = [p for pts in series.values() for p in pts]
+    x_low = min(p[0] for p in points)
+    x_high = max(p[0] for p in points)
+    y_low = min(p[1] for p in points)
+    y_high = max(p[1] for p in points)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        marker = MARKERS[index % len(MARKERS)]
+        if group_by:
+            legend.append(f"{marker} = {name}")
+        for px, py in pts:
+            column = int(round((px - x_low) / x_span * (width - 1)))
+            row_index = int(round((py - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row_index][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(gutter)
+        elif i == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(grid_row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * gutter + "  " + x_axis)
+    lines.append(" " * gutter + f"  x: {x}, y: {y}")
+    if legend:
+        lines.append(" " * gutter + "  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""ASCII table rendering for experiment results.
+
+Rows are plain dicts; columns come from the first row's key order. Tables
+render identically to stdout and to the archived text files under
+``benchmarks/results/`` so ``bench_output.txt`` and the repository both
+carry the reproduced figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Union
+
+Row = Mapping[str, object]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_render_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Row], title: Optional[str] = None) -> str:
+    """Format, print and return the table text."""
+    text = format_table(rows, title)
+    print()
+    print(text)
+    return text
+
+
+def save_table(
+    rows: Sequence[Row],
+    path: Union[str, Path],
+    title: Optional[str] = None,
+    extra: Optional[str] = None,
+) -> str:
+    """Format, archive to ``path`` and print the table."""
+    text = format_table(rows, title)
+    if extra:
+        text = f"{text}\n{extra}"
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text + "\n")
+    print()
+    print(text)
+    return text

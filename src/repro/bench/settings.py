@@ -1,0 +1,58 @@
+"""Scaled-down experiment defaults, overridable via environment variables.
+
+The paper's defaults are |P| = 2, C = 200, |Q(u_o)| = 3, |X| = 3,
+ε = 0.01 over graphs with 1M-4.9M nodes. The emulated graphs default to
+roughly 300-2500 nodes, so the coverage budget scales down proportionally
+(C defaults to 16) while every other parameter keeps its paper value.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE`` — graph scale multiplier (default 0.15);
+* ``REPRO_BENCH_C`` — total coverage constraint C (default 16);
+* ``REPRO_BENCH_DOMAIN`` — per-variable active-domain cap (default 5);
+* ``REPRO_BENCH_EPSILON`` — default ε (default 0.01, as in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Resolved experiment defaults."""
+
+    scale: float
+    coverage_total: int
+    max_domain_values: int
+    epsilon: float
+
+    @property
+    def paper_mapping(self) -> str:
+        """One-line provenance note printed atop every experiment table."""
+        return (
+            f"[scaled: graph scale={self.scale}, C={self.coverage_total} "
+            f"(paper C=200 on 1M-4.9M-node graphs), domain cap="
+            f"{self.max_domain_values}, eps={self.epsilon}]"
+        )
+
+
+def bench_settings() -> BenchSettings:
+    """Read the environment and return the active settings."""
+    return BenchSettings(
+        scale=_env_float("REPRO_BENCH_SCALE", 0.15),
+        coverage_total=_env_int("REPRO_BENCH_C", 16),
+        max_domain_values=_env_int("REPRO_BENCH_DOMAIN", 5),
+        epsilon=_env_float("REPRO_BENCH_EPSILON", 0.01),
+    )

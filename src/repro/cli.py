@@ -1,0 +1,376 @@
+"""Command-line interface: ``fairsqg`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``datasets`` — build the dataset emulations and print their Table II row;
+* ``generate`` — run one generation algorithm on a dataset and print the
+  returned ε-Pareto instance set;
+* ``online`` — run OnlineQGen over a random instance stream;
+* ``experiment`` — run a paper-figure experiment driver and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.bench.harness import ExperimentContext, make_config
+from repro.bench.reporting import print_table
+from repro.bench.settings import BenchSettings
+from repro.core import BiQGen, CBM, EnumQGen, Kungs, OnlineQGen, RfQGen
+from repro.datasets.registry import dataset_bundle, dataset_names
+from repro.workload.stream import random_instance_stream
+
+ALGORITHMS = {
+    "enum": EnumQGen,
+    "kungs": Kungs,
+    "cbm": CBM,
+    "rfqgen": RfQGen,
+    "biqgen": BiQGen,
+}
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.bench import experiments as E
+
+    return {
+        "table2": E.table2_datasets,
+        "fig9a": E.fig9a_effectiveness,
+        "fig9b": E.fig9b_vary_epsilon,
+        "fig9c": E.fig9c_vary_xl,
+        "fig9d": E.fig9d_vary_xe,
+        "fig9e": E.fig9e_anytime_rindicator,
+        "fig9f": E.fig9f_vary_coverage,
+        "fig9gh": E.fig9gh_vary_groups,
+        "cbm": E.cbm_comparison,
+        "fig10a": E.fig10a_efficiency,
+        "fig10b": E.fig10b_vary_epsilon,
+        "fig10c": E.fig10c_vary_xl,
+        "fig10d": E.fig10d_vary_xe,
+        "fig11a": E.fig11a_online_delay,
+        "fig11b": E.fig11b_online_effectiveness,
+        "ablation-pruning": E.ablation_pruning,
+        "ablation-incverify": E.ablation_incverify,
+        "ablation-template-refinement": E.ablation_template_refinement,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fairsqg",
+        description="FairSQG: subgraph query generation with fairness and "
+        "diversity constraints (ICDE 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="print dataset statistics")
+    datasets.add_argument("--scale", type=float, default=0.15)
+
+    generate = sub.add_parser("generate", help="run a generation algorithm")
+    generate.add_argument("--dataset", choices=dataset_names(), default="lki")
+    generate.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="biqgen")
+    generate.add_argument("--epsilon", type=float, default=0.05)
+    generate.add_argument("--scale", type=float, default=0.15)
+    generate.add_argument("--coverage", type=int, default=16)
+    generate.add_argument("--groups", type=int, default=2)
+    generate.add_argument("--domain-cap", type=int, default=5)
+    generate.add_argument("--show-queries", action="store_true")
+    generate.add_argument("--report", action="store_true",
+                          help="print the full run report")
+
+    online = sub.add_parser("online", help="run OnlineQGen over a stream")
+    online.add_argument("--dataset", choices=dataset_names(), default="lki")
+    online.add_argument("--k", type=int, default=10)
+    online.add_argument("--window", type=int, default=40)
+    online.add_argument("--count", type=int, default=100)
+    online.add_argument("--epsilon", type=float, default=0.05)
+    online.add_argument("--scale", type=float, default=0.15)
+    online.add_argument("--coverage", type=int, default=16)
+    online.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
+    experiment.add_argument(
+        "name", choices=sorted(_experiment_registry()) + ["all"]
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--out", default=None,
+                            help="also write a combined markdown results file")
+
+    rpq = sub.add_parser("rpq", help="FairSQG over a regular path query")
+    rpq.add_argument("--dataset", choices=dataset_names(), default="cite")
+    rpq.add_argument("--path", default="cites+",
+                     help="edge-label regex, e.g. 'cites+' or 'recommend/recommend'")
+    rpq.add_argument("--epsilon", type=float, default=0.2)
+    rpq.add_argument("--scale", type=float, default=0.15)
+    rpq.add_argument("--coverage", type=int, default=8)
+    rpq.add_argument("--groups", type=int, default=2)
+    rpq.add_argument("--lattice", action="store_true",
+                     help="use the refinement-lattice RPQ generator")
+
+    workload = sub.add_parser(
+        "workload", help="union group-coverage benchmark workload"
+    )
+    workload.add_argument("--dataset", choices=dataset_names(), default="lki")
+    workload.add_argument("--fraction", type=float, default=0.1)
+    workload.add_argument("--max-queries", type=int, default=6)
+    workload.add_argument("--scale", type=float, default=0.15)
+    workload.add_argument("--coverage", type=int, default=8)
+    workload.add_argument("--out", default=None, help="write the workload JSON here")
+
+    profile = sub.add_parser(
+        "profile", help="candidate-funnel profile of a dataset's root query"
+    )
+    profile.add_argument("--dataset", choices=dataset_names(), default="lki")
+    profile.add_argument("--scale", type=float, default=0.15)
+    profile.add_argument("--coverage", type=int, default=16)
+
+    audit = sub.add_parser("audit", help="fairness audit of a generated set")
+    audit.add_argument("--dataset", choices=dataset_names(), default="lki")
+    audit.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="biqgen")
+    audit.add_argument("--epsilon", type=float, default=0.05)
+    audit.add_argument("--scale", type=float, default=0.15)
+    audit.add_argument("--coverage", type=int, default=16)
+    audit.add_argument("--lambda-r", type=float, default=0.5, dest="lambda_r")
+
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    from repro.bench.experiments import table2_datasets
+
+    settings = BenchSettings(
+        scale=args.scale, coverage_total=16, max_domain_values=5, epsilon=0.01
+    )
+    print_table(table2_datasets(ExperimentContext(settings)), "Datasets (Table II)")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    bundle = dataset_bundle(
+        args.dataset,
+        scale=args.scale,
+        num_groups=args.groups,
+        coverage_total=args.coverage,
+    )
+    config = make_config(
+        bundle,
+        BenchSettings(args.scale, args.coverage, args.domain_cap, args.epsilon),
+        epsilon=args.epsilon,
+        max_domain_values=args.domain_cap,
+    )
+    algorithm = ALGORITHMS[args.algorithm](config)
+    result = algorithm.run()
+    if getattr(args, "report", False):
+        from repro.core.report import build_report
+
+        print(build_report(config, result, evaluator=algorithm.evaluator))
+        return 0
+    rows = []
+    for point in result.instances:
+        overlaps = config.groups.overlaps(point.matches)
+        rows.append(
+            {
+                "δ": round(point.delta, 3),
+                "f": round(point.coverage, 1),
+                "|q(G)|": point.cardinality,
+                **{f"#{name}": count for name, count in overlaps.items()},
+            }
+        )
+    print_table(rows, f"{result.algorithm} ε-Pareto set over {bundle.name}")
+    print_table([result.stats.as_row()], "run statistics")
+    if args.show_queries:
+        for point in result.instances:
+            print()
+            print(point.instance.describe())
+    return 0
+
+
+def _cmd_online(args) -> int:
+    bundle = dataset_bundle(
+        args.dataset, scale=args.scale, coverage_total=args.coverage
+    )
+    config = make_config(
+        bundle,
+        BenchSettings(args.scale, args.coverage, 5, args.epsilon),
+        epsilon=args.epsilon,
+    )
+    online = OnlineQGen(config, k=args.k, window=args.window)
+    stream = random_instance_stream(
+        config.template, online.lattice.domains, args.count, seed=args.seed
+    )
+    result = online.run(stream)
+    rows = [
+        {"δ": round(p.delta, 3), "f": round(p.coverage, 1), "|q(G)|": p.cardinality}
+        for p in result.instances
+    ]
+    print_table(rows, f"OnlineQGen size-{args.k} set (final ε = {result.epsilon:.4f})")
+    print(
+        f"\nprocessed {result.stats.generated} instances, "
+        f"mean delay {result.stats.mean_delay * 1000:.2f} ms"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    registry = _experiment_registry()
+    settings = None
+    if args.scale is not None:
+        settings = BenchSettings(
+            scale=args.scale, coverage_total=16, max_domain_values=5, epsilon=0.01
+        )
+    if getattr(args, "out", None):
+        from repro.bench.runner import run_all
+
+        only = None if args.name == "all" else [args.name]
+        run_all(settings, output_path=args.out, only=only)
+        print(f"wrote combined results to {args.out}")
+        return 0
+    ctx = ExperimentContext(settings)
+    names = sorted(registry) if args.name == "all" else [args.name]
+    for name in names:
+        result = registry[name](ctx)
+        rows = result[0] if isinstance(result, tuple) else result
+        print_table(rows, name)
+    return 0
+
+
+def _cmd_rpq(args) -> int:
+    from repro.query.predicates import Op
+    from repro.query.variables import RangeVariable
+    from repro.rpq import RPQGen, RPQRfGen, RPQTemplate
+
+    bundle = dataset_bundle(
+        args.dataset, scale=args.scale,
+        num_groups=args.groups, coverage_total=args.coverage,
+    )
+    # Anchor one range variable on each endpoint using the first numeric
+    # attribute of the output label.
+    output_label = bundle.template.node(bundle.template.output_node).label
+    numeric = bundle.schema.numeric_attributes(output_label)
+    variables = []
+    if numeric:
+        variables.append(
+            RangeVariable("min_src", "source", numeric[0].name, Op.GE)
+        )
+        variables.append(
+            RangeVariable("min_dst", "target", numeric[0].name, Op.GE)
+        )
+    template = RPQTemplate(
+        f"{args.dataset}-rpq",
+        source_label=output_label,
+        path=args.path,
+        range_variables=variables,
+    )
+    generator_cls = RPQRfGen if args.lattice else RPQGen
+    result = generator_cls(
+        bundle.graph, template, bundle.groups, epsilon=args.epsilon,
+        max_domain_values=5,
+    ).run()
+    rows = [
+        {
+            "δ": round(p.delta, 3),
+            "f": round(p.coverage, 1),
+            "|q(G)|": p.cardinality,
+            "query": p.instance.describe(),
+        }
+        for p in result.instances
+    ]
+    print_table(rows, f"{result.algorithm} over {bundle.name} path {args.path!r}")
+    print_table([result.stats.as_row()], "run statistics")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.query.serialization import save_workload
+    from repro.workload.benchmark_suite import CoverageWorkloadGenerator
+
+    bundle = dataset_bundle(
+        args.dataset, scale=args.scale, coverage_total=args.coverage
+    )
+    config = make_config(
+        bundle, BenchSettings(args.scale, args.coverage, 5, 0.05), epsilon=0.05
+    )
+    generator = CoverageWorkloadGenerator(config)
+    workload = generator.generate(
+        {name: args.fraction for name in bundle.groups.names},
+        max_queries=args.max_queries,
+    )
+    print_table(
+        workload.summary_rows(),
+        f"union-coverage workload over {bundle.name} "
+        f"({'goal satisfied' if workload.satisfied else 'goal NOT met'})",
+    )
+    for i, query in enumerate(workload.queries, start=1):
+        print(f"\n[{i}] δ={query.delta:.2f} |q(G)|={query.cardinality}")
+        print(query.instance.describe())
+    if args.out:
+        save_workload([q.instance for q in workload.queries], args.out)
+        print(f"\nwrote {len(workload.queries)} queries to {args.out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.lattice import InstanceLattice
+    from repro.matching.profiling import profile_instance
+
+    bundle = dataset_bundle(
+        args.dataset, scale=args.scale, coverage_total=args.coverage
+    )
+    config = make_config(
+        bundle, BenchSettings(args.scale, args.coverage, 5, 0.05)
+    )
+    instance = InstanceLattice(config).root()
+    print(instance.describe())
+    profile = profile_instance(bundle.graph, instance)
+    print_table(profile.as_rows(), "candidate funnel (root instance)")
+    print()
+    print(profile.summary())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.core.preferences import select_by_preference
+    from repro.groups.auditing import audit_answer
+
+    bundle = dataset_bundle(
+        args.dataset, scale=args.scale, coverage_total=args.coverage
+    )
+    config = make_config(
+        bundle,
+        BenchSettings(args.scale, args.coverage, 5, args.epsilon),
+        epsilon=args.epsilon,
+    )
+    result = ALGORITHMS[args.algorithm](config).run()
+    pick = select_by_preference(result.instances, args.lambda_r)
+    if pick is None:
+        print("no feasible instances to audit")
+        return 1
+    audit = audit_answer(pick.matches, config.groups)
+    print(f"preferred instance (λ_R = {args.lambda_r}):")
+    print(pick.instance.describe())
+    print()
+    print_table(audit.as_rows(), "fairness audit")
+    print()
+    print(audit.summary())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "generate": _cmd_generate,
+        "online": _cmd_online,
+        "experiment": _cmd_experiment,
+        "rpq": _cmd_rpq,
+        "workload": _cmd_workload,
+        "profile": _cmd_profile,
+        "audit": _cmd_audit,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

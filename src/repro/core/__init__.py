@@ -1,0 +1,56 @@
+"""FairSQG core: measures, Pareto machinery, and the generation algorithms.
+
+This is the paper's primary contribution:
+
+* quality measures — max-sum diversity ``δ(q)`` and group-coverage quality
+  ``f(q)`` (Section III-A);
+* Pareto / ε-Pareto machinery with box coordinates and the ``Update``
+  archive procedure (Sections III-B, IV);
+* the generation algorithms — ``EnumQGen`` (naive), ``Kungs`` (exact
+  Pareto via Kung's algorithm), ``CBM`` (ε-constraint baseline),
+  ``RfQGen`` (refine-as-always DFS), ``BiQGen`` (bi-directional with
+  sandwich pruning), and ``OnlineQGen`` (fixed-size online maintenance);
+* the quality indicators ``I_ε`` and ``I_R`` used in the evaluation.
+"""
+
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.measures import CoverageMeasure, DiversityMeasure
+from repro.core.pareto import (
+    Box,
+    dominates,
+    epsilon_dominates,
+    pareto_front,
+)
+from repro.core.update import EpsilonParetoArchive
+from repro.core.result import GenerationResult
+from repro.core.enumqgen import EnumQGen
+from repro.core.kungs import Kungs
+from repro.core.cbm import CBM
+from repro.core.rfqgen import RfQGen
+from repro.core.biqgen import BiQGen
+from repro.core.online import OnlineQGen
+from repro.core.indicators import epsilon_indicator, normalized_epsilon_indicator, r_indicator
+
+__all__ = [
+    "GenerationConfig",
+    "InstanceEvaluator",
+    "EvaluatedInstance",
+    "DiversityMeasure",
+    "CoverageMeasure",
+    "Box",
+    "dominates",
+    "epsilon_dominates",
+    "pareto_front",
+    "EpsilonParetoArchive",
+    "GenerationResult",
+    "EnumQGen",
+    "Kungs",
+    "CBM",
+    "RfQGen",
+    "BiQGen",
+    "OnlineQGen",
+    "epsilon_indicator",
+    "normalized_epsilon_indicator",
+    "r_indicator",
+]

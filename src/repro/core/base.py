@@ -1,0 +1,64 @@
+"""Shared scaffolding for the generation algorithms.
+
+Every algorithm takes a :class:`~repro.core.config.GenerationConfig`,
+exposes ``run()`` returning a
+:class:`~repro.core.result.GenerationResult`, and optionally records
+*anytime* snapshots of its archive every ``trace_every`` verifications —
+the convergence experiments (Fig. 9(e), Fig. 11(b)) replay those traces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.lattice import InstanceLattice
+from repro.core.result import GenerationResult, RunStats
+
+
+class QGenAlgorithm:
+    """Base class: owns the evaluator, lattice and trace plumbing.
+
+    Args:
+        config: The generation configuration.
+        trace_every: Record an archive snapshot every N verified instances
+            (0 disables tracing).
+    """
+
+    name = "QGen"
+
+    def __init__(self, config: GenerationConfig, trace_every: int = 0) -> None:
+        self.config = config
+        self.trace_every = trace_every
+        self.evaluator = InstanceEvaluator(config)
+        self.lattice = InstanceLattice(config)
+        self._trace: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> GenerationResult:  # pragma: no cover - abstract
+        """Execute the algorithm; subclasses implement."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Trace helpers
+    # ------------------------------------------------------------------ #
+
+    def _maybe_trace(self, archive_instances: List[EvaluatedInstance]) -> None:
+        """Snapshot the archive if the trace cadence says so."""
+        if self.trace_every and self.evaluator.verified_count % self.trace_every == 0:
+            self._trace.append((self.evaluator.verified_count, list(archive_instances)))
+
+    def _final_trace(self, archive_instances: List[EvaluatedInstance]) -> List[tuple]:
+        """Close the trace with a final snapshot and return it."""
+        if self.trace_every:
+            self._trace.append((self.evaluator.verified_count, list(archive_instances)))
+        return self._trace
+
+    def _base_stats(self) -> RunStats:
+        """Stats prefilled with the evaluator's counters."""
+        stats = RunStats()
+        stats.verified = self.evaluator.verified_count
+        stats.incremental = self.evaluator.incremental_count
+        return stats

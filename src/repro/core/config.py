@@ -1,0 +1,105 @@
+"""Generation configuration — the paper's ``C = (G, Q(u_o), P, ε)``.
+
+Bundles the graph, template, groups and ε together with the practical
+knobs every algorithm shares (diversity λ, kernels, domain quantization,
+optimization toggles), so all generators take a single argument and
+experiments can flip one field at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.core.measures import CoverageMeasure, DiversityMeasure
+from repro.core.relevance import RelevanceScorer
+from repro.graph.active_domain import ActiveDomainIndex
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.indexes import GraphIndexes
+from repro.groups.groups import GroupSet
+from repro.query.template import QueryTemplate
+
+
+@dataclass
+class GenerationConfig:
+    """Everything a FairSQG generator needs.
+
+    Attributes:
+        graph: The data graph ``G``.
+        template: The query template ``Q(u_o)``.
+        groups: Disjoint node groups ``P`` with coverage constraints.
+        epsilon: The ε of ε-dominance (must be > 0).
+        lam: Relevance/diversity balance λ of the diversity measure.
+        relevance: Optional relevance scorer (default: constant 1).
+        distance: Optional pairwise distance kernel (default: Gower).
+        diversity_mode: ``"auto"`` / ``"exact"`` / ``"decomposed"``.
+        max_domain_values: Cap on each range variable's active domain
+            (None = raw domain). Controls ``|I(Q)|``.
+        use_incremental: Seed child verification from parents (incVerify).
+        use_template_refinement: Enable Spawn's d-hop domain restriction
+            and edge-variable fixing (Section IV optimization).
+        injective: Use isomorphism-style (injective) match semantics.
+    """
+
+    graph: AttributedGraph
+    template: QueryTemplate
+    groups: GroupSet
+    epsilon: float = 0.01
+    lam: float = 0.5
+    relevance: Optional[RelevanceScorer] = None
+    distance: Optional[Callable[[int, int], float]] = None
+    diversity_mode: str = "auto"
+    max_domain_values: Optional[int] = 8
+    use_incremental: bool = True
+    use_template_refinement: bool = True
+    injective: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ConfigurationError("lambda must lie in [0, 1]")
+        output_label = self.template.node(self.template.output_node).label
+        if self.graph.count_label(output_label) == 0:
+            raise ConfigurationError(
+                f"graph has no nodes labeled {output_label!r} (the output label)"
+            )
+
+    # Shared, lazily-built helpers -------------------------------------- #
+
+    def build_indexes(self) -> GraphIndexes:
+        """Fresh :class:`GraphIndexes` for this graph."""
+        return GraphIndexes(self.graph)
+
+    def build_domains(self) -> ActiveDomainIndex:
+        """Fresh :class:`ActiveDomainIndex` honoring ``max_domain_values``."""
+        return ActiveDomainIndex(self.graph, self.template, self.max_domain_values)
+
+    def build_diversity(self) -> DiversityMeasure:
+        """The diversity measure for the template's output label."""
+        output_label = self.template.node(self.template.output_node).label
+        return DiversityMeasure(
+            self.graph,
+            output_label,
+            lam=self.lam,
+            relevance=self.relevance,
+            distance=self.distance,
+            mode=self.diversity_mode,
+        )
+
+    def build_coverage(self) -> CoverageMeasure:
+        """The coverage measure over this configuration's groups."""
+        return CoverageMeasure(self.groups)
+
+    def with_epsilon(self, epsilon: float) -> "GenerationConfig":
+        """Copy with a different ε (parameter sweeps)."""
+        return replace(self, epsilon=epsilon)
+
+    def with_groups(self, groups: GroupSet) -> "GenerationConfig":
+        """Copy with different groups/constraints."""
+        return replace(self, groups=groups)
+
+    def with_template(self, template: QueryTemplate) -> "GenerationConfig":
+        """Copy with a different template."""
+        return replace(self, template=template)

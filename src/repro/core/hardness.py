@@ -1,0 +1,99 @@
+"""Executable hardness gadget for Theorem 1's NP-hardness claim.
+
+Theorem 1(2): FairSQG stays NP-hard even with no range variables, because
+deciding whether a feasible instance exists embeds subgraph-isomorphism
+checking. This module makes the reduction concrete and runnable: given a
+k-clique question over an arbitrary undirected graph ``H``, it builds a
+FairSQG configuration whose *feasible-instance decision* answers it.
+
+Construction (from CLIQUE, the canonical subgraph-isomorphism special
+case):
+
+* the data graph ``G`` is ``H`` with every vertex labeled ``"v"`` and every
+  undirected edge encoded as two directed ``"e"`` edges;
+* the template is the k-clique pattern — k query nodes, all pairwise
+  connected (no variables at all: ``|X| = 0``, so ``I(Q)`` has exactly one
+  instance);
+* matching is *injective* (the paper's subgraph-isomorphism reading);
+* a single group containing all vertices with coverage 1.
+
+Then the unique instance is feasible ⟺ some vertex participates in a
+k-clique ⟺ ``H`` has a k-clique. The tests cross-check against
+networkx's clique finder on random graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import InstanceEvaluator
+from repro.errors import ConfigurationError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.groups import GroupSet, NodeGroup
+from repro.query.instance import QueryInstance
+from repro.query.instantiation import Instantiation
+from repro.query.template import QueryTemplate
+
+
+def encode_clique_instance(
+    vertices: Iterable[int], edges: Iterable[Tuple[int, int]], k: int
+) -> GenerationConfig:
+    """Build the FairSQG configuration deciding "does H have a k-clique?".
+
+    Args:
+        vertices: H's vertex ids.
+        edges: H's undirected edges as (u, v) pairs.
+        k: Clique size (k ≥ 2).
+
+    Returns:
+        A :class:`GenerationConfig` with injective matching whose single
+        instance is feasible iff H contains a k-clique.
+    """
+    if k < 2:
+        raise ConfigurationError("clique size k must be at least 2")
+    vertices = list(vertices)
+    if not vertices:
+        raise ConfigurationError("H must have at least one vertex")
+
+    graph = AttributedGraph("clique-gadget")
+    for v in vertices:
+        graph.add_node(v, "v", {})
+    for u, v in edges:
+        graph.add_edge(u, v, "e")
+        graph.add_edge(v, u, "e")
+    graph.freeze()
+
+    builder = QueryTemplate.builder(f"clique-{k}")
+    for i in range(k):
+        builder.node(f"u{i}", "v")
+    # All pairs, one direction each — the reverse direction exists in G by
+    # construction, and injectivity forbids collapsing nodes.
+    for i in range(k):
+        for j in range(i + 1, k):
+            builder.fixed_edge(f"u{i}", f"u{j}", "e")
+    template = builder.output("u0").build()
+
+    groups = GroupSet([NodeGroup("all", frozenset(vertices), 1)])
+    return GenerationConfig(
+        graph,
+        template,
+        groups,
+        epsilon=0.5,
+        injective=True,
+        max_domain_values=None,
+    )
+
+
+def has_k_clique(
+    vertices: Iterable[int], edges: Iterable[Tuple[int, int]], k: int
+) -> bool:
+    """Decide k-clique through the FairSQG reduction.
+
+    Verifies the configuration's single instance; feasibility is the
+    answer. (Exponential in k, as NP-hardness promises.)
+    """
+    config = encode_clique_instance(vertices, edges, k)
+    evaluator = InstanceEvaluator(config)
+    only_instance = QueryInstance(Instantiation(config.template))
+    return evaluator.evaluate(only_instance).feasible

@@ -1,0 +1,103 @@
+"""Quality indicators for generated query sets (paper Section V, Exp-1).
+
+* **ε-indicator** ``I_ε``: the minimum ``ε_m`` for which the returned set is
+  an ``ε_m``-Pareto set of the full instance space, normalized as
+  ``I_ε = 1 − ε_m/ε`` against the configured tolerance (clamped to [0, 1]).
+  The exact Pareto set scores 1.
+* **R-indicator** ``I_R``: a preference-weighted aggregate
+  ``((1−λ_R)·δ* + λ_R·f*)/2`` of the set's best normalized diversity and
+  coverage; higher λ_R rewards coverage-heavy sets.
+* **hypervolume**: the area dominated in the normalized (δ, f) unit square
+  — an extra indicator (not in the paper) used by ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.core.pareto import BiObjective, minimal_epsilon
+from repro.errors import ConfigurationError
+
+
+def epsilon_indicator(
+    candidates: Sequence[BiObjective], universe: Sequence[BiObjective]
+) -> float:
+    """``ε_m`` — the smallest ε making ``candidates`` an ε-Pareto set.
+
+    ``universe`` is the feasible instance space the set must ε-dominate
+    (per the paper, only feasible instances are considered). Empty universe
+    yields 0 (vacuously optimal); empty candidates against a non-empty
+    universe yield ``inf``.
+    """
+    if not universe:
+        return 0.0
+    if not candidates:
+        return math.inf
+    return minimal_epsilon(candidates, universe)
+
+
+def normalized_epsilon_indicator(
+    candidates: Sequence[BiObjective],
+    universe: Sequence[BiObjective],
+    epsilon: float,
+) -> float:
+    """``I_ε = 1 − ε_m/ε`` clamped into [0, 1] (larger is better)."""
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    epsilon_m = epsilon_indicator(candidates, universe)
+    if math.isinf(epsilon_m):
+        return 0.0
+    return max(0.0, min(1.0, 1.0 - epsilon_m / epsilon))
+
+
+def r_indicator(
+    candidates: Sequence[BiObjective],
+    lambda_r: float,
+    delta_max: float,
+    coverage_max: float,
+) -> float:
+    """``I_R = ((1−λ_R)·δ* + λ_R·f*)/2`` with objectives normalized to [0,1].
+
+    Args:
+        candidates: The returned instance set.
+        lambda_r: Preference factor in (0, 1); high values favor coverage.
+        delta_max: Normalizer for diversity (e.g. the universe's best δ).
+        coverage_max: Normalizer for coverage (e.g. ``C``).
+    """
+    if not 0.0 <= lambda_r <= 1.0:
+        raise ConfigurationError("lambda_r must lie in [0, 1]")
+    if not candidates:
+        return 0.0
+    best_delta = max(p.delta for p in candidates)
+    best_coverage = max(p.coverage for p in candidates)
+    delta_star = min(1.0, best_delta / delta_max) if delta_max > 0 else 0.0
+    coverage_star = min(1.0, best_coverage / coverage_max) if coverage_max > 0 else 0.0
+    return ((1.0 - lambda_r) * delta_star + lambda_r * coverage_star) / 2.0
+
+
+def hypervolume(
+    candidates: Iterable[BiObjective], delta_max: float, coverage_max: float
+) -> float:
+    """Dominated area in the normalized unit square (reference point 0,0).
+
+    Standard 2-D sweep: sort by δ descending and accumulate the staircase
+    area. Duplicate coordinates contribute nothing extra.
+    """
+    points: List[tuple] = sorted(
+        {
+            (
+                min(1.0, p.delta / delta_max) if delta_max > 0 else 0.0,
+                min(1.0, p.coverage / coverage_max) if coverage_max > 0 else 0.0,
+            )
+            for p in candidates
+        },
+        key=lambda t: (-t[0], -t[1]),
+    )
+    area = 0.0
+    previous_coverage = 0.0
+    for delta, coverage in points:
+        if coverage > previous_coverage:
+            area += delta * (coverage - previous_coverage)
+            previous_coverage = coverage
+    return area

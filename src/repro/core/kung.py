@@ -1,0 +1,48 @@
+"""Kung's divide-and-conquer maximal-vector algorithm (2-D case).
+
+Classic Kung/Luccio/Preparata: sort by the first objective descending, then
+recursively merge — a point from the lower half survives only if its second
+objective strictly exceeds the best second objective of the upper half.
+O(n log n) for two objectives. Used by the ``Kungs`` baseline to compute
+the *exact* Pareto front of the verified instance set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from repro.core.pareto import BiObjective
+
+P = TypeVar("P", bound=BiObjective)
+
+
+def kung_front(points: Sequence[P]) -> List[P]:
+    """The non-dominated subset of ``points`` (ties on both axes kept).
+
+    Points equal on both objectives are all retained — the Pareto
+    *instance* set may hold several distinct instances sharing coordinates.
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (-p.delta, -p.coverage))
+    return _front(ordered)
+
+
+def _front(points: List[P]) -> List[P]:
+    if len(points) <= 1:
+        return list(points)
+    middle = len(points) // 2
+    top = _front(points[:middle])
+    bottom = _front(points[middle:])
+    best_coverage = max(p.coverage for p in top)
+    # Within a front, points sharing the best coverage share one delta
+    # (otherwise one would dominate the other), so the tie check is exact.
+    delta_at_best = max(p.delta for p in top if p.coverage == best_coverage)
+    merged = list(top)
+    for point in bottom:
+        if point.coverage > best_coverage:
+            merged.append(point)
+        elif point.coverage == best_coverage and point.delta == delta_at_best:
+            # Exact coordinate tie with a surviving top point: keep.
+            merged.append(point)
+    return merged

@@ -1,0 +1,252 @@
+"""Quality measures: max-sum diversity ``δ`` and coverage quality ``f``.
+
+Diversity (paper Section III-A):
+
+    δ(q) = (1−λ) · Σ_{v∈q(G)} r(u_o, v)
+         + (2λ / (|V_{u_o}| − 1)) · Σ_{v<v'∈q(G)} d(v, v')
+
+with ``δ(q) ∈ [0, |V_{u_o}|]``. Coverage:
+
+    f(q) = C − Σ_i | |q(G) ∩ P_i| − c_i |,  C = Σ c_i,  f ∈ [0, C].
+
+The pairwise term is O(|q(G)|²) naively; the measure also implements a
+*decomposed* path — exact for the Gower tuple distance — that computes the
+sum over all pairs attribute-by-attribute in O(n log n) using sorted prefix
+sums (numeric) and value counts (categorical). ``mode="auto"`` picks the
+decomposed path for large answers when the kernel allows it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.distance import (
+    GowerTupleDistance,
+    _is_number,
+    pair_sum_categorical,
+    pair_sum_numeric,
+)
+from repro.core.relevance import ConstantRelevance, RelevanceScorer
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.groups import GroupSet
+
+#: Answers at or below this size always use the exact pairwise path.
+_DECOMPOSE_THRESHOLD = 64
+
+
+class DiversityMeasure:
+    """Computes ``δ(q, G)`` for answer sets of one output label.
+
+    Args:
+        graph: The data graph.
+        output_label: Label of the output node ``u_o`` (fixes ``V_{u_o}``).
+        lam: The relevance/diversity balance ``λ ∈ [0, 1]``.
+        relevance: Scorer for ``r(u_o, v)``; defaults to constant 1.
+        distance: Pairwise kernel for ``d``; defaults to
+            :class:`~repro.core.distance.GowerTupleDistance` over all of the
+            label's attributes.
+        mode: ``"exact"`` (always pairwise), ``"decomposed"`` (always the
+            fast path; requires a Gower kernel), or ``"auto"``.
+
+    Example:
+        >>> measure = DiversityMeasure(graph, "person", lam=0.5)  # doctest: +SKIP
+        >>> measure.of({1, 5, 9})  # doctest: +SKIP
+        1.87
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        output_label: str,
+        lam: float = 0.5,
+        relevance: Optional[RelevanceScorer] = None,
+        distance: Optional[Callable[[int, int], float]] = None,
+        mode: str = "auto",
+    ) -> None:
+        if not 0.0 <= lam <= 1.0:
+            raise ConfigurationError("lambda must lie in [0, 1]")
+        if mode not in ("auto", "exact", "decomposed"):
+            raise ConfigurationError(f"unknown diversity mode {mode!r}")
+        self.graph = graph
+        self.output_label = output_label
+        self.lam = lam
+        self.relevance = relevance or ConstantRelevance(1.0)
+        self.distance = distance or GowerTupleDistance(graph, output_label)
+        self.mode = mode
+        self._label_count = graph.count_label(output_label)
+        self._gower = isinstance(self.distance, GowerTupleDistance)
+        if mode == "decomposed" and not self._gower:
+            raise ConfigurationError("decomposed mode requires the Gower kernel")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def upper_bound(self) -> float:
+        """``|V_{u_o}|`` — the maximum possible diversity value."""
+        return float(self._label_count)
+
+    def of(self, matches: Iterable[int]) -> float:
+        """``δ`` for an answer set (any iterable of node ids)."""
+        nodes = sorted(set(matches))
+        if not nodes:
+            return 0.0
+        relevance_sum = sum(self.relevance(v) for v in nodes)
+        pair_sum = self._pair_sum(nodes)
+        normalizer = max(1, self._label_count - 1)
+        return (1.0 - self.lam) * relevance_sum + (2.0 * self.lam / normalizer) * pair_sum
+
+    # ------------------------------------------------------------------ #
+    # Pair-sum strategies
+    # ------------------------------------------------------------------ #
+
+    def _pair_sum(self, nodes: Sequence[int]) -> float:
+        if len(nodes) < 2 or self.lam == 0.0:
+            return 0.0
+        use_decomposed = self.mode == "decomposed" or (
+            self.mode == "auto" and self._gower and len(nodes) > _DECOMPOSE_THRESHOLD
+        )
+        if use_decomposed:
+            return self._pair_sum_decomposed(nodes)
+        return self._pair_sum_exact(nodes)
+
+    def _pair_sum_exact(self, nodes: Sequence[int]) -> float:
+        total = 0.0
+        distance = self.distance
+        for i, v in enumerate(nodes):
+            for w in nodes[i + 1 :]:
+                total += distance(v, w)
+        return total
+
+    def _pair_sum_decomposed(self, nodes: Sequence[int]) -> float:
+        """Exact Gower pair-sum in O(n k log n); see module docstring.
+
+        Per attribute: pairs with exactly one missing value contribute 1
+        each; both-present pairs contribute the numeric prefix-sum or the
+        categorical count formula. The attribute sums are averaged by the
+        kernel's attribute count.
+        """
+        attributes = self.distance.attributes
+        if not attributes:
+            return 0.0
+        graph = self.graph
+        ranges = self.distance.ranges
+        total = 0.0
+        attr_maps = [graph.attributes(v) for v in nodes]
+        for attribute in attributes:
+            present: List[Any] = []
+            for attrs in attr_maps:
+                value = attrs.get(attribute)
+                if value is not None:
+                    present.append(value)
+            n_missing = len(nodes) - len(present)
+            # One-missing pairs each contribute the maximal distance 1.
+            contribution = float(len(present) * n_missing)
+            if present:
+                if all(_is_number(v) for v in present):
+                    spread = ranges.spread(attribute)
+                    if spread > 0:
+                        contribution += pair_sum_numeric(
+                            [float(v) / spread for v in present]
+                        ) * 1.0
+                    else:
+                        contribution += pair_sum_categorical(present)
+                else:
+                    contribution += pair_sum_categorical(present)
+            total += contribution
+        return total / len(attributes)
+
+
+class CoverageMeasure:
+    """Computes ``f(q, P)`` and feasibility for one group set.
+
+    ``f`` penalizes the total absolute deviation from the desired coverage;
+    the result is clamped at 0 so ``f ∈ [0, C]`` (an answer wildly
+    overshooting every group cannot go negative).
+    """
+
+    def __init__(self, groups: GroupSet) -> None:
+        self.groups = groups
+
+    @property
+    def upper_bound(self) -> int:
+        """``C = Σ c_i`` — the maximum possible coverage quality."""
+        return self.groups.total_coverage
+
+    def of(self, matches: Iterable[int]) -> float:
+        """``f`` for an answer set."""
+        error = self.groups.coverage_error(matches)
+        return float(max(0, self.groups.total_coverage - error))
+
+    def is_feasible(self, matches: Iterable[int]) -> bool:
+        """Feasibility: every group covered with ≥ ``c_i`` answer nodes."""
+        return self.groups.is_feasible(matches)
+
+    def overlaps(self, matches: Iterable[int]) -> Dict[str, int]:
+        """Per-group overlap counts (for reports and the case study)."""
+        return self.groups.overlaps(matches)
+
+
+class WeightedCoverageMeasure(CoverageMeasure):
+    """Coverage quality with per-group importance weights.
+
+    ``f_w(q) = C_w − Σ_i w_i · | |q(G) ∩ P_i| − c_i |`` with
+    ``C_w = Σ w_i c_i``. With all weights 1 this is exactly the paper's
+    measure; larger ``w_i`` makes deviations on group ``i`` costlier (a
+    regulator-mandated group, say). Monotonicity along refinement chains is
+    preserved (each per-group deviation term is), so the lattice algorithms
+    accept it unchanged through :class:`GenerationConfig`-level injection.
+    """
+
+    def __init__(self, groups: GroupSet, weights: Dict[str, float]) -> None:
+        super().__init__(groups)
+        for name in weights:
+            if name not in groups.names:
+                raise ConfigurationError(f"weight for unknown group {name!r}")
+            if weights[name] < 0:
+                raise ConfigurationError(f"negative weight for group {name!r}")
+        self.weights = {name: float(weights.get(name, 1.0)) for name in groups.names}
+
+    @property
+    def upper_bound(self) -> float:  # type: ignore[override]
+        """``C_w = Σ w_i c_i``."""
+        return sum(
+            self.weights[g.name] * g.coverage for g in self.groups
+        )
+
+    def of(self, matches: Iterable[int]) -> float:
+        nodes = set(matches)
+        penalty = sum(
+            self.weights[g.name] * abs(g.overlap(nodes) - g.coverage)
+            for g in self.groups
+        )
+        return max(0.0, self.upper_bound - penalty)
+
+
+def max_min_diversity(
+    graph: AttributedGraph,
+    label: str,
+    matches: Iterable[int],
+    distance: Optional[Callable[[int, int], float]] = None,
+) -> float:
+    """Max-min diversity: the minimum pairwise distance of an answer set.
+
+    The diversification literature's other classic objective (the paper's
+    related work [34]). NOTE: unlike max-sum, max-min is *not* monotone
+    under answer growth, so it cannot drive the lattice algorithms' pruning
+    — use it as a post-hoc analysis score (e.g. comparing returned
+    instances), not as the generation objective.
+    """
+    nodes = sorted(set(matches))
+    if len(nodes) < 2:
+        return 0.0
+    kernel = distance or GowerTupleDistance(graph, label)
+    best = float("inf")
+    for i, v in enumerate(nodes):
+        for w in nodes[i + 1 :]:
+            value = kernel(v, w)
+            if value < best:
+                best = value
+                if best == 0.0:
+                    return 0.0
+    return best

@@ -1,0 +1,222 @@
+"""OnlineQGen — fixed-size ε-Pareto maintenance over instance streams
+(paper Section IV-C, Fig. 8).
+
+The workload-generation setting: instances arrive from an arbitrary
+generator (no refinement order assumed); maintain, at any time ``t``, an
+ε-Pareto set of the seen prefix with exactly ``k`` instances and an ε as
+small as possible. Two mechanisms keep ε down:
+
+* a **sliding-window cache** ``W_Q`` of size ``w`` holds recently rejected
+  instances; when the archive shrinks (a Case-1 replacement removed
+  several boxes, or a replacement freed a slot) cached instances are
+  re-offered before ε ever needs to grow;
+* when a new instance would *grow* the archive past ``k`` (Update
+  Case 3), ε is enlarged to the (normalized) distance between the new
+  instance and its nearest archived neighbor, the neighbor is dropped, the
+  archive is re-discretized under the larger ε (sound by Lemma 4 —
+  ε-dominance persists under larger ε), and the new instance takes the
+  slot.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.core.base import QGenAlgorithm
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance
+from repro.core.result import GenerationResult, RunStats
+from repro.core.update import EpsilonParetoArchive, UpdateCase
+from repro.query.instance import QueryInstance
+
+
+@dataclass
+class OnlineSnapshot:
+    """One anytime observation of the online run (drives Fig. 11(b))."""
+
+    timestamp: int
+    epsilon: float
+    archive: List[EvaluatedInstance]
+    delay_seconds: float
+
+
+@dataclass
+class OnlineStats(RunStats):
+    """Run stats extended with per-instance delay measurements."""
+
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        """Average per-instance maintenance delay in seconds."""
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def max_delay(self) -> float:
+        """Worst per-instance delay in seconds."""
+        return max(self.delays) if self.delays else 0.0
+
+
+class OnlineQGen(QGenAlgorithm):
+    """Size-k online ε-Pareto maintenance.
+
+    Args:
+        config: Generation configuration (its ``epsilon`` is the initial
+            ``ε_m``; the maintained ε only grows from there).
+        k: Target archive size.
+        window: Sliding-window cache size ``w``.
+        snapshot_every: Record an :class:`OnlineSnapshot` every N stream
+            instances (0 disables).
+    """
+
+    name = "OnlineQGen"
+
+    def __init__(
+        self,
+        config: GenerationConfig,
+        k: int = 10,
+        window: int = 40,
+        snapshot_every: int = 0,
+    ) -> None:
+        super().__init__(config)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.k = k
+        self.window = window
+        self.snapshot_every = snapshot_every
+        self.snapshots: List[OnlineSnapshot] = []
+        # Normalizers for the nearest-neighbor distance (raw δ and f live on
+        # very different scales).
+        self._delta_scale = max(1.0, self.evaluator.diversity.upper_bound)
+        self._coverage_scale = max(1.0, float(self.evaluator.coverage.upper_bound))
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, stream: Iterable[QueryInstance]) -> GenerationResult:
+        """Consume ``stream`` and return the final size-≤k ε-Pareto set.
+
+        Infeasible stream instances are verified (they cost delay) but
+        never enter the archive or the cache.
+        """
+        stats = OnlineStats()
+        epsilon = self.config.epsilon
+        archive = EpsilonParetoArchive(epsilon)
+        cache: Deque[Tuple[int, EvaluatedInstance]] = deque()
+        t = 0
+        start = time.perf_counter()
+        for instance in stream:
+            tick = time.perf_counter()
+            t += 1
+            stats.generated += 1
+            evaluated = self.evaluator.evaluate(instance)
+            # Expire cached instances older than the window.
+            while cache and cache[0][0] < t - self.window + 1:
+                cache.popleft()
+            if evaluated.feasible:
+                stats.feasible += 1
+                epsilon = self._maintain(evaluated, archive, cache, t, epsilon)
+            stats.delays.append(time.perf_counter() - tick)
+            if self.snapshot_every and t % self.snapshot_every == 0:
+                self.snapshots.append(
+                    OnlineSnapshot(t, epsilon, archive.instances(), stats.delays[-1])
+                )
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.verified = self.evaluator.verified_count
+        stats.incremental = self.evaluator.incremental_count
+        return GenerationResult(
+            algorithm=self.name,
+            instances=archive.instances(),
+            epsilon=epsilon,
+            stats=stats,
+            trace=[(s.timestamp, s.archive) for s in self.snapshots],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance core
+    # ------------------------------------------------------------------ #
+
+    def _maintain(
+        self,
+        evaluated: EvaluatedInstance,
+        archive: EpsilonParetoArchive,
+        cache: Deque[Tuple[int, EvaluatedInstance]],
+        t: int,
+        epsilon: float,
+    ) -> float:
+        """Incrementalized Update; returns the possibly-enlarged ε."""
+        if len(archive) < self.k:
+            case = archive.offer(evaluated)
+            if case is UpdateCase.REJECTED:
+                cache.append((t, evaluated))
+            return epsilon
+
+        case = archive.classify(evaluated)
+        if case is UpdateCase.REJECTED:
+            cache.append((t, evaluated))
+            return epsilon
+        if case in (UpdateCase.REPLACED_BOXES, UpdateCase.REPLACED_INSTANCE):
+            # Size cannot grow; a multi-box replacement may even shrink it,
+            # freeing slots for cached instances.
+            archive.offer(evaluated)
+            self._refill(archive, cache)
+            return epsilon
+
+        # Case 3 would grow the archive past k: enlarge ε to merge the new
+        # instance with its nearest neighbor, replace the neighbor, and
+        # re-discretize (Lemma 4 keeps earlier decisions valid).
+        neighbor = self._nearest(evaluated, archive)
+        if neighbor is not None:
+            epsilon = max(epsilon, self._distance(evaluated, neighbor))
+            archive.remove(neighbor)
+            archive.rebuild(epsilon)
+        archive.offer(evaluated)
+        self._refill(archive, cache)
+        return epsilon
+
+    def _refill(
+        self,
+        archive: EpsilonParetoArchive,
+        cache: Deque[Tuple[int, EvaluatedInstance]],
+    ) -> None:
+        """Re-offer cached instances while slots are free (lines 18-20)."""
+        if len(archive) >= self.k or not cache:
+            return
+        survivors: Deque[Tuple[int, EvaluatedInstance]] = deque()
+        for ts, cached in cache:
+            if len(archive) < self.k:
+                case = archive.classify(cached)
+                if case in (UpdateCase.REPLACED_BOXES, UpdateCase.REPLACED_INSTANCE,
+                            UpdateCase.ADDED_BOX):
+                    archive.offer(cached)
+                    continue
+            survivors.append((ts, cached))
+        cache.clear()
+        cache.extend(survivors)
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+
+    def _nearest(
+        self, point: EvaluatedInstance, archive: EpsilonParetoArchive
+    ) -> Optional[EvaluatedInstance]:
+        best = None
+        best_distance = math.inf
+        for candidate in archive:
+            distance = self._distance(point, candidate)
+            if distance < best_distance:
+                best = candidate
+                best_distance = distance
+        return best
+
+    def _distance(self, a: EvaluatedInstance, b: EvaluatedInstance) -> float:
+        """Euclidean distance of scale-normalized (δ, f) coordinates."""
+        dd = (a.delta - b.delta) / self._delta_scale
+        df = (a.coverage - b.coverage) / self._coverage_scale
+        return math.hypot(dd, df)

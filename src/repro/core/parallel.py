@@ -1,0 +1,146 @@
+"""Parallel query generation — the paper's stated future-work topic (§VI).
+
+``ParallelQGen`` partitions the enumerated instance space across worker
+processes; each worker verifies its partition (matching + measures) and
+streams back compact ``(key, matches, δ, f, feasible)`` records, which the
+parent merges through the same Update archive all sequential algorithms
+use. The archive's order-invariance (tested in
+``tests/integration/test_paper_examples.py``) makes the merge correct
+regardless of worker interleaving.
+
+Workers are forked (POSIX), so the graph and indexes are shared
+copy-on-write and never pickled; on platforms without ``fork`` (or with
+``workers <= 1``) the implementation degrades to the sequential EnumQGen
+path with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from repro.core.base import QGenAlgorithm
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.result import GenerationResult, timed
+from repro.core.update import EpsilonParetoArchive
+from repro.query.instance import QueryInstance
+from repro.query.instantiation import Instantiation
+
+# Worker-side globals installed by the fork initializer.
+_WORKER_EVALUATOR: Optional[InstanceEvaluator] = None
+_WORKER_TEMPLATE = None
+
+
+def _init_worker(config: GenerationConfig) -> None:
+    global _WORKER_EVALUATOR, _WORKER_TEMPLATE
+    _WORKER_EVALUATOR = InstanceEvaluator(config)
+    _WORKER_TEMPLATE = config.template
+
+
+def _verify_batch(bindings_batch: Sequence[dict]) -> List[tuple]:
+    """Verify a batch of instantiations; returns compact result tuples."""
+    results = []
+    for bindings in bindings_batch:
+        instance = QueryInstance(Instantiation(_WORKER_TEMPLATE, bindings))
+        evaluated = _WORKER_EVALUATOR.evaluate(instance)
+        results.append(
+            (
+                bindings,
+                tuple(sorted(evaluated.matches)),
+                evaluated.delta,
+                evaluated.coverage,
+                evaluated.feasible,
+            )
+        )
+    return results
+
+
+class ParallelQGen(QGenAlgorithm):
+    """Data-parallel exhaustive generation with an Update-archive merge.
+
+    Args:
+        config: Generation configuration.
+        workers: Process count (default: ``os.cpu_count()``, capped at 8).
+        batch_size: Instances per worker task (larger batches amortize IPC).
+    """
+
+    name = "ParallelQGen"
+
+    def __init__(
+        self,
+        config: GenerationConfig,
+        workers: Optional[int] = None,
+        batch_size: int = 64,
+    ) -> None:
+        super().__init__(config)
+        self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
+        self.batch_size = max(1, batch_size)
+
+    def run(self) -> GenerationResult:
+        stats = self._base_stats()
+        archive = EpsilonParetoArchive(self.config.epsilon)
+        with timed(stats):
+            instances = self.lattice.enumerate_instances()
+            stats.generated = len(instances)
+            if self.workers <= 1 or not _fork_available():
+                evaluated = self._verify_serial(instances)
+            else:
+                evaluated = self._verify_parallel(instances)
+            stats.verified = len(evaluated)
+            for point in evaluated:
+                if point.feasible:
+                    stats.feasible += 1
+                    archive.offer(point)
+        return GenerationResult(
+            algorithm=self.name,
+            instances=archive.instances(),
+            epsilon=self.config.epsilon,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _verify_serial(
+        self, instances: Sequence[QueryInstance]
+    ) -> List[EvaluatedInstance]:
+        return [self.evaluator.evaluate(instance) for instance in instances]
+
+    def _verify_parallel(
+        self, instances: Sequence[QueryInstance]
+    ) -> List[EvaluatedInstance]:
+        bindings = [dict(i.instantiation) for i in instances]
+        batches = [
+            bindings[i : i + self.batch_size]
+            for i in range(0, len(bindings), self.batch_size)
+        ]
+        context = multiprocessing.get_context("fork")
+        evaluated: List[EvaluatedInstance] = []
+        with context.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self.config,),
+        ) as pool:
+            for batch_results in pool.imap_unordered(_verify_batch, batches):
+                for raw_bindings, matches, delta, coverage, feasible in batch_results:
+                    instance = QueryInstance(
+                        Instantiation(self.config.template, raw_bindings)
+                    )
+                    evaluated.append(
+                        EvaluatedInstance(
+                            instance=instance,
+                            matches=frozenset(matches),
+                            delta=delta,
+                            coverage=coverage,
+                            feasible=feasible,
+                        )
+                    )
+        return evaluated
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform quirk
+        return False

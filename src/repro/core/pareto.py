@@ -1,0 +1,181 @@
+"""Dominance, ε-dominance and box coordinates in the (δ, f) plane.
+
+All generation algorithms reason about *evaluated* points — anything with
+``delta`` and ``coverage`` attributes (see
+:class:`~repro.core.evaluator.EvaluatedInstance`). Definitions follow
+Section III-B of the paper:
+
+* ``q`` **dominates** ``q'`` iff it is ≥ on both objectives and > on one;
+* ``q`` **ε-dominates** ``q'`` iff ``(1+ε)δ(q) ≥ δ(q')`` and
+  ``(1+ε)f(q) ≥ f(q')``;
+* the **box coordinate** of a value ``x`` is
+  ``⌊log(1+x)/log(1+ε)⌋`` — two points in the same box are within a
+  ``(1+ε)`` factor on both objectives, so box-level dominance implies
+  ε-dominance (the Laumanns archiving discretization the paper's Update
+  extends).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, NamedTuple, Protocol, Sequence, TypeVar
+
+
+class BiObjective(Protocol):
+    """Anything exposing the two objective values."""
+
+    @property
+    def delta(self) -> float: ...
+
+    @property
+    def coverage(self) -> float: ...
+
+
+P = TypeVar("P", bound=BiObjective)
+
+
+class Box(NamedTuple):
+    """Integer box coordinates ``(δ_ε, f_ε)`` of a point."""
+
+    delta: int
+    coverage: int
+
+    def dominates(self, other: "Box") -> bool:
+        """Strict box dominance: ≥ on both coordinates, > on at least one."""
+        return (
+            self.delta >= other.delta
+            and self.coverage >= other.coverage
+            and (self.delta > other.delta or self.coverage > other.coverage)
+        )
+
+    def dominates_or_equal(self, other: "Box") -> bool:
+        """``self ⪰ other``: dominates or equal."""
+        return self.delta >= other.delta and self.coverage >= other.coverage
+
+
+#: Box index assigned to a zero objective value (its own sink box).
+ZERO_BOX = -(10**9)
+
+
+def box_coordinate(value: float, epsilon: float, shifted: bool = False) -> int:
+    """The 1-D box index of a value ≥ 0.
+
+    Two discretizations are supported:
+
+    * **strict** (default): ``⌊log(value)/log(1+ε)⌋``. Two values sharing a
+      box are within a *multiplicative* ``(1+ε)`` factor — exactly the
+      guarantee the paper's (unshifted) ε-dominance definition
+      ``(1+ε)δ(q) ≥ δ(q')`` needs for box-level dominance to imply
+      ε-dominance. Zero maps to a sentinel sink box that every positive
+      value dominates; values below ``1e-9`` are clamped into the lowest
+      regular box so the index stays bounded.
+    * **shifted** (``shifted=True``): ``⌊log(1+value)/log(1+ε)⌋`` — the
+      formula the paper prints (and its Example 5 uses). Same-box values
+      are within ``(1+ε)`` in the *shifted* measure ``1+x``, which implies
+      ``x ≤ (1+ε)y + ε`` — an additive-ε slack relative to the strict
+      definition. Kept for faithfulness to the paper's worked example.
+    """
+    if shifted:
+        value = max(0.0, value)
+        return int(math.floor(math.log1p(value) / math.log1p(epsilon) + 1e-12))
+    if value <= 0.0:
+        return ZERO_BOX
+    value = max(value, 1e-9)
+    return int(math.floor(math.log(value) / math.log1p(epsilon) + 1e-12))
+
+
+def box_of(point: BiObjective, epsilon: float, shifted: bool = False) -> Box:
+    """The 2-D box of a point."""
+    return Box(
+        box_coordinate(point.delta, epsilon, shifted),
+        box_coordinate(point.coverage, epsilon, shifted),
+    )
+
+
+def dominates(a: BiObjective, b: BiObjective) -> bool:
+    """Exact Pareto dominance ``a ≻ b``."""
+    return (
+        a.delta >= b.delta
+        and a.coverage >= b.coverage
+        and (a.delta > b.delta or a.coverage > b.coverage)
+    )
+
+
+def epsilon_dominates(a: BiObjective, b: BiObjective, epsilon: float) -> bool:
+    """ε-dominance ``a ⪰_ε b``."""
+    return (1.0 + epsilon) * a.delta >= b.delta and (1.0 + epsilon) * a.coverage >= b.coverage
+
+
+def pareto_front(points: Iterable[P]) -> List[P]:
+    """The maximal (non-dominated) subset by simple O(n log n) sweep.
+
+    Sort by δ descending then f descending; a point enters the front iff
+    its f strictly exceeds the best f seen so far *or* it ties the previous
+    point on both objectives (duplicates of a front point are kept — the
+    Pareto *instance set* may contain distinct instances with equal
+    coordinates, and the uniqueness of Lemma 1 is over coordinates).
+    """
+    ordered = sorted(points, key=lambda p: (-p.delta, -p.coverage))
+    front: List[P] = []
+    best_coverage = -math.inf
+    for point in ordered:
+        if point.coverage > best_coverage:
+            front.append(point)
+            best_coverage = point.coverage
+        elif (
+            front
+            and point.coverage == front[-1].coverage
+            and point.delta == front[-1].delta
+        ):
+            front.append(point)
+    return front
+
+
+def is_pareto_set(candidates: Sequence[P], universe: Sequence[P]) -> bool:
+    """Check the two Pareto-set conditions (used by tests).
+
+    (1) no candidate dominates another; (2) every universe point is
+    dominated-or-equaled by some candidate.
+    """
+    for i, a in enumerate(candidates):
+        for j, b in enumerate(candidates):
+            if i != j and dominates(a, b):
+                return False
+    for point in universe:
+        if not any(
+            dominates(c, point) or (c.delta >= point.delta and c.coverage >= point.coverage)
+            for c in candidates
+        ):
+            return False
+    return True
+
+
+def minimal_epsilon(candidates: Sequence[BiObjective], universe: Sequence[BiObjective]) -> float:
+    """The smallest ε for which ``candidates`` is an ε-Pareto set of
+    ``universe`` (the additive-to-multiplicative gap of the ε-indicator).
+
+    For each universe point the best candidate needs
+    ``(1+ε) ≥ max(δ'/δ, f'/f)``; the answer is the max over universe points
+    of the min over candidates. A zero candidate objective against a
+    positive universe objective makes that candidate unusable for the
+    point (``inf``); if every candidate is unusable for some point the
+    result is ``inf``.
+    """
+    worst = 0.0
+    for point in universe:
+        best = math.inf
+        for candidate in candidates:
+            ratio_d = _required_ratio(candidate.delta, point.delta)
+            ratio_f = _required_ratio(candidate.coverage, point.coverage)
+            best = min(best, max(ratio_d, ratio_f))
+        worst = max(worst, best)
+    return max(0.0, worst - 1.0) if worst != math.inf else math.inf
+
+
+def _required_ratio(candidate_value: float, universe_value: float) -> float:
+    """The factor ``(1+ε)`` needed so candidate covers the universe value."""
+    if universe_value <= 0.0:
+        return 1.0
+    if candidate_value <= 0.0:
+        return math.inf
+    return max(1.0, universe_value / candidate_value)

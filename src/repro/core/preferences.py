@@ -1,0 +1,96 @@
+"""Preference-based selection from an ε-Pareto set.
+
+The generation algorithms return a *set* of representative instances; an
+application usually needs one. This module scalarizes the bi-objective
+points under a user preference ``λ_R`` (the same knob as the R-indicator)
+and picks a winner, with two classic scalarizations:
+
+* **weighted sum** — ``(1−λ)·δ̂ + λ·f̂`` over normalized objectives; fast,
+  but cannot reach non-convex front points;
+* **Chebyshev** — minimize the weighted max distance to the ideal point;
+  reaches every Pareto point for some weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pareto import BiObjective
+from repro.errors import ConfigurationError
+
+
+def _normalizers(points: Sequence[BiObjective]) -> Tuple[float, float]:
+    delta_max = max((p.delta for p in points), default=0.0)
+    coverage_max = max((p.coverage for p in points), default=0.0)
+    return (delta_max or 1.0, coverage_max or 1.0)
+
+
+def weighted_sum_score(
+    point: BiObjective, lambda_r: float, delta_max: float, coverage_max: float
+) -> float:
+    """``(1−λ)·δ/δmax + λ·f/fmax``."""
+    return (1.0 - lambda_r) * (point.delta / delta_max) + lambda_r * (
+        point.coverage / coverage_max
+    )
+
+
+def chebyshev_score(
+    point: BiObjective, lambda_r: float, delta_max: float, coverage_max: float
+) -> float:
+    """Negated weighted Chebyshev distance to the ideal (1, 1) point.
+
+    Higher is better (so both scalarizations are argmax-compatible). A
+    small weight floor keeps zero-weight axes from being ignored entirely
+    (the standard augmentation).
+    """
+    weight_delta = max(1e-6, 1.0 - lambda_r)
+    weight_coverage = max(1e-6, lambda_r)
+    gap_delta = weight_delta * (1.0 - point.delta / delta_max)
+    gap_coverage = weight_coverage * (1.0 - point.coverage / coverage_max)
+    return -max(gap_delta, gap_coverage)
+
+
+def select_by_preference(
+    points: Sequence[BiObjective],
+    lambda_r: float,
+    method: str = "chebyshev",
+) -> Optional[BiObjective]:
+    """The preferred instance under ``λ_R`` (None on an empty set).
+
+    Args:
+        points: Candidate instances (typically a GenerationResult's set).
+        lambda_r: Preference in [0, 1]; 0 = pure diversity, 1 = pure
+            coverage.
+        method: ``"chebyshev"`` (default) or ``"weighted_sum"``.
+    """
+    if not 0.0 <= lambda_r <= 1.0:
+        raise ConfigurationError("lambda_r must lie in [0, 1]")
+    if method not in ("chebyshev", "weighted_sum"):
+        raise ConfigurationError(f"unknown scalarization {method!r}")
+    if not points:
+        return None
+    delta_max, coverage_max = _normalizers(points)
+    scorer = chebyshev_score if method == "chebyshev" else weighted_sum_score
+    return max(
+        points,
+        key=lambda p: (scorer(p, lambda_r, delta_max, coverage_max), p.delta),
+    )
+
+
+def rank_by_preference(
+    points: Sequence[BiObjective],
+    lambda_r: float,
+    method: str = "chebyshev",
+) -> List[BiObjective]:
+    """All candidates ordered best-first under the preference."""
+    if not points:
+        return []
+    delta_max, coverage_max = _normalizers(points)
+    scorer = chebyshev_score if method == "chebyshev" else weighted_sum_score
+    if not 0.0 <= lambda_r <= 1.0:
+        raise ConfigurationError("lambda_r must lie in [0, 1]")
+    return sorted(
+        points,
+        key=lambda p: (scorer(p, lambda_r, delta_max, coverage_max), p.delta),
+        reverse=True,
+    )

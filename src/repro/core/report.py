@@ -1,0 +1,98 @@
+"""Full-text reports of a generation run.
+
+Collects everything a reviewer of the suggestions wants on one page: the
+configuration, the returned ε-Pareto set with per-group coverage, k
+representative picks, a preference-selected winner with its fairness audit,
+and the edit-level explanation against the most relaxed (initial) query.
+Used by the CLI (``generate --report``) and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.reporting import format_table
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.explain import explain_suggestion
+from repro.core.lattice import InstanceLattice
+from repro.core.preferences import select_by_preference
+from repro.core.representatives import select_representatives
+from repro.core.result import GenerationResult
+from repro.groups.auditing import audit_answer
+
+
+def build_report(
+    config: GenerationConfig,
+    result: GenerationResult,
+    lambda_r: float = 0.5,
+    max_representatives: int = 5,
+    evaluator: Optional[InstanceEvaluator] = None,
+) -> str:
+    """Render a complete text report for one generation run.
+
+    Args:
+        config: The configuration the run used.
+        result: The run's outcome.
+        lambda_r: Preference for the highlighted pick.
+        max_representatives: How many spread-out instances to list.
+        evaluator: Optional evaluator reuse (avoids re-verifying the root).
+    """
+    lines: List[str] = []
+    lines.append(f"=== FairSQG report: {result.algorithm} ===")
+    lines.append(
+        f"graph: {config.graph.name} "
+        f"(|V|={config.graph.num_nodes}, |E|={config.graph.num_edges})"
+    )
+    lines.append(f"template: {config.template.name} "
+                 f"(|Q|={config.template.size}, |X|={config.template.num_variables})")
+    constraints = ", ".join(
+        f"{name}≥{c}" for name, c in config.groups.constraints().items()
+    )
+    lines.append(f"groups: {constraints} (C={config.groups.total_coverage})")
+    lines.append(
+        f"epsilon: {result.epsilon}   "
+        f"verified: {result.stats.verified}   pruned: {result.stats.pruned}   "
+        f"time: {result.stats.elapsed_seconds:.3f}s"
+    )
+    lines.append("")
+
+    if not result.instances:
+        lines.append("no feasible instances — relax the coverage constraints "
+                     "or the template.")
+        return "\n".join(lines)
+
+    representatives = select_representatives(result.instances, max_representatives)
+    rows = []
+    for point in representatives:
+        overlaps = config.groups.overlaps(point.matches)
+        rows.append(
+            {
+                "δ": round(point.delta, 3),
+                "f": round(point.coverage, 1),
+                "|q(G)|": point.cardinality,
+                **{f"#{name}": count for name, count in overlaps.items()},
+            }
+        )
+    lines.append(
+        format_table(rows, f"{len(representatives)} representative instances "
+                           f"(of {len(result.instances)} returned)")
+    )
+    lines.append("")
+
+    pick = select_by_preference(result.instances, lambda_r)
+    assert pick is not None  # result.instances is non-empty here.
+    lines.append(f"--- preferred instance (λ_R = {lambda_r}) ---")
+    lines.append(pick.instance.describe())
+    lines.append("")
+    audit = audit_answer(pick.matches, config.groups)
+    lines.append(format_table(audit.as_rows(), "fairness audit"))
+    lines.append(audit.summary())
+    lines.append("")
+
+    evaluator = evaluator or InstanceEvaluator(config)
+    root = evaluator.evaluate(InstanceLattice(config).root())
+    if isinstance(pick, EvaluatedInstance):
+        lines.append("--- vs the most relaxed query ---")
+        lines.append(explain_suggestion(root, pick, config.groups))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Selecting exactly k representatives from an ε-Pareto set (offline).
+
+OnlineQGen maintains a size-k set *over a stream*; the offline counterpart
+— "give me exactly k of these suggestions to show the user" — is a
+dispersion problem over the returned front. Farthest-point (Gonzalez)
+selection on the normalized objective plane gives the classic 2-approx of
+max-min dispersion, always keeping the two extreme instances (best-δ and
+best-f) first so the shown range brackets the front.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, TypeVar
+
+from repro.core.pareto import BiObjective
+from repro.errors import ConfigurationError
+
+P = TypeVar("P", bound=BiObjective)
+
+
+def _normalized(points: Sequence[BiObjective]) -> List[tuple]:
+    delta_max = max((p.delta for p in points), default=0.0) or 1.0
+    coverage_max = max((p.coverage for p in points), default=0.0) or 1.0
+    return [(p.delta / delta_max, p.coverage / coverage_max) for p in points]
+
+
+def select_representatives(points: Sequence[P], k: int) -> List[P]:
+    """Pick ≤ k well-spread instances from a (front) set.
+
+    Seeds with the max-δ point, immediately adds the max-f point, then
+    repeats farthest-point insertion in normalized objective space.
+    Returns all points when ``k ≥ len(points)``; preserves front order
+    (−δ, −f) in the output for stable presentation.
+    """
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    unique = list(points)
+    if len(unique) <= k:
+        return sorted(unique, key=lambda p: (-p.delta, -p.coverage))
+    coordinates = _normalized(unique)
+
+    chosen: List[int] = []
+    best_delta = max(range(len(unique)), key=lambda i: (unique[i].delta, unique[i].coverage))
+    chosen.append(best_delta)
+    if k >= 2:
+        best_coverage = max(
+            (i for i in range(len(unique)) if i != best_delta),
+            key=lambda i: (unique[i].coverage, unique[i].delta),
+        )
+        chosen.append(best_coverage)
+
+    def distance_to_chosen(i: int) -> float:
+        xi, yi = coordinates[i]
+        return min(
+            math.hypot(xi - coordinates[j][0], yi - coordinates[j][1])
+            for j in chosen
+        )
+
+    while len(chosen) < k:
+        remaining = [i for i in range(len(unique)) if i not in chosen]
+        farthest = max(remaining, key=distance_to_chosen)
+        if distance_to_chosen(farthest) == 0.0:
+            break  # Only coordinate-duplicates left.
+        chosen.append(farthest)
+
+    picked = [unique[i] for i in chosen]
+    return sorted(picked, key=lambda p: (-p.delta, -p.coverage))

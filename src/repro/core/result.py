@@ -1,0 +1,90 @@
+"""Generation results and run statistics."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.evaluator import EvaluatedInstance
+
+
+@dataclass
+class RunStats:
+    """Work counters for one generation run (the efficiency experiments).
+
+    Attributes:
+        generated: Instances spawned/enumerated (lattice nodes touched).
+        verified: Instances actually matched against the graph.
+        incremental: Verifications seeded from a parent (incVerify hits).
+        pruned: Instances skipped by feasibility/sandwich/ε-dominance
+            pruning without verification.
+        feasible: Verified instances that met all coverage constraints.
+        elapsed_seconds: Wall-clock duration of the run.
+    """
+
+    generated: int = 0
+    verified: int = 0
+    incremental: int = 0
+    pruned: int = 0
+    feasible: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Row-dict rendering for table printers."""
+        return {
+            "generated": self.generated,
+            "verified": self.verified,
+            "incremental": self.incremental,
+            "pruned": self.pruned,
+            "feasible": self.feasible,
+            "time (s)": round(self.elapsed_seconds, 4),
+        }
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a FairSQG run: the ε-Pareto set plus run statistics.
+
+    Attributes:
+        algorithm: Name of the producing algorithm.
+        instances: The returned ε-Pareto instance set (ordered by −δ, −f).
+        epsilon: The ε actually in force at return time (OnlineQGen may
+            have enlarged it from the configured value).
+        stats: Work counters.
+        trace: Optional anytime snapshots — (fraction explored, archive
+            copy) pairs recorded during the run for the convergence
+            experiments (Fig. 9(e), Fig. 11(b)).
+    """
+
+    algorithm: str
+    instances: List[EvaluatedInstance]
+    epsilon: float
+    stats: RunStats = field(default_factory=RunStats)
+    trace: List[tuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def best_by_diversity(self) -> Optional[EvaluatedInstance]:
+        """The returned instance maximizing δ."""
+        return max(self.instances, key=lambda p: p.delta, default=None)
+
+    def best_by_coverage(self) -> Optional[EvaluatedInstance]:
+        """The returned instance maximizing f."""
+        return max(self.instances, key=lambda p: p.coverage, default=None)
+
+    def objectives(self) -> List[tuple]:
+        """The (δ, f) coordinates of the returned set."""
+        return [p.objectives for p in self.instances]
+
+
+@contextmanager
+def timed(stats: RunStats) -> Iterator[None]:
+    """Context manager stamping ``stats.elapsed_seconds``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        stats.elapsed_seconds = time.perf_counter() - start

@@ -1,0 +1,144 @@
+"""The ``Update`` procedure (paper Fig. 5) as an ε-Pareto archive.
+
+The archive discretizes the (δ, f) plane into boxes of multiplicative side
+``(1+ε)`` and keeps at most one representative instance per box, with the
+invariant that no kept box dominates another. Consequently (Theorem 2):
+
+* at any time the kept instances form an ε-Pareto set of everything ever
+  offered to the archive;
+* the archive size is bounded by ``log(1+δ_max)/log(1+ε) + log(1+C)/log(1+ε)``
+  (one representative per box on the discretized staircase).
+
+``offer`` implements the three cases of Fig. 5 verbatim and reports which
+one fired — OnlineQGen's incremental maintenance branches on exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.evaluator import EvaluatedInstance
+from repro.core.pareto import Box, box_of, dominates
+
+
+class UpdateCase(enum.Enum):
+    """Which branch of the Update procedure handled an offered instance."""
+
+    REPLACED_BOXES = "replaced_boxes"  # Case 1: q's box dominates kept boxes.
+    REPLACED_INSTANCE = "replaced_instance"  # Case 2: won within its box.
+    ADDED_BOX = "added_box"  # Case 3: a brand-new non-dominated box.
+    REJECTED = "rejected"  # Dominated at box or instance level.
+
+
+class EpsilonParetoArchive:
+    """Box-based ε-Pareto archive over evaluated instances.
+
+    Example:
+        >>> archive = EpsilonParetoArchive(epsilon=0.3)
+        >>> case = archive.offer(evaluated)  # doctest: +SKIP
+        >>> case is UpdateCase.ADDED_BOX  # doctest: +SKIP
+        True
+    """
+
+    def __init__(self, epsilon: float, shifted: bool = False) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.shifted = shifted
+        self._boxes: Dict[Box, EvaluatedInstance] = {}
+
+    # ------------------------------------------------------------------ #
+    # Core protocol
+    # ------------------------------------------------------------------ #
+
+    def offer(self, point: EvaluatedInstance) -> UpdateCase:
+        """Run the Update procedure for one instance; mutates the archive."""
+        case, dominated = self._classify(point)
+        if case is UpdateCase.REPLACED_BOXES:
+            for box in dominated:
+                del self._boxes[box]
+            self._boxes[box_of(point, self.epsilon, self.shifted)] = point
+        elif case is UpdateCase.REPLACED_INSTANCE:
+            self._boxes[box_of(point, self.epsilon, self.shifted)] = point
+        elif case is UpdateCase.ADDED_BOX:
+            self._boxes[box_of(point, self.epsilon, self.shifted)] = point
+        return case
+
+    def classify(self, point: EvaluatedInstance) -> UpdateCase:
+        """The case :meth:`offer` *would* report, without mutating."""
+        case, _ = self._classify(point)
+        return case
+
+    def _classify(
+        self, point: EvaluatedInstance
+    ) -> Tuple[UpdateCase, List[Box]]:
+        box = box_of(point, self.epsilon, self.shifted)
+        # Case 1: box-level dominance over existing boxes.
+        dominated = [kept for kept in self._boxes if box.dominates(kept)]
+        if dominated:
+            return UpdateCase.REPLACED_BOXES, dominated
+        # Case 2: same box occupied — instance-level duel.
+        occupant = self._boxes.get(box)
+        if occupant is not None:
+            if dominates(point, occupant):
+                return UpdateCase.REPLACED_INSTANCE, []
+            return UpdateCase.REJECTED, []
+        # Case 3: add iff no kept box dominates-or-equals (equality is the
+        # occupied-box case above, so this reduces to strict dominance).
+        if any(kept.dominates_or_equal(box) for kept in self._boxes):
+            return UpdateCase.REJECTED, []
+        return UpdateCase.ADDED_BOX, []
+
+    # ------------------------------------------------------------------ #
+    # Views / maintenance
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __iter__(self) -> Iterator[EvaluatedInstance]:
+        return iter(self._boxes.values())
+
+    def instances(self) -> List[EvaluatedInstance]:
+        """The current ε-Pareto set, deterministically ordered by (−δ, −f)."""
+        return sorted(
+            self._boxes.values(), key=lambda p: (-p.delta, -p.coverage)
+        )
+
+    def boxes(self) -> Dict[Box, EvaluatedInstance]:
+        """Read-only snapshot of box → representative (tests/diagnostics)."""
+        return dict(self._boxes)
+
+    def remove(self, point: EvaluatedInstance) -> bool:
+        """Remove an instance (OnlineQGen's replacement step)."""
+        box = box_of(point, self.epsilon, self.shifted)
+        occupant = self._boxes.get(box)
+        if occupant is not None and occupant.instance == point.instance:
+            del self._boxes[box]
+            return True
+        # The point may sit under a different box after an ε change.
+        for kept_box, kept in list(self._boxes.items()):
+            if kept.instance == point.instance:
+                del self._boxes[kept_box]
+                return True
+        return False
+
+    def rebuild(self, epsilon: float) -> None:
+        """Re-discretize under a larger ε (Lemma 4: ε-dominance persists).
+
+        Existing representatives are re-offered best-first so the merged
+        boxes keep a dominating occupant.
+        """
+        survivors = self.instances()
+        self.epsilon = epsilon
+        self._boxes = {}
+        for point in survivors:
+            self.offer(point)
+
+    def size_bound(self, delta_max: float, coverage_max: float) -> int:
+        """Theorem 2's bound on the archive size for this ε."""
+        per_axis_d = math.log1p(max(0.0, delta_max)) / math.log1p(self.epsilon)
+        per_axis_f = math.log1p(max(0.0, coverage_max)) / math.log1p(self.epsilon)
+        return int(math.floor(per_axis_d)) + int(math.floor(per_axis_f)) + 2

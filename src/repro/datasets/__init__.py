@@ -1,0 +1,32 @@
+"""Dataset emulations of the paper's three real-life graphs (Table II).
+
+Each module builds a seeded synthetic graph that is schema-faithful to its
+paper counterpart — same label vocabulary, attribute names, and edge
+semantics, with skewed degree and attribute distributions — at a
+laptop-friendly, ``scale``-configurable size:
+
+* :mod:`repro.datasets.dbp` — DBpedia-style movie knowledge graph;
+* :mod:`repro.datasets.lki` — LinkedIn-style professional network;
+* :mod:`repro.datasets.cite` — citation graph (papers/authors/venues).
+
+See DESIGN.md §3 for why the substitution preserves the paper's behaviour:
+the algorithms interact only with labels, attributes, active domains and
+topology, all of which are reproduced here.
+"""
+
+from repro.datasets.dbp import build_dbp, dbp_bundle
+from repro.datasets.lki import build_lki, lki_bundle
+from repro.datasets.cite import build_cite, cite_bundle
+from repro.datasets.registry import DatasetBundle, dataset_bundle, dataset_names
+
+__all__ = [
+    "build_dbp",
+    "build_lki",
+    "build_cite",
+    "dbp_bundle",
+    "lki_bundle",
+    "cite_bundle",
+    "DatasetBundle",
+    "dataset_bundle",
+    "dataset_names",
+]

@@ -1,0 +1,139 @@
+"""Value pools for the synthetic dataset generators.
+
+Centralizing the vocabularies keeps the three dataset builders short and
+makes the attribute active domains deterministic and recognizable in
+examples and case-study output.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+GENRES: Tuple[str, ...] = (
+    "Action",
+    "Romance",
+    "Horror",
+    "Comedy",
+    "Drama",
+    "SciFi",
+    "Thriller",
+    "Animation",
+)
+
+COUNTRIES: Tuple[str, ...] = (
+    "US",
+    "UK",
+    "France",
+    "India",
+    "Japan",
+    "Korea",
+    "Germany",
+    "Brazil",
+)
+
+MAJORS: Tuple[str, ...] = (
+    "ComputerScience",
+    "Business",
+    "Economics",
+    "Design",
+    "Statistics",
+    "Marketing",
+    "Psychology",
+    "Engineering",
+    "Mathematics",
+    "Biology",
+    "Finance",
+    "Law",
+)
+
+SKILLS: Tuple[str, ...] = (
+    "IT",
+    "Sales",
+    "Management",
+    "DataScience",
+    "Security",
+    "Cloud",
+    "Consulting",
+    "Operations",
+)
+
+TITLES: Tuple[str, ...] = (
+    "director",
+    "manager",
+    "engineer",
+    "analyst",
+    "consultant",
+    "vp",
+    "recruiter",
+)
+
+INDUSTRIES: Tuple[str, ...] = (
+    "Software",
+    "Finance",
+    "Healthcare",
+    "Retail",
+    "Media",
+    "Energy",
+)
+
+TOPICS: Tuple[str, ...] = (
+    "MachineLearning",
+    "Networking",
+    "Databases",
+    "Security",
+    "Theory",
+    "HCI",
+    "Vision",
+    "Systems",
+)
+
+VENUE_NAMES: Tuple[str, ...] = (
+    "ICDE",
+    "VLDB",
+    "SIGMOD",
+    "KDD",
+    "WWW",
+    "NeurIPS",
+    "SOSP",
+    "CHI",
+    "INFOCOM",
+    "CCS",
+)
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "alice",
+    "bob",
+    "carol",
+    "dan",
+    "eve",
+    "frank",
+    "grace",
+    "henry",
+    "iris",
+    "jack",
+    "kim",
+    "liam",
+    "mona",
+    "nina",
+    "omar",
+    "pia",
+)
+
+WORD_POOL: Tuple[str, ...] = (
+    "shadow",
+    "river",
+    "ember",
+    "echo",
+    "aurora",
+    "falcon",
+    "willow",
+    "atlas",
+    "nova",
+    "cedar",
+    "harbor",
+    "quartz",
+    "sable",
+    "tundra",
+    "vertex",
+    "zephyr",
+)

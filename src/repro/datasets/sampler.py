@@ -1,0 +1,85 @@
+"""Seeded sampling utilities shared by the dataset builders.
+
+All builders are deterministic functions of ``(scale, seed)``; this module
+wraps :class:`random.Random` with the skewed distributions real graphs
+exhibit (Zipfian popularity, clipped Gaussians for numeric attributes,
+preferential-attachment target selection).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Sampler:
+    """Deterministic sampler around one seeded RNG."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    # -- Primitives -------------------------------------------------------- #
+
+    def choice(self, pool: Sequence[T]) -> T:
+        """Uniform choice."""
+        return self.rng.choice(pool)
+
+    def zipf_choice(self, pool: Sequence[T], exponent: float = 1.1) -> T:
+        """Zipf-weighted choice: earlier pool entries are more popular."""
+        weights = [1.0 / (rank**exponent) for rank in range(1, len(pool) + 1)]
+        return self.rng.choices(pool, weights=weights, k=1)[0]
+
+    def int_between(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self.rng.randint(low, high)
+
+    def gauss_int(self, mean: float, sigma: float, low: int, high: int) -> int:
+        """Gaussian integer clipped into [low, high]."""
+        value = int(round(self.rng.gauss(mean, sigma)))
+        return max(low, min(high, value))
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self.rng.uniform(low, high)
+
+    def coin(self, p: float) -> bool:
+        """Bernoulli(p)."""
+        return self.rng.random() < p
+
+    def word(self, pool: Sequence[str], suffix_space: int = 1000) -> str:
+        """A pseudo-unique name: pooled word plus a numeric suffix."""
+        return f"{self.choice(pool)}{self.rng.randrange(suffix_space)}"
+
+    # -- Graph-shaped helpers ----------------------------------------------- #
+
+    def preferential_targets(
+        self, population: Sequence[int], count: int, boost: List[int]
+    ) -> List[int]:
+        """Pick ``count`` distinct targets with preferential attachment.
+
+        ``boost`` is a (mutable) list of previously chosen targets; every
+        pick is appended to it, so popular nodes keep getting more popular
+        — the mechanism behind the skewed in-degree distributions of
+        citation and recommendation graphs.
+        """
+        picked: List[int] = []
+        seen = set()
+        attempts = 0
+        while len(picked) < count and attempts < count * 8:
+            attempts += 1
+            if boost and self.coin(0.55):
+                candidate = self.choice(boost)
+            else:
+                candidate = self.choice(population)
+            if candidate not in seen:
+                seen.add(candidate)
+                picked.append(candidate)
+                boost.append(candidate)
+        return picked
+
+    def distinct(self, population: Sequence[int], count: int) -> List[int]:
+        """``count`` distinct uniform picks (or fewer if the pool is small)."""
+        count = min(count, len(population))
+        return self.rng.sample(list(population), count)

@@ -1,0 +1,87 @@
+"""Lightweight schema descriptions of the synthetic datasets.
+
+The random template generator (:mod:`repro.workload.template_gen`) needs to
+know which node labels exist, which attributes are numeric (usable as range
+variables), and which labeled edges connect which labels — that is exactly
+what a :class:`GraphSchema` records. Each dataset module publishes its
+schema next to its builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of a node label.
+
+    ``kind`` is ``"numeric"`` (ordered; usable in range literals) or
+    ``"categorical"``.
+    """
+
+    name: str
+    kind: str
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == "numeric"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A node label and its attributes."""
+
+    label: str
+    attributes: Tuple[AttributeSpec, ...]
+
+    def numeric_attributes(self) -> Tuple[AttributeSpec, ...]:
+        """Attributes usable as range-variable anchors."""
+        return tuple(a for a in self.attributes if a.is_numeric)
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """An allowed labeled edge between two node labels."""
+
+    source_label: str
+    label: str
+    target_label: str
+
+
+class GraphSchema:
+    """Node and edge vocabulary of one dataset."""
+
+    def __init__(self, nodes: Sequence[NodeSpec], edges: Sequence[EdgeSpec]) -> None:
+        self._nodes: Dict[str, NodeSpec] = {n.label: n for n in nodes}
+        self._edges: Tuple[EdgeSpec, ...] = tuple(edges)
+        for edge in self._edges:
+            if edge.source_label not in self._nodes or edge.target_label not in self._nodes:
+                raise DatasetError(f"edge spec {edge} references unknown label")
+
+    @property
+    def node_labels(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[EdgeSpec, ...]:
+        return self._edges
+
+    def node(self, label: str) -> NodeSpec:
+        try:
+            return self._nodes[label]
+        except KeyError:
+            raise DatasetError(f"unknown node label {label!r}") from None
+
+    def edges_touching(self, label: str) -> List[EdgeSpec]:
+        """Edge specs with ``label`` as either endpoint."""
+        return [
+            e for e in self._edges if e.source_label == label or e.target_label == label
+        ]
+
+    def numeric_attributes(self, label: str) -> Tuple[AttributeSpec, ...]:
+        """Numeric attributes of one label."""
+        return self.node(label).numeric_attributes()

@@ -1,0 +1,105 @@
+"""Graph-vs-schema conformance validation.
+
+When a user brings their own graph (CSV/JSON load) and wants to reuse a
+schema's templates, silent mismatches (mistyped labels, attributes with
+the wrong type, edges between unexpected labels) surface as mysterious
+empty answers. :func:`validate_graph` reports every violation up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datasets.schema import GraphSchema
+from repro.graph.attributed_graph import AttributedGraph
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance problem.
+
+    ``kind`` is one of ``unknown-node-label``, ``unknown-edge``,
+    ``unknown-attribute``, ``attribute-type``.
+    """
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def validate_graph(
+    graph: AttributedGraph,
+    schema: GraphSchema,
+    strict_attributes: bool = False,
+) -> List[Violation]:
+    """All conformance violations of ``graph`` against ``schema``.
+
+    Args:
+        graph: The graph to check.
+        schema: The expected vocabulary.
+        strict_attributes: When True, attributes absent from the schema
+            are violations too (default: extra attributes are fine — the
+            schema only promises what templates may reference).
+
+    Returns:
+        A (possibly empty) list of violations; empty means conformant.
+    """
+    violations: List[Violation] = []
+    known_labels = set(schema.node_labels)
+
+    # Node labels + attribute checks.
+    numeric_attrs = {
+        label: {a.name for a in schema.numeric_attributes(label)}
+        for label in known_labels
+    }
+    declared_attrs = {
+        label: {a.name for a in schema.node(label).attributes}
+        for label in known_labels
+    }
+    for node in graph.nodes():
+        if node.label not in known_labels:
+            violations.append(
+                Violation("unknown-node-label", f"node {node.node_id}: {node.label!r}")
+            )
+            continue
+        for name, value in node.attributes.items():
+            if name not in declared_attrs[node.label]:
+                if strict_attributes:
+                    violations.append(
+                        Violation(
+                            "unknown-attribute",
+                            f"node {node.node_id} ({node.label}): {name!r}",
+                        )
+                    )
+                continue
+            is_number = isinstance(value, (int, float)) and not isinstance(value, bool)
+            if name in numeric_attrs[node.label] and not is_number:
+                violations.append(
+                    Violation(
+                        "attribute-type",
+                        f"node {node.node_id} ({node.label}): {name!r} should be "
+                        f"numeric, got {type(value).__name__}",
+                    )
+                )
+
+    # Edge signatures.
+    allowed = {
+        (e.source_label, e.label, e.target_label) for e in schema.edges
+    }
+    for edge in graph.edges():
+        source_label = graph.label(edge.source)
+        target_label = graph.label(edge.target)
+        if source_label not in known_labels or target_label not in known_labels:
+            continue  # Already reported as unknown-node-label.
+        if (source_label, edge.label, target_label) not in allowed:
+            violations.append(
+                Violation(
+                    "unknown-edge",
+                    f"({source_label})-[{edge.label}]->({target_label}) "
+                    f"at {edge.source}->{edge.target}",
+                )
+            )
+    return violations

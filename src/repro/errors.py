@@ -1,0 +1,40 @@
+"""Exception hierarchy for the FairSQG reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with an attributed graph (unknown node, bad edge)."""
+
+
+class QueryError(ReproError):
+    """Malformed query template, instantiation, or instance."""
+
+
+class VariableError(QueryError):
+    """Unknown or mistyped variable referenced in an instantiation."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid generation configuration (bad epsilon, bad constraints...)."""
+
+
+class GroupError(ReproError):
+    """Invalid node groups: overlapping groups or infeasible constraints."""
+
+
+class MatchingError(ReproError):
+    """Internal error inside the subgraph matching engine."""
+
+
+class DatasetError(ReproError):
+    """Problem building or loading one of the dataset emulations."""

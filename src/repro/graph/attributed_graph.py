@@ -1,0 +1,333 @@
+"""Core attributed directed graph store.
+
+Implements ``G = (V, E, L, T)`` from Section II of the paper:
+
+* ``V`` — a finite set of nodes, each identified by an integer id;
+* ``E ⊆ V × V`` — directed edges, each carrying a label;
+* ``L`` — a labeling assigning each node and edge a label;
+* ``T`` — a tuple ``⟨(A_1, a_1), ..., (A_n, a_n)⟩`` of attribute/value
+  pairs per node.
+
+The store is optimized for the access patterns of subgraph matching and
+query generation: adjacency is kept both forward and backward, grouped by
+edge label, and node lookup by label is O(1) through an internal index.
+
+The class is deliberately dependency-free (no networkx) so that matching
+performance is predictable; a conversion helper to networkx exists for the
+reference matcher used in tests (:mod:`repro.matching.nx_reference`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import GraphError
+
+#: Type alias for attribute values stored on nodes.
+AttrValue = Any
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node of an attributed graph.
+
+    Attributes:
+        node_id: Integer identifier, unique within the graph.
+        label: Node label (e.g. ``"person"``, ``"movie"``).
+        attributes: Immutable mapping from attribute name to value.
+    """
+
+    node_id: int
+    label: str
+    attributes: Mapping[str, AttrValue] = field(default_factory=dict)
+
+    def get(self, attribute: str, default: AttrValue = None) -> AttrValue:
+        """Return the value of ``attribute`` or ``default`` if absent."""
+        return self.attributes.get(attribute, default)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed labeled edge ``source --label--> target``."""
+
+    source: int
+    target: int
+    label: str
+
+    @property
+    def key(self) -> Tuple[int, int, str]:
+        """The (source, target, label) triple identifying this edge."""
+        return (self.source, self.target, self.label)
+
+
+class AttributedGraph:
+    """Directed graph with labeled nodes/edges and node attribute tuples.
+
+    The graph is mutable while being built (see :class:`GraphBuilder` for a
+    fluent construction API) and is treated as immutable by all algorithms;
+    ``freeze()`` makes that contract explicit by rejecting later mutation.
+
+    Example:
+        >>> g = AttributedGraph()
+        >>> _ = g.add_node(0, "person", {"age": 31})
+        >>> _ = g.add_node(1, "org", {"employees": 1200})
+        >>> _ = g.add_edge(0, 1, "worksAt")
+        >>> sorted(g.nodes_with_label("person"))
+        [0]
+        >>> [e.target for e in g.out_edges(0)]
+        [1]
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: Dict[int, Node] = {}
+        self._out: Dict[int, Dict[str, Set[int]]] = {}
+        self._in: Dict[int, Dict[str, Set[int]]] = {}
+        self._by_label: Dict[str, Set[int]] = {}
+        self._edge_count = 0
+        self._edge_labels: Set[str] = set()
+        self._frozen = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(
+        self,
+        node_id: int,
+        label: str,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> Node:
+        """Add a node; raises :class:`GraphError` on duplicate ids."""
+        self._check_mutable()
+        if node_id in self._nodes:
+            raise GraphError(f"duplicate node id {node_id}")
+        node = Node(node_id, label, dict(attributes or {}))
+        self._nodes[node_id] = node
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._by_label.setdefault(label, set()).add(node_id)
+        return node
+
+    def add_edge(self, source: int, target: int, label: str = "") -> Edge:
+        """Add a directed edge; both endpoints must already exist.
+
+        Parallel edges with the same label are collapsed (the store is a
+        set of (source, target, label) triples, matching the paper's
+        ``E ⊆ V × V`` model with labels).
+        """
+        self._check_mutable()
+        if source not in self._nodes:
+            raise GraphError(f"unknown source node {source}")
+        if target not in self._nodes:
+            raise GraphError(f"unknown target node {target}")
+        out_by_label = self._out[source].setdefault(label, set())
+        if target not in out_by_label:
+            out_by_label.add(target)
+            self._in[target].setdefault(label, set()).add(source)
+            self._edge_count += 1
+            self._edge_labels.add(label)
+        return Edge(source, target, label)
+
+    def freeze(self) -> "AttributedGraph":
+        """Mark the graph immutable; further mutation raises GraphError."""
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise GraphError("graph is frozen; build a new graph instead")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct labeled edges ``|E|``."""
+        return self._edge_count
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> Node:
+        """Return the :class:`Node` with ``node_id``; raises if unknown."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        """True if ``node_id`` exists in the graph."""
+        return node_id in self._nodes
+
+    def label(self, node_id: int) -> str:
+        """The label ``L(v)`` of the node."""
+        return self.node(node_id).label
+
+    def attributes(self, node_id: int) -> Mapping[str, AttrValue]:
+        """The attribute tuple ``T(v)`` of the node."""
+        return self.node(node_id).attributes
+
+    def attribute(self, node_id: int, name: str, default: AttrValue = None) -> AttrValue:
+        """Single attribute value lookup with default."""
+        return self.node(node_id).attributes.get(name, default)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(self._nodes.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        for source, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for target in targets:
+                    yield Edge(source, target, label)
+
+    # ------------------------------------------------------------------ #
+    # Label / adjacency queries
+    # ------------------------------------------------------------------ #
+
+    def node_labels(self) -> FrozenSet[str]:
+        """The set of all node labels used in the graph."""
+        return frozenset(self._by_label.keys())
+
+    def edge_labels(self) -> FrozenSet[str]:
+        """The set of all edge labels used in the graph."""
+        return frozenset(self._edge_labels)
+
+    def nodes_with_label(self, label: str) -> FrozenSet[int]:
+        """All node ids whose label is ``label`` (the paper's ``V(u)``)."""
+        return frozenset(self._by_label.get(label, frozenset()))
+
+    def count_label(self, label: str) -> int:
+        """``|V(u)|`` — number of nodes carrying ``label``."""
+        return len(self._by_label.get(label, ()))
+
+    def has_edge(self, source: int, target: int, label: str = "") -> bool:
+        """True iff the labeled edge exists."""
+        return target in self._out.get(source, {}).get(label, ())
+
+    def successors(self, node_id: int, label: Optional[str] = None) -> Set[int]:
+        """Targets of out-edges, optionally restricted to one edge label."""
+        by_label = self._out.get(node_id, {})
+        if label is not None:
+            return set(by_label.get(label, ()))
+        result: Set[int] = set()
+        for targets in by_label.values():
+            result.update(targets)
+        return result
+
+    def predecessors(self, node_id: int, label: Optional[str] = None) -> Set[int]:
+        """Sources of in-edges, optionally restricted to one edge label."""
+        by_label = self._in.get(node_id, {})
+        if label is not None:
+            return set(by_label.get(label, ()))
+        result: Set[int] = set()
+        for sources in by_label.values():
+            result.update(sources)
+        return result
+
+    def neighbors(self, node_id: int) -> Set[int]:
+        """Union of successors and predecessors (undirected neighborhood)."""
+        return self.successors(node_id) | self.predecessors(node_id)
+
+    def out_edges(self, node_id: int) -> Iterator[Edge]:
+        """Iterate over the out-edges of a node."""
+        for label, targets in self._out.get(node_id, {}).items():
+            for target in targets:
+                yield Edge(node_id, target, label)
+
+    def in_edges(self, node_id: int) -> Iterator[Edge]:
+        """Iterate over the in-edges of a node."""
+        for label, sources in self._in.get(node_id, {}).items():
+            for source in sources:
+                yield Edge(source, node_id, label)
+
+    def out_degree(self, node_id: int) -> int:
+        """Number of out-edges of the node."""
+        return sum(len(t) for t in self._out.get(node_id, {}).values())
+
+    def in_degree(self, node_id: int) -> int:
+        """Number of in-edges of the node."""
+        return sum(len(s) for s in self._in.get(node_id, {}).values())
+
+    def degree(self, node_id: int) -> int:
+        """Total degree (in + out)."""
+        return self.out_degree(node_id) + self.in_degree(node_id)
+
+    # ------------------------------------------------------------------ #
+    # Attribute queries
+    # ------------------------------------------------------------------ #
+
+    def attribute_names(self) -> FrozenSet[str]:
+        """The set ``A`` of all attribute names appearing on any node."""
+        names: Set[str] = set()
+        for node in self._nodes.values():
+            names.update(node.attributes.keys())
+        return frozenset(names)
+
+    def active_domain(self, attribute: str, label: Optional[str] = None) -> List[AttrValue]:
+        """``adom(A)`` — sorted distinct values of ``attribute``.
+
+        When ``label`` is given, only nodes with that label contribute,
+        which is the domain the spawner actually enumerates (predicates are
+        anchored at a labeled query node).
+        """
+        ids: Iterable[int]
+        if label is None:
+            ids = self._nodes.keys()
+        else:
+            ids = self._by_label.get(label, ())
+        values = {
+            self._nodes[i].attributes[attribute]
+            for i in ids
+            if attribute in self._nodes[i].attributes
+        }
+        return sorted(values, key=_sort_key)
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Convert to a ``networkx.MultiDiGraph`` (for the reference matcher)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(node.node_id, label=node.label, **dict(node.attributes))
+        for edge in self.edges():
+            g.add_edge(edge.source, edge.target, label=edge.label)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AttributedGraph(name={self.name!r}, |V|={self.num_nodes}, "
+            f"|E|={self.num_edges}, labels={len(self._by_label)})"
+        )
+
+
+def _sort_key(value: AttrValue) -> Tuple[int, Any]:
+    """Total order over mixed-type attribute values (numbers before strings)."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

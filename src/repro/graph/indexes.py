@@ -1,0 +1,136 @@
+"""Secondary indexes over an attributed graph.
+
+The matching engine evaluates literal predicates ``u.A op c`` over all nodes
+with a given label; a naive scan is O(|V(label)|) per evaluation. The
+:class:`AttributeIndex` keeps, per (label, attribute), node ids sorted by
+attribute value, so a range predicate resolves with two binary searches.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph, _sort_key
+from repro.query.predicates import Op
+
+
+class LabelIndex:
+    """Maps node labels to node-id sets (thin wrapper for symmetry).
+
+    The raw graph already answers ``nodes_with_label``; this class exists so
+    that matcher code depends on an index interface rather than the store,
+    and caches frozensets to avoid re-materializing.
+    """
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        self._graph = graph
+        self._cache: Dict[str, FrozenSet[int]] = {}
+
+    def nodes(self, label: str) -> FrozenSet[int]:
+        """All node ids with ``label``."""
+        if label not in self._cache:
+            self._cache[label] = self._graph.nodes_with_label(label)
+        return self._cache[label]
+
+    def count(self, label: str) -> int:
+        """Number of nodes with ``label``."""
+        return len(self.nodes(label))
+
+
+class AttributeIndex:
+    """Sorted per-(label, attribute) index supporting range predicates.
+
+    For each (label, attribute) pair accessed, lazily builds a list of
+    ``(value, node_id)`` entries sorted by value, plus the parallel list of
+    sort keys for binary search. Nodes lacking the attribute are excluded —
+    a literal on a missing attribute never matches, mirroring SQL-like
+    three-valued semantics collapsed to False.
+    """
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        self._graph = graph
+        self._sorted: Dict[Tuple[str, str], Tuple[List[Any], List[int]]] = {}
+
+    def _table(self, label: str, attribute: str) -> Tuple[List[Any], List[int]]:
+        key = (label, attribute)
+        table = self._sorted.get(key)
+        if table is None:
+            entries: List[Tuple[Tuple[int, Any], Any, int]] = []
+            for node_id in self._graph.nodes_with_label(label):
+                value = self._graph.attribute(node_id, attribute)
+                if value is not None:
+                    entries.append((_sort_key(value), value, node_id))
+            entries.sort(key=lambda item: item[0])
+            keys = [item[0] for item in entries]
+            ids = [item[2] for item in entries]
+            table = (keys, ids)
+            self._sorted[key] = table
+        return table
+
+    def matching_nodes(self, label: str, attribute: str, op: Op, constant: Any) -> Set[int]:
+        """Node ids with ``label`` whose ``attribute op constant`` holds."""
+        keys, ids = self._table(label, attribute)
+        pivot = _sort_key(constant)
+        if op is Op.GE:
+            lo = bisect.bisect_left(keys, pivot)
+            return set(ids[lo:])
+        if op is Op.GT:
+            lo = bisect.bisect_right(keys, pivot)
+            return set(ids[lo:])
+        if op is Op.LE:
+            hi = bisect.bisect_right(keys, pivot)
+            return set(ids[:hi])
+        if op is Op.LT:
+            hi = bisect.bisect_left(keys, pivot)
+            return set(ids[:hi])
+        if op is Op.EQ:
+            lo = bisect.bisect_left(keys, pivot)
+            hi = bisect.bisect_right(keys, pivot)
+            return set(ids[lo:hi])
+        raise ValueError(f"unsupported operator {op}")  # pragma: no cover
+
+    def count_matching(self, label: str, attribute: str, op: Op, constant: Any) -> int:
+        """Selectivity counter: how many nodes satisfy the literal."""
+        keys, _ = self._table(label, attribute)
+        pivot = _sort_key(constant)
+        if op is Op.GE:
+            return len(keys) - bisect.bisect_left(keys, pivot)
+        if op is Op.GT:
+            return len(keys) - bisect.bisect_right(keys, pivot)
+        if op is Op.LE:
+            return bisect.bisect_right(keys, pivot)
+        if op is Op.LT:
+            return bisect.bisect_left(keys, pivot)
+        if op is Op.EQ:
+            return bisect.bisect_right(keys, pivot) - bisect.bisect_left(keys, pivot)
+        raise ValueError(f"unsupported operator {op}")  # pragma: no cover
+
+    def values(self, label: str, attribute: str) -> List[Any]:
+        """Sorted distinct values of ``attribute`` over nodes with ``label``."""
+        keys, ids = self._table(label, attribute)
+        out: List[Any] = []
+        previous: Optional[Tuple[int, Any]] = None
+        for key, node_id in zip(keys, ids):
+            if key != previous:
+                out.append(self._graph.attribute(node_id, attribute))
+                previous = key
+        return out
+
+
+class GraphIndexes:
+    """Bundle of all per-graph indexes, built lazily and shared.
+
+    Algorithms receive a single :class:`GraphIndexes` so index construction
+    is amortized across the many instance verifications of one generation
+    run.
+    """
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        self.graph = graph
+        self.labels = LabelIndex(graph)
+        self.attributes = AttributeIndex(graph)
+
+    def candidate_pool(self, label: str) -> FrozenSet[int]:
+        """Initial candidate set for a query node: all nodes with its label."""
+        return self.labels.nodes(label)

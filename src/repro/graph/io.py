@@ -1,0 +1,177 @@
+"""Graph (de)serialization.
+
+Three formats are supported:
+
+* **JSON-lines** (``.jsonl``): one record per line, ``{"kind": "node", ...}``
+  or ``{"kind": "edge", ...}`` — streaming friendly for large graphs;
+* **JSON** (``.json``): a single document with ``nodes``/``edges`` arrays —
+  convenient for small fixtures checked into tests;
+* **CSV pairs**: a node table (``id,label,<attr>...``) plus an edge table
+  (``source,target,label``) — the shape most public graph datasets ship in.
+  Attribute values are type-sniffed (int, then float, then string; empty
+  cells mean "attribute absent").
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import GraphError
+from repro.graph.attributed_graph import AttributedGraph
+
+PathLike = Union[str, Path]
+
+
+def save_json(graph: AttributedGraph, path: PathLike) -> None:
+    """Write the graph as a single JSON document."""
+    document = {
+        "name": graph.name,
+        "nodes": [
+            {"id": node.node_id, "label": node.label, "attributes": dict(node.attributes)}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"source": e.source, "target": e.target, "label": e.label} for e in graph.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=None, sort_keys=True))
+
+
+def load_json(path: PathLike) -> AttributedGraph:
+    """Read a graph written by :func:`save_json`."""
+    document = json.loads(Path(path).read_text())
+    graph = AttributedGraph(document.get("name", Path(path).stem))
+    for record in document.get("nodes", []):
+        graph.add_node(int(record["id"]), str(record["label"]), record.get("attributes", {}))
+    for record in document.get("edges", []):
+        graph.add_edge(int(record["source"]), int(record["target"]), str(record.get("label", "")))
+    return graph.freeze()
+
+
+def save_jsonl(graph: AttributedGraph, path: PathLike) -> None:
+    """Write the graph as JSON-lines (nodes first, then edges)."""
+    with Path(path).open("w") as handle:
+        handle.write(json.dumps({"kind": "meta", "name": graph.name}) + "\n")
+        for node in graph.nodes():
+            record = {
+                "kind": "node",
+                "id": node.node_id,
+                "label": node.label,
+                "attributes": dict(node.attributes),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for edge in graph.edges():
+            record = {
+                "kind": "edge",
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_jsonl(path: PathLike) -> AttributedGraph:
+    """Read a graph written by :func:`save_jsonl`.
+
+    Nodes must appear before any edge that references them (the writer
+    guarantees this ordering).
+    """
+    graph: AttributedGraph | None = None
+    pending_name = Path(path).stem
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "meta":
+                pending_name = record.get("name", pending_name)
+                continue
+            if graph is None:
+                graph = AttributedGraph(pending_name)
+            if kind == "node":
+                graph.add_node(
+                    int(record["id"]), str(record["label"]), record.get("attributes", {})
+                )
+            elif kind == "edge":
+                graph.add_edge(
+                    int(record["source"]), int(record["target"]), str(record.get("label", ""))
+                )
+            else:
+                raise GraphError(f"{path}:{line_number}: unknown record kind {kind!r}")
+    if graph is None:
+        graph = AttributedGraph(pending_name)
+    return graph.freeze()
+
+
+def _sniff(value: str) -> Any:
+    """CSV cell → int, float, or string (empty handled by the caller)."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def save_csv(graph: AttributedGraph, nodes_path: PathLike, edges_path: PathLike) -> None:
+    """Write node and edge CSV tables.
+
+    The node table's attribute columns are the union of all attribute
+    names; nodes lacking an attribute leave the cell empty.
+    """
+    attribute_names = sorted(graph.attribute_names())
+    with Path(nodes_path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "label", *attribute_names])
+        for node in graph.nodes():
+            row = [node.node_id, node.label]
+            for name in attribute_names:
+                value = node.attributes.get(name)
+                row.append("" if value is None else value)
+            writer.writerow(row)
+    with Path(edges_path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "target", "label"])
+        for edge in graph.edges():
+            writer.writerow([edge.source, edge.target, edge.label])
+
+
+def load_csv(
+    nodes_path: PathLike, edges_path: PathLike, name: str = "csv-graph"
+) -> AttributedGraph:
+    """Read a graph from node/edge CSV tables (see :func:`save_csv`).
+
+    Extra columns in the node table become attributes; values are
+    type-sniffed and empty cells skipped.
+    """
+    graph = AttributedGraph(name)
+    with Path(nodes_path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "id" not in reader.fieldnames:
+            raise GraphError(f"{nodes_path}: node CSV needs an 'id' column")
+        if "label" not in reader.fieldnames:
+            raise GraphError(f"{nodes_path}: node CSV needs a 'label' column")
+        for row in reader:
+            attributes = {
+                key: _sniff(value)
+                for key, value in row.items()
+                if key not in ("id", "label") and value not in (None, "")
+            }
+            graph.add_node(int(row["id"]), row["label"], attributes)
+    with Path(edges_path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"source", "target"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise GraphError(f"{edges_path}: edge CSV needs source/target columns")
+        for row in reader:
+            graph.add_edge(
+                int(row["source"]), int(row["target"]), row.get("label", "") or ""
+            )
+    return graph.freeze()

@@ -1,0 +1,33 @@
+"""Node groups and fairness constraint helpers.
+
+A :class:`GroupSet` is the paper's ``P``: ``m`` disjoint node groups, each
+with a coverage constraint ``c_i ≤ |P_i|``. Helpers express the two
+fairness policies the paper calls out — Equal Opportunity (same ``c`` per
+group) and the disparate-impact "80% rule".
+"""
+
+from repro.groups.groups import GroupSet, NodeGroup
+from repro.groups.fairness import (
+    disparate_impact_ratio,
+    equal_opportunity_constraints,
+    satisfies_eighty_percent_rule,
+)
+from repro.groups.auditing import FairnessAudit, audit_answer
+from repro.groups.intersectional import (
+    attribute_axis,
+    bucketize,
+    intersect_attributes,
+)
+
+__all__ = [
+    "NodeGroup",
+    "GroupSet",
+    "equal_opportunity_constraints",
+    "disparate_impact_ratio",
+    "satisfies_eighty_percent_rule",
+    "FairnessAudit",
+    "audit_answer",
+    "bucketize",
+    "attribute_axis",
+    "intersect_attributes",
+]

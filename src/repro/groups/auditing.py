@@ -1,0 +1,148 @@
+"""Fairness audits of query answers.
+
+Given an answer set and a group set, produce the quantities a fairness
+review actually asks for: per-group representation, shortfall/overshoot
+against the constraints, disparate-impact ratio and the 80%-rule verdict,
+and equal-opportunity gaps. Used by the examples and the CLI to report on
+both the *initial* query (the skew being repaired) and the suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.groups.fairness import disparate_impact_ratio, satisfies_eighty_percent_rule
+from repro.groups.groups import GroupSet
+
+
+@dataclass(frozen=True)
+class GroupAudit:
+    """Per-group audit entries.
+
+    Attributes:
+        name: Group name.
+        group_size: ``|P_i|``.
+        required: The coverage constraint ``c_i``.
+        covered: ``|answer ∩ P_i|``.
+        share_of_answer: Fraction of the answer belonging to the group.
+        share_of_group: Fraction of the group present in the answer.
+    """
+
+    name: str
+    group_size: int
+    required: int
+    covered: int
+    share_of_answer: float
+    share_of_group: float
+
+    @property
+    def shortfall(self) -> int:
+        """How many covered nodes are missing vs ``c_i`` (0 if met)."""
+        return max(0, self.required - self.covered)
+
+    @property
+    def overshoot(self) -> int:
+        """How many covered nodes exceed ``c_i`` (0 if at or below)."""
+        return max(0, self.covered - self.required)
+
+
+@dataclass(frozen=True)
+class FairnessAudit:
+    """A complete audit of one answer set against one group set."""
+
+    answer_size: int
+    grouped_size: int
+    entries: Tuple[GroupAudit, ...]
+    disparate_impact: float
+    passes_eighty_percent_rule: bool
+    feasible: bool
+    coverage_error: int
+
+    def entry(self, name: str) -> GroupAudit:
+        for item in self.entries:
+            if item.name == name:
+                return item
+        raise KeyError(name)
+
+    @property
+    def equal_opportunity_gap(self) -> float:
+        """Max − min of per-group ``share_of_group`` (0 = equal opportunity)."""
+        shares = [e.share_of_group for e in self.entries]
+        return max(shares) - min(shares) if shares else 0.0
+
+    def as_rows(self) -> List[dict]:
+        """Row-dicts for table printers."""
+        return [
+            {
+                "group": e.name,
+                "|P|": e.group_size,
+                "c": e.required,
+                "covered": e.covered,
+                "shortfall": e.shortfall,
+                "overshoot": e.overshoot,
+                "share of answer": round(e.share_of_answer, 3),
+                "share of group": round(e.share_of_group, 3),
+            }
+            for e in self.entries
+        ]
+
+    def summary(self) -> str:
+        """One-paragraph verdict."""
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        rule = "passes" if self.passes_eighty_percent_rule else "fails"
+        return (
+            f"answer of {self.answer_size} nodes ({self.grouped_size} in groups): "
+            f"{verdict}, coverage error {self.coverage_error}, "
+            f"disparate impact {self.disparate_impact:.2f} ({rule} the 80% rule), "
+            f"equal-opportunity gap {self.equal_opportunity_gap:.2f}"
+        )
+
+
+def audit_answer(answer: Iterable[int], groups: GroupSet) -> FairnessAudit:
+    """Audit an answer set against the groups and their constraints."""
+    answer_set = set(answer)
+    overlaps = groups.overlaps(answer_set)
+    grouped = sum(overlaps.values())
+    entries = []
+    for group in groups:
+        covered = overlaps[group.name]
+        entries.append(
+            GroupAudit(
+                name=group.name,
+                group_size=len(group),
+                required=group.coverage,
+                covered=covered,
+                share_of_answer=covered / grouped if grouped else 0.0,
+                share_of_group=covered / len(group) if len(group) else 0.0,
+            )
+        )
+    return FairnessAudit(
+        answer_size=len(answer_set),
+        grouped_size=grouped,
+        entries=tuple(entries),
+        disparate_impact=disparate_impact_ratio(overlaps),
+        passes_eighty_percent_rule=satisfies_eighty_percent_rule(overlaps),
+        feasible=groups.is_feasible(answer_set),
+        coverage_error=groups.coverage_error(answer_set),
+    )
+
+
+def compare_audits(before: FairnessAudit, after: FairnessAudit) -> List[str]:
+    """Human-readable movement between two audits (initial vs suggestion)."""
+    lines = []
+    lines.append(
+        f"answer size: {before.answer_size} -> {after.answer_size}"
+    )
+    lines.append(
+        f"disparate impact: {before.disparate_impact:.2f} -> "
+        f"{after.disparate_impact:.2f}"
+    )
+    lines.append(
+        f"coverage error: {before.coverage_error} -> {after.coverage_error}"
+    )
+    lines.append(
+        f"equal-opportunity gap: {before.equal_opportunity_gap:.2f} -> "
+        f"{after.equal_opportunity_gap:.2f}"
+    )
+    return lines

@@ -1,0 +1,161 @@
+"""Disjoint node groups with coverage constraints (paper's ``P`` and ``C``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import GroupError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """One node group ``P_i`` with its coverage constraint ``c_i``.
+
+    Attributes:
+        name: Human-readable group name (e.g. ``"female"``, ``"Action"``).
+        members: Node ids belonging to the group.
+        coverage: Required coverage ``c_i`` — a feasible query answer must
+            contain at least this many members; the coverage error counts
+            the deviation from exactly this many.
+    """
+
+    name: str
+    members: FrozenSet[int]
+    coverage: int
+
+    def __post_init__(self) -> None:
+        if self.coverage < 0:
+            raise GroupError(f"group {self.name!r}: coverage must be non-negative")
+        if self.coverage > len(self.members):
+            raise GroupError(
+                f"group {self.name!r}: coverage {self.coverage} exceeds size {len(self.members)}"
+            )
+
+    def overlap(self, nodes: Iterable[int]) -> int:
+        """``|nodes ∩ P_i|``."""
+        members = self.members
+        return sum(1 for node in nodes if node in members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class GroupSet:
+    """The paper's ``P``: pairwise-disjoint groups with constraints ``C``.
+
+    Disjointness is validated at construction — the size bound of Theorem 2
+    relies on ``C ≤ |V|``, which holds only for disjoint groups.
+
+    Example:
+        >>> groups = GroupSet([NodeGroup("m", frozenset({1, 2}), 1),
+        ...                    NodeGroup("f", frozenset({3, 4}), 1)])
+        >>> groups.total_coverage
+        2
+        >>> groups.coverage_error({1, 3, 4})
+        1
+    """
+
+    def __init__(self, groups: Sequence[NodeGroup]) -> None:
+        if not groups:
+            raise GroupError("at least one group is required")
+        names = [g.name for g in groups]
+        if len(set(names)) != len(names):
+            raise GroupError(f"duplicate group names: {names}")
+        seen: set = set()
+        for group in groups:
+            if seen & group.members:
+                raise GroupError(f"group {group.name!r} overlaps a previous group")
+            seen |= group.members
+        self._groups: Tuple[NodeGroup, ...] = tuple(groups)
+        self._by_name: Dict[str, NodeGroup] = {g.name: g for g in groups}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[NodeGroup]:
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __getitem__(self, name: str) -> NodeGroup:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GroupError(f"unknown group {name!r}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Group names in declaration order."""
+        return tuple(g.name for g in self._groups)
+
+    @property
+    def total_coverage(self) -> int:
+        """``C = Σ c_i`` — the normalizer of the coverage measure."""
+        return sum(g.coverage for g in self._groups)
+
+    def constraints(self) -> Dict[str, int]:
+        """Mapping group name -> ``c_i``."""
+        return {g.name: g.coverage for g in self._groups}
+
+    # ------------------------------------------------------------------ #
+    # Coverage computations
+    # ------------------------------------------------------------------ #
+
+    def overlaps(self, nodes: Iterable[int]) -> Dict[str, int]:
+        """Per-group overlap counts ``|nodes ∩ P_i|`` for an answer set."""
+        nodes = set(nodes)
+        return {g.name: g.overlap(nodes) for g in self._groups}
+
+    def is_feasible(self, nodes: Iterable[int]) -> bool:
+        """Feasibility: every group covered with at least ``c_i`` nodes."""
+        nodes = set(nodes)
+        return all(g.overlap(nodes) >= g.coverage for g in self._groups)
+
+    def coverage_error(self, nodes: Iterable[int]) -> int:
+        """``Σ_i | |nodes ∩ P_i| − c_i |`` — total absolute deviation."""
+        nodes = set(nodes)
+        return sum(abs(g.overlap(nodes) - g.coverage) for g in self._groups)
+
+    def with_constraints(self, constraints: Mapping[str, int]) -> "GroupSet":
+        """A copy with some coverage constraints replaced."""
+        groups: List[NodeGroup] = []
+        for group in self._groups:
+            coverage = constraints.get(group.name, group.coverage)
+            groups.append(NodeGroup(group.name, group.members, coverage))
+        return GroupSet(groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{g.name}(|P|={len(g)}, c={g.coverage})" for g in self._groups)
+        return f"GroupSet({parts})"
+
+
+def groups_from_attribute(
+    graph: AttributedGraph,
+    attribute: str,
+    coverage: Mapping[str, int],
+    label: str | None = None,
+) -> GroupSet:
+    """Induce groups by an attribute's values (the paper's group recipes).
+
+    One group per key of ``coverage``; a node joins group ``g`` if its
+    ``attribute`` equals ``g`` (and its label matches ``label`` if given).
+    Values absent from ``coverage`` are ignored, so passing
+    ``{"Action": 100, "Romance": 100}`` induces exactly two genre groups.
+    """
+    members: Dict[str, set] = {name: set() for name in coverage}
+    for node in graph.nodes():
+        if label is not None and node.label != label:
+            continue
+        value = node.attributes.get(attribute)
+        if value in members:
+            members[value].add(node.node_id)
+    return GroupSet(
+        [
+            NodeGroup(name, frozenset(nodes), coverage[name])
+            for name, nodes in members.items()
+        ]
+    )

@@ -1,0 +1,112 @@
+"""Intersectional group construction.
+
+Fairness reviews increasingly audit *intersections* (gender × seniority,
+topic × recency, ...) rather than single attributes — FairSQG handles them
+unchanged because intersections of partitions are still disjoint groups.
+This module builds them:
+
+* :func:`intersect_attributes` — groups from the cross product of two (or
+  more) attributes' values, e.g. ``("F", "senior")``;
+* :func:`bucketize` — turns a numeric attribute into labeled bands first
+  ("junior"/"senior"), the usual preprocessing for the numeric axis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import GroupError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.groups import GroupSet, NodeGroup
+
+
+def bucketize(
+    graph: AttributedGraph,
+    label: str,
+    attribute: str,
+    bands: Sequence[Tuple[str, float]],
+) -> Dict[int, str]:
+    """Map nodes to named bands by numeric thresholds.
+
+    ``bands`` is a list of ``(name, upper_bound)`` pairs sorted by bound,
+    closing with ``(name, inf)`` for the top band; a node falls into the
+    first band whose bound its value is *strictly below*. Nodes lacking the
+    attribute (or non-numeric values) are omitted.
+
+    Example: ``[("junior", 5), ("mid", 15), ("senior", float("inf"))]``.
+    """
+    if not bands:
+        raise GroupError("at least one band is required")
+    bounds = [bound for _, bound in bands]
+    if bounds != sorted(bounds):
+        raise GroupError("band upper bounds must be sorted ascending")
+    out: Dict[int, str] = {}
+    for node_id in graph.nodes_with_label(label):
+        value = graph.attribute(node_id, attribute)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        for name, bound in bands:
+            if value < bound:
+                out[node_id] = name
+                break
+    return out
+
+
+def intersect_attributes(
+    graph: AttributedGraph,
+    label: str,
+    axes: Sequence[Mapping[int, Any]],
+    coverage: Mapping[Tuple[Any, ...], int],
+    separator: str = "×",
+) -> GroupSet:
+    """Disjoint groups from the cross product of per-node axis values.
+
+    Args:
+        graph: The data graph.
+        label: Node label the groups live on.
+        axes: One mapping node-id → axis value per axis (e.g. the raw
+            attribute values for gender, a :func:`bucketize` result for
+            seniority). Nodes missing from any axis are excluded.
+        coverage: Required coverage per axis-value tuple; tuples absent
+            from the mapping are not materialized as groups.
+        separator: Joins axis values into the group name.
+
+    Returns:
+        A :class:`GroupSet` with one group per requested tuple.
+    """
+    if not axes:
+        raise GroupError("at least one axis is required")
+    members: Dict[Tuple[Any, ...], set] = {key: set() for key in coverage}
+    for node_id in graph.nodes_with_label(label):
+        values = []
+        for axis in axes:
+            if node_id not in axis:
+                break
+            values.append(axis[node_id])
+        else:
+            key = tuple(values)
+            if key in members:
+                members[key].add(node_id)
+    groups: List[NodeGroup] = []
+    for key, nodes in members.items():
+        required = coverage[key]
+        if required > len(nodes):
+            raise GroupError(
+                f"intersection {key}: coverage {required} exceeds its "
+                f"population {len(nodes)}"
+            )
+        name = separator.join(str(v) for v in key)
+        groups.append(NodeGroup(name, frozenset(nodes), required))
+    return GroupSet(groups)
+
+
+def attribute_axis(
+    graph: AttributedGraph, label: str, attribute: str
+) -> Dict[int, Any]:
+    """The raw node-id → attribute-value axis (categorical attributes)."""
+    out: Dict[int, Any] = {}
+    for node_id in graph.nodes_with_label(label):
+        value = graph.attribute(node_id, attribute)
+        if value is not None:
+            out[node_id] = value
+    return out

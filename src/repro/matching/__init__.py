@@ -1,0 +1,37 @@
+"""Subgraph matching engine.
+
+Computes the answer ``q(G)`` of a query instance: the match set of the
+designated output node under subgraph matching (a function ``h: V_q → V``
+preserving node labels, literals, edges and edge labels — a graph
+homomorphism per the paper's Section II definition; an ``injective`` switch
+gives subgraph-isomorphism semantics).
+
+Pipeline: per-node candidates from label + literal indexes → arc-consistency
+propagation over query edges → backtracking existence checks for the output
+node's candidates. Incremental verification (the paper's ``incVerify``)
+seeds a child instance's candidates with its verified parent's, valid by
+Lemma 2 (refinement shrinks match sets).
+"""
+
+from repro.matching.candidates import CandidateMap, initial_candidates, propagate
+from repro.matching.matcher import MatchResult, SubgraphMatcher
+from repro.matching.incremental import IncrementalVerifier
+from repro.matching.reference import naive_match_set, nx_monomorphism_match_set
+from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
+from repro.matching.profiling import InstanceProfile, profile_instance
+
+__all__ = [
+    "CandidateMap",
+    "initial_candidates",
+    "propagate",
+    "SubgraphMatcher",
+    "MatchResult",
+    "IncrementalVerifier",
+    "naive_match_set",
+    "nx_monomorphism_match_set",
+    "GraphDelta",
+    "apply_delta",
+    "IncrementalMatchMaintainer",
+    "InstanceProfile",
+    "profile_instance",
+]

@@ -1,0 +1,138 @@
+"""Candidate computation and arc-consistency propagation.
+
+``initial_candidates`` intersects, per query node, the label pool with every
+literal's index lookup. ``propagate`` then runs an AC-3-style fixpoint over
+the query edges: a candidate of ``u`` survives only if every incident query
+edge can be matched by some surviving candidate of the neighbor. The result
+is a superset of the true per-node match sets (exact on acyclic instances),
+cheap to compute, and monotone under refinement — which is exactly what the
+lattice algorithms need for incremental seeding and early infeasibility
+detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.indexes import GraphIndexes
+from repro.query.instance import QueryInstance
+
+#: Per-query-node candidate sets.
+CandidateMap = Dict[str, Set[int]]
+
+
+def initial_candidates(
+    indexes: GraphIndexes,
+    instance: QueryInstance,
+    restrict: Optional[Mapping[str, Set[int]]] = None,
+) -> CandidateMap:
+    """Per-node candidates from labels and literals (no edge reasoning yet).
+
+    Args:
+        indexes: Shared graph indexes.
+        instance: The query instance to match.
+        restrict: Optional upper bound per query node (e.g. the verified
+            parent's candidate map, for incremental verification). Nodes
+            missing from ``restrict`` fall back to the full label pool.
+
+    Returns:
+        A fresh mutable candidate map; empty sets signal an unsatisfiable
+        node (hence an empty answer).
+    """
+    candidates: CandidateMap = {}
+    for node_id in instance.active_nodes:
+        label = instance.node_label(node_id)
+        literals = instance.literals_on(node_id)
+        pool: Set[int]
+        if restrict is not None and node_id in restrict:
+            pool = set(restrict[node_id])
+            for literal in literals:
+                graph = indexes.graph
+                pool = {
+                    v
+                    for v in pool
+                    if literal.holds_for(graph.attribute(v, literal.attribute))
+                }
+        else:
+            pool = set(indexes.candidate_pool(label))
+            for literal in literals:
+                matching = indexes.attributes.matching_nodes(
+                    label, literal.attribute, literal.op, literal.constant
+                )
+                pool &= matching
+                if not pool:
+                    break
+        candidates[node_id] = pool
+    return candidates
+
+
+def propagate(
+    graph: AttributedGraph,
+    instance: QueryInstance,
+    candidates: CandidateMap,
+) -> Tuple[CandidateMap, int]:
+    """AC-3 fixpoint: prune candidates lacking required labeled neighbors.
+
+    For every query edge ``(u, u', label)``: a candidate ``v`` of ``u``
+    needs some candidate of ``u'`` among ``successors(v, label)``, and
+    symmetrically for the reverse direction. Runs to fixpoint.
+
+    Returns:
+        The pruned map (mutated in place and returned) and the number of
+        candidate removals performed (used by ablation benchmarks).
+    """
+    # Adjacency constraints per node: (other, label, outgoing).
+    constraints: Dict[str, list] = {n: [] for n in instance.active_nodes}
+    for source, target, label in instance.edges:
+        constraints[source].append((target, label, True))
+        constraints[target].append((source, label, False))
+
+    removed = 0
+    queue = deque(instance.active_nodes)
+    queued = set(queue)
+    while queue:
+        node_id = queue.popleft()
+        queued.discard(node_id)
+        survivors: Set[int] = set()
+        for v in candidates[node_id]:
+            if _supported(graph, v, constraints[node_id], candidates):
+                survivors.add(v)
+        if len(survivors) != len(candidates[node_id]):
+            removed += len(candidates[node_id]) - len(survivors)
+            candidates[node_id] = survivors
+            # Re-examine neighbors whose support may have vanished.
+            for other, _, _ in constraints[node_id]:
+                if other not in queued:
+                    queue.append(other)
+                    queued.add(other)
+            if not survivors:
+                # One empty set empties the whole answer; empty the rest so
+                # callers see a consistent "no match" signal.
+                for key in candidates:
+                    candidates[key] = set()
+                return candidates, removed
+    return candidates, removed
+
+
+def _supported(
+    graph: AttributedGraph,
+    v: int,
+    node_constraints: list,
+    candidates: CandidateMap,
+) -> bool:
+    """Does data node ``v`` have a surviving neighbor for every query edge?"""
+    for other, label, outgoing in node_constraints:
+        neighbors = (
+            graph.successors(v, label) if outgoing else graph.predecessors(v, label)
+        )
+        other_candidates = candidates[other]
+        # Iterate the smaller side of the intersection test.
+        if len(neighbors) <= len(other_candidates):
+            if not any(n in other_candidates for n in neighbors):
+                return False
+        else:
+            if not any(c in neighbors for c in other_candidates):
+                return False
+    return True

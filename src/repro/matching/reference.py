@@ -1,0 +1,106 @@
+"""Reference matchers used to cross-check the production engine in tests.
+
+Two oracles:
+
+* :func:`naive_match_set` — brute-force enumeration of all assignments over
+  the candidate product. Exponential; only for tiny fixtures. Implements
+  the paper's homomorphism semantics exactly, so it is the ground truth the
+  backtracking matcher is tested against.
+* :func:`nx_monomorphism_match_set` — networkx VF2 subgraph monomorphism,
+  cross-checking the ``injective=True`` mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Set
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.query.instance import QueryInstance
+
+
+def _label_and_literal_candidates(
+    graph: AttributedGraph, instance: QueryInstance, node_id: str
+) -> Set[int]:
+    label = instance.node_label(node_id)
+    out: Set[int] = set()
+    for v in graph.nodes_with_label(label):
+        attrs = graph.attributes(v)
+        if all(lit.holds_for(attrs.get(lit.attribute)) for lit in instance.literals_on(node_id)):
+            out.add(v)
+    return out
+
+
+def naive_match_set(
+    graph: AttributedGraph, instance: QueryInstance, injective: bool = False
+) -> FrozenSet[int]:
+    """Ground-truth ``q(G)`` by exhaustive assignment enumeration.
+
+    Complexity is the product of candidate-set sizes — use only on fixtures
+    with a handful of candidates per query node.
+    """
+    nodes = sorted(instance.active_nodes)
+    pools = [sorted(_label_and_literal_candidates(graph, instance, n)) for n in nodes]
+    index = {n: i for i, n in enumerate(nodes)}
+    output_position = index[instance.output_node]
+    matches: Set[int] = set()
+    for assignment in itertools.product(*pools):
+        if injective and len(set(assignment)) != len(assignment):
+            continue
+        ok = True
+        for source, target, label in instance.edges:
+            if not graph.has_edge(assignment[index[source]], assignment[index[target]], label):
+                ok = False
+                break
+        if ok:
+            matches.add(assignment[output_position])
+    return frozenset(matches)
+
+
+def nx_monomorphism_match_set(
+    graph: AttributedGraph, instance: QueryInstance
+) -> FrozenSet[int]:
+    """``q(G)`` under *injective* semantics via networkx VF2.
+
+    Builds a DiGraph view of both the data graph and the instance (edge
+    labels folded into a set-valued edge attribute to tolerate parallel
+    labels) and collects, over all monomorphisms, the image of ``u_o``.
+    """
+    import networkx as nx
+
+    data = nx.DiGraph()
+    for node in graph.nodes():
+        data.add_node(node.node_id, label=node.label, attrs=dict(node.attributes))
+    for edge in graph.edges():
+        if data.has_edge(edge.source, edge.target):
+            data[edge.source][edge.target]["labels"].add(edge.label)
+        else:
+            data.add_edge(edge.source, edge.target, labels={edge.label})
+
+    pattern = nx.DiGraph()
+    for node_id in instance.active_nodes:
+        pattern.add_node(node_id, label=instance.node_label(node_id), node_id=node_id)
+    for source, target, label in instance.edges:
+        if pattern.has_edge(source, target):
+            pattern[source][target]["labels"].add(label)
+        else:
+            pattern.add_edge(source, target, labels={label})
+
+    def node_match(data_attrs, pattern_attrs):
+        if data_attrs["label"] != pattern_attrs["label"]:
+            return False
+        literals = instance.literals_on(pattern_attrs["node_id"])
+        values = data_attrs["attrs"]
+        return all(lit.holds_for(values.get(lit.attribute)) for lit in literals)
+
+    def edge_match(data_attrs, pattern_attrs):
+        return pattern_attrs["labels"] <= data_attrs["labels"]
+
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        data, pattern, node_match=node_match, edge_match=edge_match
+    )
+    matches: Set[int] = set()
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        inverse = {pattern_node: data_node for data_node, pattern_node in mapping.items()}
+        matches.add(inverse[instance.output_node])
+    return frozenset(matches)

@@ -1,0 +1,51 @@
+"""Query templates, instantiations and query instances (paper Section II).
+
+A *query template* ``Q(u_o)`` is a connected labeled graph whose nodes carry
+parameterized literals (``u.A op x_l`` with range variable ``x_l``) and whose
+edges may carry Boolean edge variables ``x_e``. An *instantiation* binds each
+variable to a constant (or the wildcard ``'_'``); the induced *query
+instance* is a concrete subgraph query whose answer ``q(G)`` is the match set
+of the designated output node ``u_o``.
+"""
+
+from repro.query.predicates import Literal, Op
+from repro.query.variables import EdgeVariable, RangeVariable, WILDCARD
+from repro.query.template import QueryTemplate, TemplateEdge, TemplateNode
+from repro.query.instantiation import Instantiation
+from repro.query.instance import QueryInstance
+from repro.query.refinement import (
+    compare_instantiations,
+    refines,
+    refines_at,
+    strictly_refines,
+)
+from repro.query.parser import format_template, parse_template
+from repro.query.serialization import (
+    load_template,
+    load_workload,
+    save_template,
+    save_workload,
+)
+
+__all__ = [
+    "Op",
+    "Literal",
+    "RangeVariable",
+    "EdgeVariable",
+    "WILDCARD",
+    "QueryTemplate",
+    "TemplateNode",
+    "TemplateEdge",
+    "Instantiation",
+    "QueryInstance",
+    "refines",
+    "refines_at",
+    "strictly_refines",
+    "compare_instantiations",
+    "parse_template",
+    "format_template",
+    "save_template",
+    "load_template",
+    "save_workload",
+    "load_workload",
+]

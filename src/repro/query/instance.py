@@ -1,0 +1,143 @@
+"""Query instances: the concrete subgraph queries induced by instantiations.
+
+Per the paper's Section II, an instance keeps (a) every literal whose range
+variable is bound to a constant (wildcard literals are dropped), and (b)
+exactly the edges — fixed edges plus optional edges bound to ``1`` — that
+lie in the connected component of the output node ``u_o``. Query nodes
+outside that component are dropped along with their literals (the paper's
+Spawn does the same for bridge removals), so an instance is always a
+connected query rooted at ``u_o``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.query.predicates import Literal
+from repro.query.instantiation import Instantiation
+from repro.query.template import QueryTemplate
+from repro.query.variables import WILDCARD
+
+
+class QueryInstance:
+    """A fully concrete subgraph query derived from (template, instantiation).
+
+    Attributes:
+        template: The originating template.
+        instantiation: The variable binding that induced this instance.
+        active_nodes: Query-node ids in ``u_o``'s connected component.
+        edges: Induced edge keys ``(source, target, label)``.
+        literals: Mapping node id -> tuple of concrete literals.
+    """
+
+    __slots__ = ("template", "instantiation", "active_nodes", "edges", "literals")
+
+    def __init__(self, instantiation: Instantiation) -> None:
+        self.template: QueryTemplate = instantiation.template
+        self.instantiation = instantiation
+        edges = self._induced_edges()
+        self.active_nodes: FrozenSet[str] = self._component_of_output(edges)
+        self.edges: Tuple[Tuple[str, str, str], ...] = tuple(
+            e for e in edges if e[0] in self.active_nodes and e[1] in self.active_nodes
+        )
+        self.literals: Dict[str, Tuple[Literal, ...]] = self._induced_literals()
+
+    # ------------------------------------------------------------------ #
+    # Induction
+    # ------------------------------------------------------------------ #
+
+    def _induced_edges(self) -> List[Tuple[str, str, str]]:
+        edges = [e.key for e in self.template.fixed_edges]
+        for var in self.template.edge_variables.values():
+            value = self.instantiation[var.name]
+            if value != WILDCARD and int(value) == 1:
+                edges.append(var.edge_key)
+        return edges
+
+    def _component_of_output(self, edges: List[Tuple[str, str, str]]) -> FrozenSet[str]:
+        adjacency: Dict[str, Set[str]] = {n: set() for n in self.template.nodes}
+        for source, target, _ in edges:
+            adjacency[source].add(target)
+            adjacency[target].add(source)
+        root = self.template.output_node
+        seen = {root}
+        frontier = deque([root])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return frozenset(seen)
+
+    def _induced_literals(self) -> Dict[str, Tuple[Literal, ...]]:
+        out: Dict[str, Tuple[Literal, ...]] = {}
+        for node_id in self.active_nodes:
+            literals = list(self.template.node(node_id).literals)
+            for var in self.template.range_variables_on(node_id):
+                value = self.instantiation[var.name]
+                if value != WILDCARD:
+                    literals.append(Literal(var.attribute, var.op, value))
+            out[node_id] = tuple(literals)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def output_node(self) -> str:
+        """The designated output node ``u_o``."""
+        return self.template.output_node
+
+    @property
+    def num_edges(self) -> int:
+        """Number of induced query edges."""
+        return len(self.edges)
+
+    def literals_on(self, node_id: str) -> Tuple[Literal, ...]:
+        """Concrete literals attached to one active query node."""
+        return self.literals.get(node_id, ())
+
+    def node_label(self, node_id: str) -> str:
+        """Label of a query node."""
+        return self.template.node(node_id).label
+
+    def adjacency(self) -> Dict[str, List[Tuple[str, str, bool]]]:
+        """Undirected adjacency over active nodes.
+
+        Returns, per node, a list of ``(neighbor, edge_label, outgoing)``
+        triples — the traversal structure the matcher walks.
+        """
+        adj: Dict[str, List[Tuple[str, str, bool]]] = {n: [] for n in self.active_nodes}
+        for source, target, label in self.edges:
+            adj[source].append((target, label, True))
+            adj[target].append((source, label, False))
+        return adj
+
+    # -- Identity --------------------------------------------------------- #
+
+    def __hash__(self) -> int:
+        return hash(self.instantiation)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryInstance):
+            return NotImplemented
+        return self.instantiation == other.instantiation
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering (used by examples/case study)."""
+        lines = [f"instance of {self.template.name!r} (output {self.output_node}):"]
+        for node_id in sorted(self.active_nodes):
+            label = self.node_label(node_id)
+            preds = ", ".join(str(l) for l in self.literals_on(node_id)) or "true"
+            marker = "*" if node_id == self.output_node else " "
+            lines.append(f"  {marker}{node_id}:{label} [{preds}]")
+        for source, target, label in sorted(self.edges):
+            lines.append(f"   ({source})-[{label}]->({target})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = {k: v for k, v in self.instantiation.items() if v != WILDCARD}
+        return f"QueryInstance({self.template.name!r}, {bound})"

@@ -1,0 +1,166 @@
+"""A small textual DSL for query templates.
+
+Templates in examples, tests and CLI workflows are more readable as text
+than as builder chains. The grammar, one declaration per line (``#``
+comments and blank lines ignored):
+
+.. code-block:: text
+
+    template talent
+    node u0: person [title = "director"]     # fixed literal
+    node u1: person
+    node u2: org
+    edge u1 -recommend-> u0                  # fixed edge
+    edge? xe1: u2 -recommend-> u0            # edge variable
+    var  xl1: u1.yearsOfExp >= ?             # range variable
+    var  xl2: u2.employees  >= ?
+    output u0
+
+Node literals accept numbers, single- or double-quoted strings, and the
+operators ``> >= = <= <``. :func:`parse_template` returns a validated
+:class:`~repro.query.template.QueryTemplate`;
+:func:`format_template` renders the inverse (parse ∘ format = identity up
+to whitespace).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional
+
+from repro.errors import QueryError
+from repro.query.predicates import Literal, Op
+from repro.query.template import QueryTemplate, TemplateBuilder
+
+_NODE_RE = re.compile(
+    r"^node\s+(?P<id>\w+)\s*:\s*(?P<label>\w+)\s*(?:\[(?P<literals>.*)\])?$"
+)
+_EDGE_RE = re.compile(
+    r"^edge\s+(?P<source>\w+)\s*-(?P<label>\w*)->\s*(?P<target>\w+)$"
+)
+_EDGE_VAR_RE = re.compile(
+    r"^edge\?\s+(?P<name>\w+)\s*:\s*(?P<source>\w+)\s*-(?P<label>\w*)->\s*(?P<target>\w+)$"
+)
+_VAR_RE = re.compile(
+    r"^var\s+(?P<name>\w+)\s*:\s*(?P<node>\w+)\.(?P<attr>\w+)\s*"
+    r"(?P<op>>=|<=|=|<|>)\s*\?$"
+)
+_LITERAL_RE = re.compile(
+    r"^\s*(?P<attr>\w+)\s*(?P<op>>=|<=|=|<|>)\s*(?P<value>.+?)\s*$"
+)
+
+
+def _parse_value(text: str) -> Any:
+    """A literal constant: quoted string, int, or float."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise QueryError(f"cannot parse literal value {text!r}") from None
+
+
+def _parse_literals(text: str, line_number: int) -> List[Literal]:
+    literals = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        match = _LITERAL_RE.match(part)
+        if not match:
+            raise QueryError(f"line {line_number}: bad literal {part!r}")
+        literals.append(
+            Literal(
+                match.group("attr"),
+                Op.parse(match.group("op")),
+                _parse_value(match.group("value")),
+            )
+        )
+    return literals
+
+
+def parse_template(text: str) -> QueryTemplate:
+    """Parse the DSL into a validated template.
+
+    Raises :class:`~repro.errors.QueryError` with the offending line number
+    on any syntax or semantic problem.
+    """
+    builder: Optional[TemplateBuilder] = None
+    name = "template"
+    saw_output = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("template"):
+            parts = line.split(None, 1)
+            name = parts[1].strip() if len(parts) > 1 else name
+            builder = TemplateBuilder(name)
+            continue
+        if builder is None:
+            builder = TemplateBuilder(name)
+        if match := _NODE_RE.match(line):
+            literals = (
+                _parse_literals(match.group("literals"), line_number)
+                if match.group("literals")
+                else []
+            )
+            builder.node(match.group("id"), match.group("label"), *literals)
+        elif match := _EDGE_VAR_RE.match(line):
+            builder.edge_var(
+                match.group("name"),
+                match.group("source"),
+                match.group("target"),
+                match.group("label"),
+            )
+        elif match := _EDGE_RE.match(line):
+            builder.fixed_edge(
+                match.group("source"), match.group("target"), match.group("label")
+            )
+        elif match := _VAR_RE.match(line):
+            builder.range_var(
+                match.group("name"),
+                match.group("node"),
+                match.group("attr"),
+                Op.parse(match.group("op")),
+            )
+        elif line.startswith("output"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise QueryError(f"line {line_number}: expected 'output <node>'")
+            builder.output(parts[1])
+            saw_output = True
+        else:
+            raise QueryError(f"line {line_number}: cannot parse {line!r}")
+    if builder is None:
+        raise QueryError("empty template text")
+    if not saw_output:
+        raise QueryError("template text lacks an 'output' declaration")
+    return builder.build()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def format_template(template: QueryTemplate) -> str:
+    """Render a template back into the DSL (inverse of :func:`parse_template`)."""
+    lines = [f"template {template.name}"]
+    for node in template.nodes.values():
+        literal_text = ", ".join(
+            f"{l.attribute} {l.op} {_format_value(l.constant)}" for l in node.literals
+        )
+        suffix = f" [{literal_text}]" if literal_text else ""
+        lines.append(f"node {node.node_id}: {node.label}{suffix}")
+    for edge in template.fixed_edges:
+        lines.append(f"edge {edge.source} -{edge.label}-> {edge.target}")
+    for var in template.edge_variables.values():
+        lines.append(f"edge? {var.name}: {var.source} -{var.label}-> {var.target}")
+    for var in template.range_variables.values():
+        lines.append(f"var {var.name}: {var.node}.{var.attribute} {var.op} ?")
+    lines.append(f"output {template.output_node}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Comparison operators and literal predicates.
+
+A literal has the form ``u.A op x`` where ``op ∈ {>, >=, =, <=, <}`` and
+``x`` is either a constant (in a query instance) or a range variable (in a
+template). The *refinement direction* of an operator says which way a bound
+must move to make the predicate more selective; it drives both the lattice
+ordering (Section IV) and the spawner's "next closest value" step.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class Op(enum.Enum):
+    """The five comparison operators allowed in literals."""
+
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    LE = "<="
+    LT = "<"
+
+    @property
+    def fn(self) -> Callable[[Any, Any], bool]:
+        """The Python comparison function implementing the operator."""
+        return _OP_FUNCTIONS[self]
+
+    @property
+    def refine_direction(self) -> int:
+        """+1 if increasing the constant refines (``>``/``>=``), -1 if
+        decreasing refines (``<``/``<=``), 0 for ``=`` (no ordered
+        refinement; equality literals only refine from the wildcard)."""
+        if self in (Op.GT, Op.GE):
+            return 1
+        if self in (Op.LT, Op.LE):
+            return -1
+        return 0
+
+    def evaluate(self, value: Any, constant: Any) -> bool:
+        """Evaluate ``value op constant``; mixed/missing types never match."""
+        if value is None:
+            return False
+        try:
+            return bool(self.fn(value, constant))
+        except TypeError:
+            return False
+
+    @classmethod
+    def parse(cls, text: str) -> "Op":
+        """Parse an operator from its surface syntax (``">="`` etc.)."""
+        for op in cls:
+            if op.value == text:
+                return op
+        if text == "==":
+            return cls.EQ
+        raise ValueError(f"unknown operator {text!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_OP_FUNCTIONS = {
+    Op.GT: operator.gt,
+    Op.GE: operator.ge,
+    Op.EQ: operator.eq,
+    Op.LE: operator.le,
+    Op.LT: operator.lt,
+}
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A concrete predicate ``attribute op constant`` on one query node.
+
+    Literals appear on query *instances*; in templates the constant slot is
+    a :class:`~repro.query.variables.RangeVariable` instead.
+    """
+
+    attribute: str
+    op: Op
+    constant: Any
+
+    def holds_for(self, value: Any) -> bool:
+        """Evaluate the literal against an attribute value."""
+        return self.op.evaluate(value, self.constant)
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.constant!r}"

@@ -1,0 +1,153 @@
+"""JSON (de)serialization of templates, instantiations and result sets.
+
+Workloads need to persist: a benchmark run generates query instances once
+and replays them later. Templates round-trip through plain dicts (stable
+under ``json.dumps``); instantiations serialize as name→value maps tagged
+with their template name; a generated result set serializes with its
+objective coordinates so reports can be rebuilt without re-matching.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.errors import QueryError
+from repro.query.instance import QueryInstance
+from repro.query.instantiation import Instantiation
+from repro.query.predicates import Literal, Op
+from repro.query.template import QueryTemplate, TemplateBuilder
+
+PathLike = Union[str, Path]
+
+
+def template_to_dict(template: QueryTemplate) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the full template."""
+    return {
+        "name": template.name,
+        "output": template.output_node,
+        "nodes": [
+            {
+                "id": node.node_id,
+                "label": node.label,
+                "literals": [
+                    {"attribute": l.attribute, "op": l.op.value, "constant": l.constant}
+                    for l in node.literals
+                ],
+            }
+            for node in template.nodes.values()
+        ],
+        "fixed_edges": [
+            {"source": e.source, "target": e.target, "label": e.label}
+            for e in template.fixed_edges
+        ],
+        "edge_variables": [
+            {
+                "name": v.name,
+                "source": v.source,
+                "target": v.target,
+                "label": v.label,
+            }
+            for v in template.edge_variables.values()
+        ],
+        "range_variables": [
+            {
+                "name": v.name,
+                "node": v.node,
+                "attribute": v.attribute,
+                "op": v.op.value,
+            }
+            for v in template.range_variables.values()
+        ],
+    }
+
+
+def template_from_dict(data: Mapping[str, Any]) -> QueryTemplate:
+    """Inverse of :func:`template_to_dict`."""
+    try:
+        builder = TemplateBuilder(str(data["name"]))
+        for node in data["nodes"]:
+            literals = [
+                Literal(l["attribute"], Op.parse(l["op"]), l["constant"])
+                for l in node.get("literals", [])
+            ]
+            builder.node(node["id"], node["label"], *literals)
+        for edge in data.get("fixed_edges", []):
+            builder.fixed_edge(edge["source"], edge["target"], edge.get("label", ""))
+        for var in data.get("edge_variables", []):
+            builder.edge_var(
+                var["name"], var["source"], var["target"], var.get("label", "")
+            )
+        for var in data.get("range_variables", []):
+            builder.range_var(
+                var["name"], var["node"], var["attribute"], Op.parse(var["op"])
+            )
+        builder.output(str(data["output"]))
+        return builder.build()
+    except KeyError as missing:
+        raise QueryError(f"template dict missing key {missing}") from None
+
+
+def save_template(template: QueryTemplate, path: PathLike) -> None:
+    """Write a template as JSON."""
+    Path(path).write_text(json.dumps(template_to_dict(template), indent=2))
+
+
+def load_template(path: PathLike) -> QueryTemplate:
+    """Read a template written by :func:`save_template`."""
+    return template_from_dict(json.loads(Path(path).read_text()))
+
+
+def instantiation_to_dict(instantiation: Instantiation) -> Dict[str, Any]:
+    """JSON-ready dict: template name + bindings."""
+    return {
+        "template": instantiation.template.name,
+        "bindings": dict(instantiation),
+    }
+
+
+def instantiation_from_dict(
+    data: Mapping[str, Any], template: QueryTemplate
+) -> Instantiation:
+    """Rebuild an instantiation against a known template.
+
+    The template is passed explicitly (a name alone cannot reconstruct it);
+    a name mismatch raises to catch file/template mix-ups early.
+    """
+    if data.get("template") != template.name:
+        raise QueryError(
+            f"instantiation belongs to template {data.get('template')!r}, "
+            f"not {template.name!r}"
+        )
+    return Instantiation(template, data.get("bindings", {}))
+
+
+def save_workload(
+    instances: List[QueryInstance], path: PathLike
+) -> None:
+    """Persist a generated workload: the template plus every binding."""
+    if not instances:
+        Path(path).write_text(json.dumps({"template": None, "instances": []}))
+        return
+    template = instances[0].template
+    for instance in instances:
+        if instance.template is not template:
+            raise QueryError("workload instances must share one template")
+    document = {
+        "template": template_to_dict(template),
+        "instances": [dict(i.instantiation) for i in instances],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_workload(path: PathLike) -> List[QueryInstance]:
+    """Read a workload written by :func:`save_workload`."""
+    document = json.loads(Path(path).read_text())
+    if not document.get("template"):
+        return []
+    template = template_from_dict(document["template"])
+    return [
+        QueryInstance(Instantiation(template, bindings))
+        for bindings in document.get("instances", [])
+    ]

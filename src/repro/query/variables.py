@@ -1,0 +1,125 @@
+"""Template variables: range variables on literals, Boolean edge variables.
+
+The variable set of a template is ``X = X_L ∪ X_E`` (paper Section II).
+Each variable owns enough metadata to know its *refinement order* over its
+value domain: for a range variable that is the active domain of its
+(label, attribute) pair sorted in refinement direction; for an edge
+variable it is ``0 → 1`` (absent edge refines to present edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.query.predicates import Op
+
+#: The "don't care" binding for a partial instantiation.
+WILDCARD = "_"
+
+
+@dataclass(frozen=True)
+class RangeVariable:
+    """A parameterized bound ``x_l`` in a literal ``u.A op x_l``.
+
+    Attributes:
+        name: Unique variable name within the template (e.g. ``"xl1"``).
+        node: Query-node id the literal is attached to.
+        attribute: Attribute name the literal constrains.
+        op: Comparison operator of the literal.
+    """
+
+    name: str
+    node: str
+    attribute: str
+    op: Op
+
+    @property
+    def is_range(self) -> bool:
+        return True
+
+    @property
+    def is_edge(self) -> bool:
+        return False
+
+    def refinement_sorted(self, domain: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Sort a value domain from *most relaxed* to *most refined*.
+
+        For ``>`` / ``>=`` literals larger constants are more selective so
+        the relaxed end is the minimum; for ``<`` / ``<=`` it is the
+        maximum. Equality literals have no ordered refinement — we keep the
+        natural sort so enumeration is deterministic.
+        """
+        ordered = sorted(domain, key=_value_key)
+        if self.op.refine_direction < 0:
+            ordered.reverse()
+        return tuple(ordered)
+
+    def refines_value(self, new: Any, old: Any) -> bool:
+        """True iff binding ``new`` is at least as selective as ``old``.
+
+        Implements clause (1) and (3) of the paper's refinement definition:
+        the wildcard is refined by everything; for ordered operators the
+        bound must move in the refinement direction; equality only refines
+        itself.
+        """
+        if old == WILDCARD:
+            return True
+        if new == WILDCARD:
+            return False
+        direction = self.op.refine_direction
+        if direction > 0:
+            return _value_key(new) >= _value_key(old)
+        if direction < 0:
+            return _value_key(new) <= _value_key(old)
+        return new == old
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.node}.{self.attribute} {self.op} ?]"
+
+
+@dataclass(frozen=True)
+class EdgeVariable:
+    """A Boolean variable ``x_e`` guarding an optional template edge."""
+
+    name: str
+    source: str
+    target: str
+    label: str = ""
+
+    @property
+    def is_range(self) -> bool:
+        return False
+
+    @property
+    def is_edge(self) -> bool:
+        return True
+
+    @property
+    def edge_key(self) -> Tuple[str, str, str]:
+        """The (source, target, label) triple of the guarded edge."""
+        return (self.source, self.target, self.label)
+
+    def refines_value(self, new: Any, old: Any) -> bool:
+        """``1`` refines ``0``; the wildcard is refined by everything.
+
+        A wildcard edge variable reads as "edge absent" when inducing an
+        instance (removing the parameterized edge keeps ``q(G)`` valid).
+        """
+        if old == WILDCARD:
+            return True
+        if new == WILDCARD:
+            return False
+        return int(new) >= int(old)
+
+    def __str__(self) -> str:
+        return f"{self.name}[({self.source})-{self.label}->({self.target})]"
+
+
+def _value_key(value: Any) -> Tuple[int, Any]:
+    """Mixed-type total order consistent with the graph's active domains."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))

@@ -1,0 +1,33 @@
+"""Regular path queries (RPQs) — the paper's future-work query class (§VI).
+
+An RPQ selects node pairs connected by a path whose edge-label word matches
+a regular expression. This subpackage provides:
+
+* a regex-over-edge-labels parser (:mod:`repro.rpq.regex`) with
+  concatenation (``/``), alternation (``|``), grouping, ``* + ?`` postfix
+  operators and inverse steps (``^label``);
+* a Thompson-construction NFA and a product-graph BFS evaluator
+  (:mod:`repro.rpq.engine`);
+* :class:`~repro.rpq.template.RPQTemplate` — RPQs with parameterized
+  endpoint predicates (the same range variables as subgraph templates) —
+  and :class:`~repro.rpq.generation.RPQGen`, which plugs RPQ instances into
+  FairSQG's diversity/coverage/ε-Pareto machinery unchanged.
+"""
+
+from repro.rpq.regex import parse_regex
+from repro.rpq.automaton import NFA
+from repro.rpq.engine import evaluate_rpq, reachable_pairs
+from repro.rpq.template import RPQInstance, RPQTemplate
+from repro.rpq.generation import RPQBiGen, RPQGen, RPQRfGen
+
+__all__ = [
+    "parse_regex",
+    "NFA",
+    "evaluate_rpq",
+    "reachable_pairs",
+    "RPQTemplate",
+    "RPQInstance",
+    "RPQGen",
+    "RPQRfGen",
+    "RPQBiGen",
+]

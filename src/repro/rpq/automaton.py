@@ -1,0 +1,139 @@
+"""Nondeterministic finite automata over edge-label alphabets.
+
+States are integers; transitions carry either a *symbol* — a
+``(label, forward)`` pair, where ``forward=False`` traverses an edge
+backwards (the ``^label`` inverse step) — or ``None`` for ε-moves.
+Construction helpers implement Thompson's rules so the regex compiler
+stays tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+#: A transition symbol: (edge label, traverse-forward?). None is epsilon.
+Symbol = Tuple[str, bool]
+
+
+@dataclass
+class NFA:
+    """A Thompson-style NFA with one start and one accept state.
+
+    Attributes:
+        start: Start state id.
+        accept: Accepting state id.
+        transitions: state → symbol-or-None → set of successor states.
+        num_states: Total number of allocated states.
+    """
+
+    start: int
+    accept: int
+    transitions: Dict[int, Dict[Optional[Symbol], Set[int]]]
+    num_states: int
+
+    def symbols(self) -> Set[Symbol]:
+        """All non-ε symbols used by the automaton."""
+        out: Set[Symbol] = set()
+        for by_symbol in self.transitions.values():
+            out.update(s for s in by_symbol if s is not None)
+        return out
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """States reachable via ε-moves (including the inputs)."""
+        seen: Set[int] = set(states)
+        stack: List[int] = list(seen)
+        while stack:
+            state = stack.pop()
+            for successor in self.transitions.get(state, {}).get(None, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[int], symbol: Symbol) -> FrozenSet[int]:
+        """ε-closure after consuming ``symbol`` from any of ``states``."""
+        moved: Set[int] = set()
+        for state in states:
+            moved.update(self.transitions.get(state, {}).get(symbol, ()))
+        return self.epsilon_closure(moved)
+
+    def accepts_word(self, word: Iterable[Symbol]) -> bool:
+        """Word membership (used by tests as the NFA ground truth)."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return self.accept in current
+
+    def matches_empty(self) -> bool:
+        """True iff the empty word is accepted."""
+        return self.accept in self.epsilon_closure({self.start})
+
+
+class NFABuilder:
+    """Allocates states and wires Thompson fragments."""
+
+    def __init__(self) -> None:
+        self._transitions: Dict[int, Dict[Optional[Symbol], Set[int]]] = {}
+        self._next_state = 0
+
+    def new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self._transitions.setdefault(state, {})
+        return state
+
+    def add(self, source: int, symbol: Optional[Symbol], target: int) -> None:
+        self._transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    # -- Thompson fragments (each returns (start, accept)) ----------------- #
+
+    def symbol_fragment(self, symbol: Symbol) -> Tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        self.add(start, symbol, accept)
+        return start, accept
+
+    def concat(self, a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[int, int]:
+        self.add(a[1], None, b[0])
+        return a[0], b[1]
+
+    def union(self, a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        self.add(start, None, a[0])
+        self.add(start, None, b[0])
+        self.add(a[1], None, accept)
+        self.add(b[1], None, accept)
+        return start, accept
+
+    def star(self, a: Tuple[int, int]) -> Tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        self.add(start, None, a[0])
+        self.add(start, None, accept)
+        self.add(a[1], None, a[0])
+        self.add(a[1], None, accept)
+        return start, accept
+
+    def plus(self, a: Tuple[int, int]) -> Tuple[int, int]:
+        # a+ = a a*; reuse the fragment by looping its accept back.
+        start, accept = self.new_state(), self.new_state()
+        self.add(start, None, a[0])
+        self.add(a[1], None, a[0])
+        self.add(a[1], None, accept)
+        return start, accept
+
+    def optional(self, a: Tuple[int, int]) -> Tuple[int, int]:
+        start, accept = self.new_state(), self.new_state()
+        self.add(start, None, a[0])
+        self.add(start, None, accept)
+        self.add(a[1], None, accept)
+        return start, accept
+
+    def build(self, fragment: Tuple[int, int]) -> NFA:
+        return NFA(
+            start=fragment[0],
+            accept=fragment[1],
+            transitions=self._transitions,
+            num_states=self._next_state,
+        )

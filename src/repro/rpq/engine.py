@@ -1,0 +1,68 @@
+"""RPQ evaluation by BFS over the graph × NFA product.
+
+``evaluate_rpq(graph, sources, nfa)`` returns every node ``v`` such that
+some path from some source spells a word in the NFA's language (including
+the source itself when the language contains ε). The product space has
+``|V| · |states|`` configurations, each expanded once — the textbook
+single-source-set RPQ algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.rpq.automaton import NFA
+
+
+def evaluate_rpq(
+    graph: AttributedGraph, sources: Iterable[int], nfa: NFA
+) -> FrozenSet[int]:
+    """Nodes reachable from ``sources`` along a regex-matching path."""
+    answers: Set[int] = set()
+    seen: Set[Tuple[int, int]] = set()
+    frontier: deque = deque()
+
+    start_states = nfa.epsilon_closure({nfa.start})
+    for source in sources:
+        for state in start_states:
+            if (source, state) not in seen:
+                seen.add((source, state))
+                frontier.append((source, state))
+                if state == nfa.accept:
+                    answers.add(source)
+
+    while frontier:
+        node, state = frontier.popleft()
+        for symbol, successors in nfa.transitions.get(state, {}).items():
+            if symbol is None:
+                neighbors = [node]  # ε: stay on the node, move the state.
+            else:
+                label, forward = symbol
+                neighbors = (
+                    graph.successors(node, label)
+                    if forward
+                    else graph.predecessors(node, label)
+                )
+            for next_state in successors:
+                for neighbor in neighbors:
+                    pair = (neighbor, next_state)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+                        if next_state == nfa.accept:
+                            answers.add(neighbor)
+    return frozenset(answers)
+
+
+def reachable_pairs(
+    graph: AttributedGraph, sources: Iterable[int], nfa: NFA
+) -> Dict[int, FrozenSet[int]]:
+    """Per-source RPQ answers (one product BFS per source).
+
+    Used when provenance matters (which source reached which target); the
+    batched :func:`evaluate_rpq` is preferred when only the union is
+    needed.
+    """
+    return {source: evaluate_rpq(graph, [source], nfa) for source in sources}

@@ -1,0 +1,138 @@
+"""Regex-over-edge-labels parsing (SPARQL-property-path flavoured).
+
+Grammar (recursive descent, standard precedence):
+
+.. code-block:: text
+
+    alternation   := concatenation ('|' concatenation)*
+    concatenation := postfix (('/' | whitespace) postfix)*
+    postfix       := atom ('*' | '+' | '?')*
+    atom          := label | '^' label | '(' alternation ')'
+    label         := [A-Za-z_][A-Za-z0-9_]*
+
+``^label`` traverses an edge backwards. Examples: ``recommend+``,
+``cites/cites``, ``(worksAt/^worksAt)+`` (colleagues-of-colleagues),
+``authoredBy|publishedIn``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.rpq.automaton import NFA, NFABuilder
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<label>[A-Za-z_]\w*)|(?P<op>[()|/*+?^]))")
+
+
+def _tokenize(pattern: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(pattern):
+        match = _TOKEN_RE.match(pattern, position)
+        if not match or match.end() == position:
+            raise QueryError(
+                f"bad RPQ pattern at offset {position}: {pattern[position:]!r}"
+            )
+        tokens.append(match.group("label") or match.group("op"))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], builder: NFABuilder) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.builder = builder
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    # -- Grammar ----------------------------------------------------------- #
+
+    def alternation(self) -> Tuple[int, int]:
+        fragment = self.concatenation()
+        while self.peek() == "|":
+            self.take()
+            fragment = self.builder.union(fragment, self.concatenation())
+        return fragment
+
+    def concatenation(self) -> Tuple[int, int]:
+        fragment = self.postfix()
+        while True:
+            token = self.peek()
+            if token == "/":
+                self.take()
+                fragment = self.builder.concat(fragment, self.postfix())
+            elif token is not None and (token == "(" or token == "^" or _is_label(token)):
+                # Juxtaposition concatenates (whitespace was dropped by the
+                # tokenizer).
+                fragment = self.builder.concat(fragment, self.postfix())
+            else:
+                return fragment
+
+    def postfix(self) -> Tuple[int, int]:
+        fragment = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                fragment = self.builder.star(fragment)
+            elif op == "+":
+                fragment = self.builder.plus(fragment)
+            else:
+                fragment = self.builder.optional(fragment)
+        return fragment
+
+    def atom(self) -> Tuple[int, int]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of RPQ pattern")
+        if token == "(":
+            self.take()
+            fragment = self.alternation()
+            if self.peek() != ")":
+                raise QueryError("unbalanced parenthesis in RPQ pattern")
+            self.take()
+            return fragment
+        if token == "^":
+            self.take()
+            label = self.peek()
+            if label is None or not _is_label(label):
+                raise QueryError("'^' must be followed by an edge label")
+            self.take()
+            return self.builder.symbol_fragment((label, False))
+        if _is_label(token):
+            self.take()
+            return self.builder.symbol_fragment((token, True))
+        raise QueryError(f"unexpected token {token!r} in RPQ pattern")
+
+
+def _is_label(token: str) -> bool:
+    return bool(re.fullmatch(r"[A-Za-z_]\w*", token))
+
+
+def parse_regex(pattern: str) -> NFA:
+    """Compile an RPQ pattern into an NFA.
+
+    Raises :class:`~repro.errors.QueryError` on syntax errors (including
+    trailing garbage and empty patterns).
+    """
+    tokens = _tokenize(pattern)
+    if not tokens:
+        raise QueryError("empty RPQ pattern")
+    builder = NFABuilder()
+    parser = _Parser(tokens, builder)
+    fragment = parser.alternation()
+    if parser.peek() is not None:
+        raise QueryError(
+            f"trailing tokens in RPQ pattern: {tokens[parser.position:]}"
+        )
+    return builder.build(fragment)

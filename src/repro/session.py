@@ -1,0 +1,122 @@
+"""High-level facade: one object for the whole suggest/inspect workflow.
+
+The low-level API is compositional (config → algorithm → result →
+selection/audit/explanation); :class:`FairSQGSession` wires the common path
+for application code and notebooks:
+
+    >>> session = FairSQGSession(graph, template, groups, epsilon=0.1)  # doctest: +SKIP
+    >>> session.suggest()                      # runs BiQGen, caches result
+    >>> session.top(3)                         # k spread-out suggestions
+    >>> pick = session.pick(lambda_r=0.8)      # preference-selected winner
+    >>> print(session.why(pick))               # edits vs the initial query
+    >>> print(session.audit(pick).summary())   # fairness verdict
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from repro.core.base import QGenAlgorithm
+from repro.core.biqgen import BiQGen
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.explain import explain_suggestion
+from repro.core.lattice import InstanceLattice
+from repro.core.preferences import select_by_preference
+from repro.core.report import build_report
+from repro.core.representatives import select_representatives
+from repro.core.result import GenerationResult
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.auditing import FairnessAudit, audit_answer
+from repro.groups.groups import GroupSet
+from repro.query.template import QueryTemplate
+
+
+class FairSQGSession:
+    """Stateful convenience wrapper around one generation configuration.
+
+    Args:
+        graph: The data graph.
+        template: The query template.
+        groups: Groups with coverage constraints.
+        epsilon: ε of ε-dominance.
+        algorithm: Generation algorithm class (default BiQGen).
+        **config_options: Forwarded to :class:`GenerationConfig`
+            (``lam``, ``max_domain_values``, ``relevance``, ...).
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        template: QueryTemplate,
+        groups: GroupSet,
+        epsilon: float = 0.05,
+        algorithm: Type[QGenAlgorithm] = BiQGen,
+        **config_options,
+    ) -> None:
+        self.config = GenerationConfig(
+            graph, template, groups, epsilon=epsilon, **config_options
+        )
+        self._algorithm_cls = algorithm
+        self._algorithm: Optional[QGenAlgorithm] = None
+        self._result: Optional[GenerationResult] = None
+        self._initial: Optional[EvaluatedInstance] = None
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def suggest(self, force: bool = False) -> GenerationResult:
+        """Run the algorithm (cached; ``force=True`` re-runs)."""
+        if self._result is None or force:
+            self._algorithm = self._algorithm_cls(self.config)
+            self._result = self._algorithm.run()
+        return self._result
+
+    @property
+    def result(self) -> GenerationResult:
+        """The run's result (triggers :meth:`suggest` on first access)."""
+        return self.suggest()
+
+    @property
+    def initial(self) -> EvaluatedInstance:
+        """The most relaxed instance — the "initial query" baseline."""
+        if self._initial is None:
+            evaluator = self._evaluator()
+            self._initial = evaluator.evaluate(InstanceLattice(self.config).root())
+        return self._initial
+
+    def _evaluator(self) -> InstanceEvaluator:
+        if self._algorithm is not None:
+            return self._algorithm.evaluator
+        return InstanceEvaluator(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def top(self, k: int = 3) -> List[EvaluatedInstance]:
+        """Up to ``k`` spread-out representative suggestions."""
+        return select_representatives(self.result.instances, k)
+
+    def pick(self, lambda_r: float = 0.5) -> Optional[EvaluatedInstance]:
+        """The preference-selected suggestion (None if nothing feasible)."""
+        return select_by_preference(self.result.instances, lambda_r)
+
+    def why(self, suggestion: EvaluatedInstance) -> str:
+        """Edit-level explanation of ``suggestion`` vs the initial query."""
+        return explain_suggestion(self.initial, suggestion, self.config.groups)
+
+    def audit(self, suggestion: EvaluatedInstance) -> FairnessAudit:
+        """Fairness audit of one suggestion's answer."""
+        return audit_answer(suggestion.matches, self.config.groups)
+
+    def report(self, lambda_r: float = 0.5, max_representatives: int = 5) -> str:
+        """The full one-page text report."""
+        return build_report(
+            self.config,
+            self.result,
+            lambda_r=lambda_r,
+            max_representatives=max_representatives,
+            evaluator=self._evaluator(),
+        )

@@ -1,0 +1,22 @@
+"""Workload generation: random templates and instance streams.
+
+Reproduces the paper's experiment inputs: a template generator "to produce
+query templates with practical search conditions, controlled by the number
+of variables |X| ... query size |Q(u_o)| ... and topologies" (Section V),
+and the random instance streams OnlineQGen consumes in Exp-3.
+"""
+
+from repro.workload.template_gen import TemplateGenerator, TemplateSpec
+from repro.workload.stream import (
+    drifting_instance_stream,
+    random_instance_stream,
+    shuffled_space_stream,
+)
+
+__all__ = [
+    "TemplateGenerator",
+    "TemplateSpec",
+    "random_instance_stream",
+    "drifting_instance_stream",
+    "shuffled_space_stream",
+]

@@ -1,0 +1,98 @@
+"""Workload replay: execute a saved query workload and report per-query stats.
+
+The benchmark loop the generated workloads feed: load the queries, run
+them against a (possibly different or updated) graph, and collect
+cardinalities, per-group coverage, fairness audits and timings. Used by
+benchmark drivers and handy for regression-testing a graph store against a
+frozen workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.auditing import FairnessAudit, audit_answer
+from repro.groups.groups import GroupSet
+from repro.matching.matcher import SubgraphMatcher
+from repro.query.instance import QueryInstance
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """Outcome of one replayed query."""
+
+    instance: QueryInstance
+    cardinality: int
+    elapsed_seconds: float
+    audit: Optional[FairnessAudit]
+
+    def as_row(self) -> dict:
+        row = {
+            "query": self.instance.template.name,
+            "|q(G)|": self.cardinality,
+            "time (ms)": round(self.elapsed_seconds * 1000, 3),
+        }
+        if self.audit is not None:
+            row["feasible"] = self.audit.feasible
+            row["DI ratio"] = round(self.audit.disparate_impact, 3)
+        return row
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate over a replayed workload."""
+
+    records: List[ReplayRecord]
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.elapsed_seconds for r in self.records)
+
+    @property
+    def total_answers(self) -> int:
+        return sum(r.cardinality for r in self.records)
+
+    @property
+    def empty_queries(self) -> int:
+        """Queries whose answer came back empty (workload rot indicator)."""
+        return sum(1 for r in self.records if r.cardinality == 0)
+
+    def as_rows(self) -> List[dict]:
+        return [r.as_row() for r in self.records]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.records)} queries, {self.total_answers} total answers, "
+            f"{self.empty_queries} empty, {self.total_time * 1000:.1f} ms"
+        )
+
+
+def replay_workload(
+    graph: AttributedGraph,
+    instances: Sequence[QueryInstance],
+    groups: Optional[GroupSet] = None,
+) -> ReplayReport:
+    """Execute every instance against ``graph``; audit when groups given.
+
+    One matcher (hence one index build) is shared across the workload —
+    the realistic execution shape for a benchmark run.
+    """
+    matcher = SubgraphMatcher(graph)
+    records: List[ReplayRecord] = []
+    for instance in instances:
+        start = time.perf_counter()
+        matches = matcher.match(instance).matches
+        elapsed = time.perf_counter() - start
+        audit = audit_answer(matches, groups) if groups is not None else None
+        records.append(
+            ReplayRecord(
+                instance=instance,
+                cardinality=len(matches),
+                elapsed_seconds=elapsed,
+                audit=audit,
+            )
+        )
+    return ReplayReport(records)

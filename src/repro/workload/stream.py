@@ -1,0 +1,119 @@
+"""Instance streams for OnlineQGen (paper Exp-3).
+
+The paper "simulate[s] instance streams by randomly instantiating fixed
+query templates". Two stream shapes:
+
+* :func:`random_instance_stream` — i.i.d. random total instantiations
+  (duplicates possible, like a real generator);
+* :func:`shuffled_space_stream` — a random permutation of the whole
+  (quantized) instance space, guaranteeing full coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.graph.active_domain import ActiveDomainIndex
+from repro.query.instance import QueryInstance
+from repro.query.instantiation import Instantiation
+from repro.query.template import QueryTemplate
+
+
+def random_instance_stream(
+    template: QueryTemplate,
+    domains: ActiveDomainIndex,
+    count: int,
+    seed: int = 0,
+) -> Iterator[QueryInstance]:
+    """Yield ``count`` uniformly random total instances of ``template``."""
+    rng = random.Random(seed)
+    range_domains = {
+        name: list(domains.domain(name)) for name in template.range_variables
+    }
+    edge_names = list(template.edge_variables)
+    for _ in range(count):
+        bindings = {}
+        for name, values in range_domains.items():
+            bindings[name] = rng.choice(values) if values else "_"
+        for name in edge_names:
+            bindings[name] = rng.randint(0, 1)
+        yield QueryInstance(Instantiation(template, bindings))
+
+
+def shuffled_space_stream(
+    template: QueryTemplate,
+    domains: ActiveDomainIndex,
+    seed: int = 0,
+    limit: Optional[int] = None,
+) -> Iterator[QueryInstance]:
+    """Yield the full instance space in a seeded random order.
+
+    ``limit`` truncates the stream (for delay-time experiments that process
+    fixed-size batches).
+    """
+    names = list(template.variable_names())
+    value_lists = []
+    for name in names:
+        if name in template.range_variables:
+            values = list(domains.domain(name))
+            value_lists.append(values if values else ["_"])
+        else:
+            value_lists.append([0, 1])
+
+    total = 1
+    for values in value_lists:
+        total *= len(values)
+    order = list(range(total))
+    random.Random(seed).shuffle(order)
+    if limit is not None:
+        order = order[:limit]
+
+    for code in order:
+        bindings = {}
+        remainder = code
+        for name, values in zip(names, value_lists):
+            remainder, index = divmod(remainder, len(values))
+            bindings[name] = values[index]
+        yield QueryInstance(Instantiation(template, bindings))
+
+
+def drifting_instance_stream(
+    template: QueryTemplate,
+    domains: ActiveDomainIndex,
+    count: int,
+    seed: int = 0,
+    drift_strength: float = 1.0,
+) -> Iterator[QueryInstance]:
+    """A non-stationary stream: bindings drift from relaxed toward refined.
+
+    Early instances sample the relaxed end of each domain, late instances
+    the refined end — the concept-drift shape online maintenance faces when
+    a generator sweeps a parameter space. ``drift_strength`` ∈ [0, 1+]
+    controls how hard the distribution moves (0 = stationary uniform).
+    """
+    rng = random.Random(seed)
+    range_domains = {
+        name: list(domains.domain(name)) for name in template.range_variables
+    }
+    edge_names = list(template.edge_variables)
+    for position in range(count):
+        progress = position / max(1, count - 1)
+        bindings = {}
+        for name, values in range_domains.items():
+            if not values:
+                bindings[name] = "_"
+                continue
+            # Beta-like tilt: mix a uniform pick with a drift-anchored one.
+            anchor = progress * drift_strength
+            anchor = min(1.0, max(0.0, anchor))
+            tilted = anchor * (len(values) - 1)
+            jitter = rng.uniform(-0.35, 0.35) * (len(values) - 1)
+            index = int(round(tilted + jitter))
+            index = min(len(values) - 1, max(0, index))
+            bindings[name] = values[index]
+        for name in edge_names:
+            # Edge variables drift from 'absent' toward 'present'.
+            p_present = min(1.0, 0.2 + 0.6 * progress * drift_strength)
+            bindings[name] = 1 if rng.random() < p_present else 0
+        yield QueryInstance(Instantiation(template, bindings))

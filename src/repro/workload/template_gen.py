@@ -1,0 +1,163 @@
+"""Random query-template generation from a dataset schema.
+
+The experiments sweep template complexity — query size ``|Q(u_o)|``,
+number of range variables ``|X_L|`` and edge variables ``|X_E|`` — so the
+generator takes those as a :class:`TemplateSpec` and grows a connected,
+schema-valid template around a chosen output label:
+
+1. start from the output node;
+2. repeatedly attach a schema-allowed edge at a random existing node
+   (sometimes closing onto an existing node to create cycles) until the
+   edge budget is spent;
+3. mark a random subset of non-bridging edges as edge variables;
+4. attach range variables to random (node, numeric attribute) anchors.
+
+Generation is seeded and retries with fresh randomness if a draw paints
+itself into a corner (e.g. no numeric attribute left for a range variable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.datasets.schema import GraphSchema
+from repro.errors import ConfigurationError
+from repro.query.predicates import Op
+from repro.query.template import QueryTemplate, TemplateBuilder
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Complexity knobs for one generated template.
+
+    Attributes:
+        output_label: Label of the output node ``u_o``.
+        size: Total number of query edges ``|Q(u_o)|``.
+        num_range_vars: ``|X_L]``.
+        num_edge_vars: ``|X_E|`` (must be ≤ size).
+        cycle_probability: Chance an added edge closes onto an existing
+            node instead of growing a new one.
+    """
+
+    output_label: str
+    size: int = 3
+    num_range_vars: int = 2
+    num_edge_vars: int = 1
+    cycle_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError("template size must be at least 1 edge")
+        if self.num_edge_vars > self.size:
+            raise ConfigurationError("|X_E| cannot exceed the number of edges")
+        if self.num_range_vars < 0 or self.num_edge_vars < 0:
+            raise ConfigurationError("variable counts must be non-negative")
+
+
+class TemplateGenerator:
+    """Seeded generator of schema-valid templates."""
+
+    def __init__(self, schema: GraphSchema, seed: int = 0) -> None:
+        self.schema = schema
+        self.rng = random.Random(seed)
+
+    def generate(self, spec: TemplateSpec, name: Optional[str] = None, max_attempts: int = 50) -> QueryTemplate:
+        """Generate one template matching ``spec``.
+
+        Raises :class:`ConfigurationError` when the schema cannot support
+        the spec (e.g. no edges touch the output label).
+        """
+        if not self.schema.edges_touching(spec.output_label):
+            raise ConfigurationError(
+                f"schema has no edges touching label {spec.output_label!r}"
+            )
+        last_error: Optional[Exception] = None
+        for _ in range(max_attempts):
+            try:
+                return self._attempt(spec, name)
+            except ConfigurationError as exc:
+                last_error = exc
+        raise ConfigurationError(
+            f"could not generate a template for {spec} after {max_attempts} attempts"
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+
+    def _attempt(self, spec: TemplateSpec, name: Optional[str]) -> QueryTemplate:
+        rng = self.rng
+        node_labels: List[str] = [spec.output_label]
+        node_ids = ["u0"]
+        edges: List[Tuple[str, str, str]] = []  # (source_id, target_id, label)
+        edge_keys: Set[Tuple[str, str, str]] = set()
+
+        while len(edges) < spec.size:
+            anchor_pos = rng.randrange(len(node_ids))
+            anchor_id = node_ids[anchor_pos]
+            anchor_label = node_labels[anchor_pos]
+            specs = self.schema.edges_touching(anchor_label)
+            edge_spec = rng.choice(specs)
+            outgoing = edge_spec.source_label == anchor_label
+            other_label = edge_spec.target_label if outgoing else edge_spec.source_label
+
+            # Close a cycle onto an existing compatible node, or grow.
+            compatible = [
+                nid
+                for nid, lbl in zip(node_ids, node_labels)
+                if lbl == other_label and nid != anchor_id
+            ]
+            if compatible and rng.random() < spec.cycle_probability:
+                other_id = rng.choice(compatible)
+            else:
+                other_id = f"u{len(node_ids)}"
+                node_ids.append(other_id)
+                node_labels.append(other_label)
+
+            source, target = (anchor_id, other_id) if outgoing else (other_id, anchor_id)
+            key = (source, target, edge_spec.label)
+            if key in edge_keys or source == target:
+                if other_id == node_ids[-1] and other_id not in (s for s, _, _ in edges):
+                    # Undo a just-added orphan node.
+                    if not any(other_id in (s, t) for s, t, _ in edges):
+                        node_ids.pop()
+                        node_labels.pop()
+                continue
+            edge_keys.add(key)
+            edges.append(key)
+
+        # Select edge variables; keep at least the edges needed so that the
+        # output node retains a fixed incident edge when possible (templates
+        # where every edge is optional are legal but rarely useful).
+        variable_positions = rng.sample(range(len(edges)), spec.num_edge_vars)
+        variable_set = set(variable_positions)
+
+        # Range-variable anchors: (node, numeric attribute) pairs.
+        anchors: List[Tuple[str, str]] = []
+        for node_id, label in zip(node_ids, node_labels):
+            for attribute in self.schema.numeric_attributes(label):
+                anchors.append((node_id, attribute.name))
+        if len(anchors) < spec.num_range_vars:
+            raise ConfigurationError("not enough numeric attributes for |X_L|")
+        rng.shuffle(anchors)
+        chosen_anchors = anchors[: spec.num_range_vars]
+
+        builder = TemplateBuilder(name or f"gen-{spec.output_label}-{rng.randrange(10**6)}")
+        for node_id, label in zip(node_ids, node_labels):
+            builder.node(node_id, label)
+        for position, (source, target, label) in enumerate(edges):
+            if position in variable_set:
+                builder.edge_var(f"xe{position}", source, target, label)
+            else:
+                builder.fixed_edge(source, target, label)
+        for index, (node_id, attribute) in enumerate(chosen_anchors, start=1):
+            op = Op.GE if self.rng.random() < 0.75 else Op.LE
+            builder.range_var(f"xl{index}", node_id, attribute, op)
+        builder.output("u0")
+        return builder.build()
+
+    def generate_many(
+        self, spec: TemplateSpec, count: int, prefix: str = "gen"
+    ) -> List[QueryTemplate]:
+        """A batch of templates sharing one spec."""
+        return [self.generate(spec, name=f"{prefix}-{i}") for i in range(count)]

@@ -1,0 +1,146 @@
+"""Shared fixtures: hand-checkable toy graphs and small dataset bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GenerationConfig,
+    GroupSet,
+    Literal,
+    NodeGroup,
+    Op,
+    QueryTemplate,
+)
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture(scope="session")
+def talent_graph():
+    """A tiny talent-search graph with hand-computable match sets.
+
+    Layout (ids are stable because the builder allocates sequentially):
+
+    * orgs: ``o_small`` (100 employees, id 0), ``o_big`` (1000, id 1)
+    * recommenders: ``r1`` (yoe 5, works at o_small, id 2),
+      ``r2`` (yoe 12, works at o_big, id 3)
+    * directors: ``d1`` (M, CS, id 4), ``d2`` (F, Business, id 5),
+      ``d3`` (M, CS, id 6), ``d4`` (F, Design, id 7)
+    * recommendations: r1→d1, r1→d2, r1→d4, r2→d2, r2→d3
+    """
+    b = GraphBuilder("talent-toy")
+    o_small = b.node("org", name="smallco", employees=100)
+    o_big = b.node("org", name="bigco", employees=1000)
+    r1 = b.node("person", name="r1", title="analyst", yearsOfExp=5, gender="M", major="CS")
+    r2 = b.node("person", name="r2", title="analyst", yearsOfExp=12, gender="F", major="Business")
+    d1 = b.node("person", name="d1", title="director", yearsOfExp=15, gender="M", major="CS")
+    d2 = b.node("person", name="d2", title="director", yearsOfExp=18, gender="F", major="Business")
+    d3 = b.node("person", name="d3", title="director", yearsOfExp=20, gender="M", major="CS")
+    d4 = b.node("person", name="d4", title="director", yearsOfExp=9, gender="F", major="Design")
+    b.edge(r1, o_small, "worksAt")
+    b.edge(r2, o_big, "worksAt")
+    b.edge(r1, d1, "recommend")
+    b.edge(r1, d2, "recommend")
+    b.edge(r1, d4, "recommend")
+    b.edge(r2, d2, "recommend")
+    b.edge(r2, d3, "recommend")
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def talent_ids():
+    """Stable node ids of the talent graph, by name."""
+    return {
+        "o_small": 0,
+        "o_big": 1,
+        "r1": 2,
+        "r2": 3,
+        "d1": 4,
+        "d2": 5,
+        "d3": 6,
+        "d4": 7,
+    }
+
+
+@pytest.fixture(scope="session")
+def talent_template():
+    """Fig. 1-style template over the toy talent graph.
+
+    Output ``u0``: a director recommended by ``u1`` who works at org
+    ``u2``; range variables on the recommender's experience and the org
+    size; one optional second recommendation edge from ``u3``.
+    """
+    return (
+        QueryTemplate.builder("toy-talent")
+        .node("u0", "person", Literal("title", Op.EQ, "director"))
+        .node("u1", "person")
+        .node("u2", "org")
+        .node("u3", "person")
+        .fixed_edge("u1", "u0", "recommend")
+        .fixed_edge("u1", "u2", "worksAt")
+        .edge_var("xe1", "u3", "u0", "recommend")
+        .range_var("xl1", "u1", "yearsOfExp", Op.GE)
+        .range_var("xl2", "u2", "employees", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def talent_groups(talent_ids):
+    """Gender groups over the four directors, c=1 each."""
+    ids = talent_ids
+    return GroupSet(
+        [
+            NodeGroup("M", frozenset({ids["d1"], ids["d3"]}), 1),
+            NodeGroup("F", frozenset({ids["d2"], ids["d4"]}), 1),
+        ]
+    )
+
+
+@pytest.fixture()
+def talent_config(talent_graph, talent_template, talent_groups):
+    """A ready-to-run generation configuration over the toy graph."""
+    return GenerationConfig(
+        talent_graph,
+        talent_template,
+        talent_groups,
+        epsilon=0.3,
+        lam=0.5,
+        max_domain_values=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def triangle_graph():
+    """A graph with a directed triangle plus a dangling path.
+
+    Used by matcher tests: cyclic patterns exercise the backtracking path
+    (arc consistency alone is not exact on cycles).
+    """
+    b = GraphBuilder("triangle")
+    a0 = b.node("a", x=1)
+    a1 = b.node("a", x=2)
+    a2 = b.node("a", x=3)
+    a3 = b.node("a", x=4)  # On a path, not on the triangle.
+    b.edge(a0, a1, "e")
+    b.edge(a1, a2, "e")
+    b.edge(a2, a0, "e")
+    b.edge(a3, a0, "e")
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def small_lki_bundle():
+    """A small but non-trivial LKI bundle (shared across tests)."""
+    from repro.datasets import lki_bundle
+
+    return lki_bundle(scale=0.12, coverage_total=6)
+
+
+@pytest.fixture()
+def small_lki_config(small_lki_bundle):
+    b = small_lki_bundle
+    return GenerationConfig(
+        b.graph, b.template, b.groups, epsilon=0.1, max_domain_values=4
+    )

@@ -1,0 +1,169 @@
+"""Integration tests: the generation algorithms against brute-force truth.
+
+For each configuration we enumerate and evaluate the full instance space
+(the universe of feasible instances), then check every algorithm's output
+against the paper's guarantees:
+
+* Kungs returns exactly the Pareto front;
+* EnumQGen / RfQGen / BiQGen return subsets of non-dominated points that
+  ε'-dominate the whole universe for a small ε' (ε for the directly
+  archived algorithms; (1+ε)²−1 covers BiQGen's sandwich slack);
+* the archive size bound of Theorem 2 holds.
+"""
+
+import pytest
+
+from repro.core import BiQGen, CBM, EnumQGen, Kungs, RfQGen
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.kung import kung_front
+from repro.core.lattice import InstanceLattice
+from repro.core.pareto import dominates, epsilon_dominates
+
+
+@pytest.fixture(scope="module")
+def universes():
+    """Evaluated instance universes keyed by config id (built once)."""
+    return {}
+
+
+def universe_for(config, cache):
+    key = id(config.graph), config.template.name, config.epsilon
+    if key not in cache:
+        evaluator = InstanceEvaluator(config)
+        lattice = InstanceLattice(config)
+        evaluated = [evaluator.evaluate(i) for i in lattice.enumerate_instances()]
+        cache[key] = [e for e in evaluated if e.feasible]
+    return cache[key]
+
+
+class TestKungsExact:
+    def test_kungs_is_exact_front(self, talent_config, universes):
+        feasible = universe_for(talent_config, universes)
+        expected = {
+            (p.delta, p.coverage) for p in kung_front(feasible)
+        }
+        result = Kungs(talent_config).run()
+        got = {(p.delta, p.coverage) for p in result.instances}
+        assert got == expected
+
+    def test_kungs_members_not_dominated(self, talent_config, universes):
+        feasible = universe_for(talent_config, universes)
+        result = Kungs(talent_config).run()
+        for kept in result.instances:
+            assert not any(dominates(other, kept) for other in feasible)
+
+
+def check_epsilon_pareto(result, feasible, epsilon, slack=1):
+    """Assert the two ε-Pareto set conditions with multiplicative slack.
+
+    ``slack=1`` checks plain ε-dominance; ``slack=2`` allows the
+    (1+ε)²−1 tolerance of archive-mediated pruning.
+    """
+    effective = (1 + epsilon) ** slack - 1
+    # (a) returned instances are non-dominated within the universe.
+    for kept in result.instances:
+        assert not any(
+            dominates(other, kept) for other in feasible
+        ), f"{result.algorithm} returned a dominated instance"
+    # (b) every feasible instance is ε-dominated by some returned one.
+    for point in feasible:
+        assert any(
+            epsilon_dominates(kept, point, effective) for kept in result.instances
+        ), f"{result.algorithm} fails to ε-dominate {point}"
+
+
+class TestApproximateAlgorithms:
+    @pytest.mark.parametrize("algorithm_cls,slack", [
+        (EnumQGen, 1),
+        (RfQGen, 1),
+        (BiQGen, 2),
+    ])
+    def test_epsilon_pareto_conditions_toy(
+        self, talent_config, universes, algorithm_cls, slack
+    ):
+        feasible = universe_for(talent_config, universes)
+        assert feasible, "fixture must admit feasible instances"
+        result = algorithm_cls(talent_config).run()
+        assert result.instances
+        check_epsilon_pareto(result, feasible, talent_config.epsilon, slack)
+
+    @pytest.mark.parametrize("algorithm_cls,slack", [
+        (EnumQGen, 1),
+        (RfQGen, 1),
+        (BiQGen, 2),
+    ])
+    def test_epsilon_pareto_conditions_lki(
+        self, small_lki_config, universes, algorithm_cls, slack
+    ):
+        feasible = universe_for(small_lki_config, universes)
+        assert feasible
+        result = algorithm_cls(small_lki_config).run()
+        check_epsilon_pareto(result, feasible, small_lki_config.epsilon, slack)
+
+    def test_size_bound(self, small_lki_config, universes):
+        feasible = universe_for(small_lki_config, universes)
+        delta_max = max(p.delta for p in feasible)
+        coverage_max = max(p.coverage for p in feasible)
+        for algorithm_cls in (EnumQGen, RfQGen, BiQGen):
+            result = algorithm_cls(small_lki_config).run()
+            from repro.core.update import EpsilonParetoArchive
+
+            bound = EpsilonParetoArchive(small_lki_config.epsilon).size_bound(
+                delta_max, coverage_max
+            )
+            assert len(result) <= bound
+
+
+class TestPruningEffect:
+    def test_rfqgen_verifies_no_more_than_enum(self, small_lki_config):
+        enum_result = EnumQGen(small_lki_config).run()
+        rf_result = RfQGen(small_lki_config).run()
+        assert rf_result.stats.verified <= enum_result.stats.verified
+
+    def test_rfqgen_prunes_infeasible_subtrees(self, small_lki_config):
+        result = RfQGen(small_lki_config).run()
+        # The small LKI config has an infeasible refined region.
+        assert result.stats.pruned > 0
+
+    def test_incremental_verification_used(self, small_lki_config):
+        result = RfQGen(small_lki_config).run()
+        assert result.stats.incremental > 0
+
+
+class TestAlgorithmAgreement:
+    def test_extremes_agree(self, small_lki_config, universes):
+        """All algorithms find (near-)extreme diversity and coverage points."""
+        feasible = universe_for(small_lki_config, universes)
+        best_delta = max(p.delta for p in feasible)
+        best_coverage = max(p.coverage for p in feasible)
+        eps = small_lki_config.epsilon
+        for algorithm_cls in (EnumQGen, RfQGen, BiQGen, Kungs):
+            result = algorithm_cls(small_lki_config).run()
+            got_delta = max(p.delta for p in result.instances)
+            got_coverage = max(p.coverage for p in result.instances)
+            assert got_delta * (1 + eps) ** 2 >= best_delta
+            assert got_coverage * (1 + eps) ** 2 >= best_coverage
+
+    def test_deterministic_results(self, small_lki_config):
+        a = BiQGen(small_lki_config).run()
+        b = BiQGen(small_lki_config).run()
+        assert [p.objectives for p in a.instances] == [
+            p.objectives for p in b.instances
+        ]
+
+
+class TestCBMBehaviour:
+    def test_cbm_returns_non_dominated_subset(self, small_lki_config, universes):
+        feasible = universe_for(small_lki_config, universes)
+        result = CBM(small_lki_config, levels=6).run()
+        assert result.instances
+        for kept in result.instances:
+            assert not any(dominates(other, kept) for other in feasible)
+
+    def test_cbm_contains_anchors(self, small_lki_config, universes):
+        feasible = universe_for(small_lki_config, universes)
+        result = CBM(small_lki_config, levels=6).run()
+        best_delta = max(p.delta for p in feasible)
+        best_coverage = max(p.coverage for p in feasible)
+        assert any(p.delta == best_delta for p in result.instances)
+        assert any(p.coverage == best_coverage for p in result.instances)

@@ -1,0 +1,78 @@
+"""Integration tests for the union-coverage workload generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.benchmark_suite import CoverageWorkloadGenerator
+
+
+class TestCoverageWorkload:
+    def test_meets_feasible_goal(self, small_lki_config):
+        # The template only matches directors, i.e. ≈20-25% of each gender
+        # group — a 0.15 union-coverage goal is achievable.
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        workload = generator.generate({"M": 0.15, "F": 0.15}, max_queries=6)
+        assert workload.satisfied, workload.achieved
+        assert 1 <= len(workload.queries) <= 6
+
+    def test_achieved_matches_union(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        workload = generator.generate({"M": 0.3, "F": 0.3}, max_queries=5)
+        groups = small_lki_config.groups
+        for name in ("M", "F"):
+            union = set()
+            for query in workload.queries:
+                union |= {v for v in query.matches if v in groups[name].members}
+            assert union == workload.covered[name]
+            assert workload.achieved[name] == pytest.approx(
+                len(union) / len(groups[name])
+            )
+
+    def test_zero_goal_selects_nothing(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        workload = generator.generate({}, max_queries=5)
+        assert workload.queries == []
+        assert workload.satisfied
+
+    def test_impossible_goal_reports_unsatisfied(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        # The template only matches directors, so covering 100% of all
+        # persons in each gender group is impossible.
+        workload = generator.generate({"M": 1.0, "F": 1.0}, max_queries=3)
+        assert not workload.satisfied
+        assert len(workload.queries) <= 3
+
+    def test_greedy_prefers_fewer_queries(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        pool = generator.candidate_pool()
+        small_goal = generator.generate({"M": 0.1, "F": 0.1}, max_queries=6, pool=pool)
+        big_goal = generator.generate({"M": 0.4, "F": 0.4}, max_queries=6, pool=pool)
+        assert len(small_goal.queries) <= len(big_goal.queries)
+
+    def test_invalid_fraction(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        with pytest.raises(ConfigurationError):
+            generator.generate({"M": 1.5})
+
+    def test_unknown_group(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        with pytest.raises(ConfigurationError):
+            generator.generate({"X": 0.5})
+
+    def test_summary_rows(self, small_lki_config):
+        generator = CoverageWorkloadGenerator(small_lki_config)
+        workload = generator.generate({"M": 0.2, "F": 0.2}, max_queries=4)
+        rows = workload.summary_rows()
+        assert {row["group"] for row in rows} == {"M", "F"}
+        for row in rows:
+            assert 0 <= row["achieved"] <= 1
+
+    def test_feasible_only_pool_smaller(self, small_lki_config):
+        all_pool = CoverageWorkloadGenerator(
+            small_lki_config, feasible_only=False
+        ).candidate_pool()
+        feasible_pool = CoverageWorkloadGenerator(
+            small_lki_config, feasible_only=True
+        ).candidate_pool()
+        assert len(feasible_pool) <= len(all_pool)
+        assert all(p.feasible for p in feasible_pool)

@@ -1,0 +1,147 @@
+"""Integration tests for the ``fairsqg`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.dataset == "lki"
+        assert args.algorithm == "biqgen"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--algorithm", "magic"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig9a"])
+        assert args.name == "fig9a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "DBP" in out and "LKI" in out and "Cite" in out
+
+    def test_generate(self, capsys):
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "lki",
+                "--algorithm",
+                "rfqgen",
+                "--scale",
+                "0.1",
+                "--coverage",
+                "6",
+                "--epsilon",
+                "0.2",
+                "--domain-cap",
+                "4",
+                "--show-queries",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RfQGen" in out
+        assert "run statistics" in out
+        assert "instance of" in out  # --show-queries rendering.
+
+    def test_generate_all_algorithms(self, capsys):
+        for algorithm in ("enum", "kungs", "cbm", "biqgen"):
+            code = main(
+                [
+                    "generate",
+                    "--dataset",
+                    "dbp",
+                    "--algorithm",
+                    algorithm,
+                    "--scale",
+                    "0.05",
+                    "--coverage",
+                    "4",
+                    "--epsilon",
+                    "0.3",
+                    "--domain-cap",
+                    "3",
+                ]
+            )
+            assert code == 0
+        assert capsys.readouterr().out
+
+    def test_online(self, capsys):
+        code = main(
+            [
+                "online",
+                "--dataset",
+                "lki",
+                "--k",
+                "3",
+                "--count",
+                "25",
+                "--scale",
+                "0.1",
+                "--coverage",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OnlineQGen" in out
+        assert "processed 25 instances" in out
+
+    def test_experiment_table2(self, capsys):
+        code = main(["experiment", "table2", "--scale", "0.05"])
+        assert code == 0
+        assert "table2" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_rpq(self, capsys):
+        code = main(["rpq", "--dataset", "cite", "--scale", "0.1",
+                     "--coverage", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RPQGen" in out and "cites+" in out
+
+    def test_rpq_lattice_variant(self, capsys):
+        code = main(["rpq", "--dataset", "cite", "--scale", "0.1",
+                     "--coverage", "6", "--lattice"])
+        assert code == 0
+        assert "RPQRfGen" in capsys.readouterr().out
+
+    def test_workload(self, capsys, tmp_path):
+        out_path = tmp_path / "w.json"
+        code = main(["workload", "--dataset", "lki", "--scale", "0.1",
+                     "--coverage", "6", "--fraction", "0.1",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goal satisfied" in out
+        assert out_path.exists()
+
+    def test_audit(self, capsys):
+        code = main(["audit", "--dataset", "lki", "--scale", "0.1",
+                     "--coverage", "6", "--lambda-r", "0.8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness audit" in out
+        assert "disparate impact" in out
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--dataset", "lki", "--scale", "0.1",
+                     "--coverage", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidate funnel" in out
+        assert "tightest node" in out

@@ -1,0 +1,55 @@
+"""End-to-end: every dataset bundle drives every main algorithm."""
+
+import pytest
+
+from repro import BiQGen, EnumQGen, GenerationConfig, Kungs, OnlineQGen, RfQGen
+from repro.core.pareto import dominates
+from repro.datasets import dataset_bundle, dataset_names
+from repro.workload import drifting_instance_stream
+
+
+@pytest.fixture(scope="module", params=list(dataset_names()))
+def bundle(request):
+    return dataset_bundle(request.param, scale=0.1, coverage_total=6)
+
+
+@pytest.fixture(scope="module")
+def config(bundle):
+    return GenerationConfig(
+        bundle.graph, bundle.template, bundle.groups, epsilon=0.1,
+        max_domain_values=4,
+    )
+
+
+class TestAllDatasets:
+    @pytest.mark.parametrize("algorithm_cls", [EnumQGen, Kungs, RfQGen, BiQGen])
+    def test_generation_produces_feasible_sets(self, config, algorithm_cls):
+        result = algorithm_cls(config).run()
+        assert result.instances, f"{algorithm_cls.__name__} found nothing feasible"
+        for point in result.instances:
+            assert config.groups.is_feasible(point.matches)
+
+    def test_returned_sets_mutually_consistent(self, config):
+        """No algorithm's pick is dominated by another algorithm's pick."""
+        results = {
+            cls.__name__: cls(config).run().instances
+            for cls in (Kungs, RfQGen, BiQGen)
+        }
+        exact = results["Kungs"]
+        for name in ("RfQGen", "BiQGen"):
+            for kept in results[name]:
+                assert not any(dominates(p, kept) for p in exact), (
+                    name,
+                    kept,
+                )
+
+    def test_online_over_drifting_stream(self, config):
+        """OnlineQGen stays within k and monotone-ε on a drifting stream."""
+        online = OnlineQGen(config, k=4, window=10, snapshot_every=20)
+        stream = drifting_instance_stream(
+            config.template, online.lattice.domains, 80, seed=3
+        )
+        result = online.run(stream)
+        assert len(result) <= 4
+        epsilons = [s.epsilon for s in online.snapshots]
+        assert epsilons == sorted(epsilons)

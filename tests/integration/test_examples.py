@@ -1,0 +1,92 @@
+"""Smoke tests: every bundled example runs to completion quickly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *extra_args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *extra_args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "BiQGen returned" in result.stdout
+        assert "instance of" in result.stdout
+
+    def test_talent_search(self):
+        result = run_example("talent_search.py", "--scale", "0.1", "--coverage", "6")
+        assert result.returncode == 0, result.stderr
+        assert "disparate-impact ratio" in result.stdout
+        assert "RfQGen" in result.stdout and "BiQGen" in result.stdout
+
+    def test_movie_recommendation(self):
+        result = run_example(
+            "movie_recommendation.py", "--scale", "0.1", "--per-genre", "4"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "best genre balance" in result.stdout
+
+    def test_academic_search(self):
+        result = run_example(
+            "academic_search.py", "--scale", "0.1", "--coverage", "6", "--topics", "2"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "exact Pareto front" in result.stdout
+        assert "I_ε" in result.stdout
+
+    def test_online_workload(self):
+        result = run_example(
+            "online_workload.py", "--scale", "0.1", "--count", "60", "--coverage", "6"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "final workload" in result.stdout
+        assert "evolution:" in result.stdout
+
+    def test_rpq_exploration(self):
+        result = run_example(
+            "rpq_exploration.py", "--scale", "0.1", "--coverage", "6"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "RPQGen" in result.stdout
+        assert "cites+" in result.stdout
+
+    def test_benchmark_workloads(self, tmp_path):
+        result = run_example(
+            "benchmark_workloads.py",
+            "--scale",
+            "0.1",
+            "--fraction",
+            "0.1",
+            "--out",
+            str(tmp_path / "w.json"),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "goal satisfied" in result.stdout
+        assert "round-trip OK: True" in result.stdout
+
+    def test_graph_updates(self):
+        result = run_example(
+            "graph_updates.py", "--scale", "0.1", "--coverage", "6",
+            "--updates", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "maintained suggestion" in result.stdout
+        assert "re-verified" in result.stdout
+
+    def test_custom_dataset(self):
+        result = run_example("custom_dataset.py")
+        assert result.returncode == 0, result.stderr
+        assert "schema conformance: 0 violations" in result.stdout
+        assert "FairSQG report" in result.stdout

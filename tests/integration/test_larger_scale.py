@@ -1,0 +1,53 @@
+"""Moderate-scale smoke: generation stays correct and fast as graphs grow.
+
+Not paper-scale (millions of nodes), but large enough that algorithmic
+pathologies (quadratic candidate scans, archive churn) would show up as
+timeouts. Budget: the whole module must run in well under a minute.
+"""
+
+import time
+
+import pytest
+
+from repro import BiQGen, GenerationConfig, RfQGen
+from repro.datasets import lki_bundle
+
+
+@pytest.fixture(scope="module")
+def half_scale_config():
+    bundle = lki_bundle(scale=0.5, coverage_total=24)
+    return GenerationConfig(
+        bundle.graph, bundle.template, bundle.groups,
+        epsilon=0.05, max_domain_values=6,
+    )
+
+
+class TestLargerScale:
+    def test_graph_size(self, half_scale_config):
+        graph = half_scale_config.graph
+        assert graph.num_nodes >= 900
+        assert graph.num_edges >= 3000
+
+    def test_biqgen_completes_quickly(self, half_scale_config):
+        start = time.perf_counter()
+        result = BiQGen(half_scale_config).run()
+        elapsed = time.perf_counter() - start
+        assert result.instances
+        assert elapsed < 30, f"BiQGen took {elapsed:.1f}s at scale 0.5"
+
+    def test_rfqgen_matches_biqgen_extremes(self, half_scale_config):
+        rf = RfQGen(half_scale_config).run()
+        bi = BiQGen(half_scale_config).run()
+        eps = half_scale_config.epsilon
+        assert max(p.delta for p in rf.instances) * (1 + eps) ** 2 >= max(
+            p.delta for p in bi.instances
+        )
+        assert max(p.coverage for p in rf.instances) * (1 + eps) ** 2 >= max(
+            p.coverage for p in bi.instances
+        )
+
+    def test_answers_are_substantial(self, half_scale_config):
+        """At this scale answers hold hundreds of matches — exercising the
+        decomposed diversity path (n > 64)."""
+        result = BiQGen(half_scale_config).run()
+        assert max(p.cardinality for p in result.instances) > 64

@@ -1,0 +1,129 @@
+"""Integration tests for the multiple-output-node extension."""
+
+import pytest
+
+from repro.core.multi_output import MultiOutputEvaluator, MultiOutputQGen
+from repro.core.pareto import dominates, epsilon_dominates
+from repro.errors import ConfigurationError, MatchingError
+from repro.matching.matcher import SubgraphMatcher
+from repro.query import Instantiation, QueryInstance
+
+
+class TestMatchOutputs:
+    def test_agrees_with_single_output(self, talent_graph, talent_template):
+        matcher = SubgraphMatcher(talent_graph)
+        q = QueryInstance(
+            Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+        )
+        single = matcher.match(q).matches
+        multi = matcher.match_outputs(q, [talent_template.output_node])
+        assert multi[talent_template.output_node] == single
+
+    def test_multiple_person_nodes(self, talent_graph, talent_template, talent_ids):
+        matcher = SubgraphMatcher(talent_graph)
+        q = QueryInstance(
+            Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+        )
+        result = matcher.match_outputs(q, ["u0", "u1"])
+        # u1 matches are recommenders working somewhere: r1 and r2... plus
+        # any person with an outgoing recommend+worksAt; here exactly r1, r2.
+        assert result["u1"] == {talent_ids["r1"], talent_ids["r2"]}
+        assert result["u0"] == {
+            talent_ids[d] for d in ("d1", "d2", "d3", "d4")
+        }
+
+    def test_inactive_output_rejected(self, talent_graph, talent_template):
+        matcher = SubgraphMatcher(talent_graph)
+        # xe1=0 drops u3 from the instance.
+        q = QueryInstance(
+            Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+        )
+        with pytest.raises(MatchingError):
+            matcher.match_outputs(q, ["u3"])
+
+    def test_cyclic_instance_per_output(self, triangle_graph):
+        from repro.query import QueryTemplate
+
+        template = (
+            QueryTemplate.builder("tri")
+            .node("u0", "a")
+            .node("u1", "a")
+            .node("u2", "a")
+            .fixed_edge("u0", "u1", "e")
+            .fixed_edge("u1", "u2", "e")
+            .fixed_edge("u2", "u0", "e")
+            .output("u0")
+            .build()
+        )
+        matcher = SubgraphMatcher(triangle_graph)
+        q = QueryInstance(Instantiation(template))
+        result = matcher.match_outputs(q, ["u0", "u1", "u2"])
+        for node in ("u0", "u1", "u2"):
+            assert result[node] == {0, 1, 2}
+
+
+class TestMultiOutputEvaluator:
+    def test_union_semantics(self, talent_config, talent_template, talent_ids):
+        evaluator = MultiOutputEvaluator(talent_config, ["u0", "u1"])
+        q = QueryInstance(
+            Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+        )
+        evaluated = evaluator.evaluate(q)
+        expected = {talent_ids[n] for n in ("d1", "d2", "d3", "d4", "r1", "r2")}
+        assert evaluated.matches == expected
+
+    def test_mixed_labels_rejected(self, talent_config):
+        with pytest.raises(ConfigurationError):
+            MultiOutputEvaluator(talent_config, ["u0", "u2"])  # person + org.
+
+    def test_empty_outputs_rejected(self, talent_config):
+        with pytest.raises(ConfigurationError):
+            MultiOutputEvaluator(talent_config, [])
+
+    def test_dropped_output_contributes_nothing(
+        self, talent_config, talent_template, talent_ids
+    ):
+        evaluator = MultiOutputEvaluator(talent_config, ["u0", "u3"])
+        # xe1=0 drops u3; only u0's matches remain.
+        q = QueryInstance(
+            Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+        )
+        evaluated = evaluator.evaluate(q)
+        assert evaluated.matches == {
+            talent_ids[d] for d in ("d1", "d2", "d3", "d4")
+        }
+
+
+class TestMultiOutputQGen:
+    def test_produces_valid_epsilon_pareto_set(self, talent_config):
+        gen = MultiOutputQGen(talent_config, ["u0", "u1"])
+        result = gen.run()
+        assert result.instances
+        # Rebuild the universe with the same evaluator and check conditions.
+        universe = [
+            gen.evaluator.evaluate(i)
+            for i in gen.lattice.enumerate_instances()
+        ]
+        feasible = [e for e in universe if e.feasible]
+        for point in feasible:
+            assert any(
+                epsilon_dominates(kept, point, talent_config.epsilon)
+                for kept in result.instances
+            )
+        for kept in result.instances:
+            assert not any(dominates(p, kept) for p in feasible)
+
+    def test_union_monotone_under_refinement(self, talent_config, talent_template):
+        """Lemma 2 extends: refinement shrinks the union answer."""
+        evaluator = MultiOutputEvaluator(talent_config, ["u0", "u1"])
+        relaxed = evaluator.evaluate(
+            QueryInstance(
+                Instantiation(talent_template, {"xl1": 5, "xl2": 100, "xe1": 0})
+            )
+        )
+        refined = evaluator.evaluate(
+            QueryInstance(
+                Instantiation(talent_template, {"xl1": 12, "xl2": 1000, "xe1": 1})
+            )
+        )
+        assert refined.matches <= relaxed.matches

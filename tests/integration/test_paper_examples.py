@@ -1,0 +1,97 @@
+"""Replays of the paper's worked examples (Examples 4, 5 and 7).
+
+Example 4/5 give four instances with coordinates
+``q1=(0,1), q2=(1,1), q3=(0.75,2), q4=(0.5,3)`` and ε = 0.3. The paper
+computes: Pareto set = {q2, q3, q4}; shifted boxing coordinates
+``(2,2), (2,4), (1,5)``; and the ε-Pareto set {q3, q4} after Update drops
+q2 (Example 7 walks the same Update trace). These tests replay all of it
+through our machinery with ``shifted=True`` boxes (the formula the paper
+prints — see DESIGN.md §5.2 for the strict-mode deviation).
+"""
+
+import pytest
+
+from repro.core.kung import kung_front
+from repro.core.pareto import Box, box_of, dominates, pareto_front
+from repro.core.update import EpsilonParetoArchive, UpdateCase
+
+
+class PaperPoint:
+    def __init__(self, name, delta, coverage):
+        self.name = name
+        self.delta = delta
+        self.coverage = coverage
+        self.instance = name  # Identity for archive bookkeeping.
+
+    def __repr__(self):
+        return self.name
+
+
+@pytest.fixture(scope="module")
+def example_points():
+    return {
+        "q1": PaperPoint("q1", 0.0, 1.0),
+        "q2": PaperPoint("q2", 1.0, 1.0),
+        "q3": PaperPoint("q3", 0.75, 2.0),
+        "q4": PaperPoint("q4", 0.5, 3.0),
+    }
+
+
+class TestExample5ParetoSet:
+    def test_pareto_set_is_q2_q3_q4(self, example_points):
+        points = list(example_points.values())
+        front = {p.name for p in pareto_front(points)}
+        assert front == {"q2", "q3", "q4"}
+        assert front == {p.name for p in kung_front(points)}
+
+    def test_q1_dominated_by_all_others(self, example_points):
+        q = example_points
+        for other in ("q2", "q3", "q4"):
+            assert dominates(q[other], q["q1"])
+
+
+class TestExample5BoxingCoordinates:
+    def test_shifted_boxes_match_paper(self, example_points):
+        """The paper's "boxing" coordinates: (2,2), (2,4), (1,5)."""
+        q = example_points
+        eps = 0.3
+        assert box_of(q["q2"], eps, shifted=True) == Box(2, 2)
+        assert box_of(q["q3"], eps, shifted=True) == Box(2, 4)
+        assert box_of(q["q4"], eps, shifted=True) == Box(1, 5)
+
+    def test_q3_box_dominates_q2_box(self, example_points):
+        q = example_points
+        b3 = box_of(q["q3"], 0.3, shifted=True)
+        b2 = box_of(q["q2"], 0.3, shifted=True)
+        assert b3.dominates(b2)
+
+    def test_q3_q4_boxes_incomparable(self, example_points):
+        q = example_points
+        b3 = box_of(q["q3"], 0.3, shifted=True)
+        b4 = box_of(q["q4"], 0.3, shifted=True)
+        assert not b3.dominates(b4) and not b4.dominates(b3)
+
+
+class TestExample7UpdateTrace:
+    """The Update walk of Example 7: add q2, replace with q3, keep q4,
+    reject q1, final set {q3, q4}."""
+
+    def test_full_trace(self, example_points):
+        q = example_points
+        archive = EpsilonParetoArchive(0.3, shifted=True)
+        assert archive.offer(q["q2"]) is UpdateCase.ADDED_BOX
+        assert archive.offer(q["q3"]) is UpdateCase.REPLACED_BOXES
+        assert {p.name for p in archive} == {"q3"}
+        assert archive.offer(q["q4"]) is UpdateCase.ADDED_BOX
+        assert archive.offer(q["q1"]) is UpdateCase.REJECTED
+        assert {p.name for p in archive} == {"q3", "q4"}
+
+    def test_arrival_order_invariance(self, example_points):
+        import itertools
+
+        q = example_points
+        for order in itertools.permutations(["q1", "q2", "q3", "q4"]):
+            archive = EpsilonParetoArchive(0.3, shifted=True)
+            for name in order:
+                archive.offer(q[name])
+            assert {p.name for p in archive} == {"q3", "q4"}, order

@@ -1,0 +1,41 @@
+"""Integration tests for ParallelQGen (the paper's future-work topic)."""
+
+import pytest
+
+from repro.core import EnumQGen
+from repro.core.parallel import ParallelQGen, _fork_available
+
+
+def objective_set(result):
+    return sorted((round(p.delta, 9), round(p.coverage, 9)) for p in result.instances)
+
+
+class TestParallelQGen:
+    def test_serial_fallback_matches_enum(self, talent_config):
+        enum = EnumQGen(talent_config).run()
+        parallel = ParallelQGen(talent_config, workers=1).run()
+        assert objective_set(parallel) == objective_set(enum)
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+    def test_parallel_matches_enum_toy(self, talent_config):
+        enum = EnumQGen(talent_config).run()
+        parallel = ParallelQGen(talent_config, workers=2, batch_size=4).run()
+        assert objective_set(parallel) == objective_set(enum)
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+    def test_parallel_matches_enum_lki(self, small_lki_config):
+        enum = EnumQGen(small_lki_config).run()
+        parallel = ParallelQGen(small_lki_config, workers=3, batch_size=8).run()
+        assert objective_set(parallel) == objective_set(enum)
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+    def test_batch_size_irrelevant_to_result(self, talent_config):
+        small = ParallelQGen(talent_config, workers=2, batch_size=1).run()
+        large = ParallelQGen(talent_config, workers=2, batch_size=1000).run()
+        assert objective_set(small) == objective_set(large)
+
+    def test_stats_populated(self, talent_config):
+        result = ParallelQGen(talent_config, workers=1).run()
+        assert result.stats.generated > 0
+        assert result.stats.verified == result.stats.generated
+        assert result.stats.feasible > 0

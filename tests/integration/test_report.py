@@ -1,0 +1,63 @@
+"""Integration tests for the run-report builder and its CLI flag."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import BiQGen
+from repro.core.report import build_report
+
+
+class TestBuildReport:
+    def test_full_report_sections(self, small_lki_config):
+        algo = BiQGen(small_lki_config)
+        result = algo.run()
+        text = build_report(small_lki_config, result, evaluator=algo.evaluator)
+        assert "FairSQG report: BiQGen" in text
+        assert "representative instances" in text
+        assert "preferred instance" in text
+        assert "fairness audit" in text
+        assert "vs the most relaxed query" in text
+        assert "suggested edits:" in text or "identical" in text
+
+    def test_empty_result_report(self, talent_graph, talent_template, talent_ids):
+        from repro import GenerationConfig, GroupSet, NodeGroup
+
+        groups = GroupSet([NodeGroup("ghost", frozenset({talent_ids["r1"]}), 1)])
+        config = GenerationConfig(
+            talent_graph, talent_template, groups, epsilon=0.3
+        )
+        result = BiQGen(config).run()
+        text = build_report(config, result)
+        assert "no feasible instances" in text
+
+    def test_representative_cap(self, small_lki_config):
+        result = BiQGen(small_lki_config).run()
+        text = build_report(small_lki_config, result, max_representatives=2)
+        assert "2 representative instances" in text or "1 representative" in text
+
+    def test_lambda_in_header(self, small_lki_config):
+        result = BiQGen(small_lki_config).run()
+        text = build_report(small_lki_config, result, lambda_r=0.9)
+        assert "λ_R = 0.9" in text
+
+
+class TestCliReportFlag:
+    def test_generate_report(self, capsys):
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "lki",
+                "--scale",
+                "0.1",
+                "--coverage",
+                "6",
+                "--epsilon",
+                "0.1",
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FairSQG report" in out
+        assert "fairness audit" in out

@@ -1,0 +1,34 @@
+"""Integration tests for the campaign runner."""
+
+import pytest
+
+from repro.bench.runner import experiment_registry, run_all
+from repro.bench.settings import BenchSettings
+
+
+TINY = BenchSettings(scale=0.06, coverage_total=4, max_domain_values=3, epsilon=0.05)
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        registry = experiment_registry()
+        for exp_id in (
+            "table2", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f",
+            "fig9gh", "cbm", "fig10a", "fig10b", "fig10c", "fig10d",
+            "fig11a", "fig11b", "fig12",
+        ):
+            assert exp_id in registry, exp_id
+
+
+class TestRunAll:
+    def test_subset_run_writes_markdown(self, tmp_path):
+        out = tmp_path / "RESULTS.md"
+        text = run_all(TINY, output_path=out, only=["table2", "fig9a"])
+        assert out.exists()
+        assert "Table II" in text
+        assert "Fig 9(a)" in text
+        assert "```" in text
+
+    def test_unknown_only_runs_nothing(self):
+        text = run_all(TINY, only=["nope"])
+        assert "##" not in text

@@ -1,0 +1,68 @@
+"""Integration tests for the FairSQGSession facade."""
+
+import pytest
+
+from repro.core.rfqgen import RfQGen
+from repro.session import FairSQGSession
+
+
+@pytest.fixture()
+def session(small_lki_bundle):
+    b = small_lki_bundle
+    return FairSQGSession(
+        b.graph, b.template, b.groups, epsilon=0.1, max_domain_values=4
+    )
+
+
+class TestSession:
+    def test_suggest_cached(self, session):
+        first = session.suggest()
+        second = session.suggest()
+        assert first is second
+        assert session.suggest(force=True) is not first
+
+    def test_result_property_triggers_run(self, session):
+        assert len(session.result) >= 1
+
+    def test_top_spread(self, session):
+        top = session.top(2)
+        assert 1 <= len(top) <= 2
+        assert top == sorted(top, key=lambda p: (-p.delta, -p.coverage))
+
+    def test_pick_and_why(self, session):
+        pick = session.pick(lambda_r=0.9)
+        assert pick is not None
+        narrative = session.why(pick)
+        assert "answer size:" in narrative
+
+    def test_audit(self, session):
+        pick = session.pick(0.5)
+        audit = session.audit(pick)
+        assert audit.feasible
+        assert {e.name for e in audit.entries} == {"M", "F"}
+
+    def test_report(self, session):
+        text = session.report(lambda_r=0.7, max_representatives=3)
+        assert "FairSQG report" in text
+        assert "λ_R = 0.7" in text
+
+    def test_initial_is_most_relaxed(self, session):
+        initial = session.initial
+        for point in session.result.instances:
+            assert point.matches <= initial.matches
+
+    def test_algorithm_override(self, small_lki_bundle):
+        b = small_lki_bundle
+        session = FairSQGSession(
+            b.graph, b.template, b.groups, epsilon=0.1,
+            algorithm=RfQGen, max_domain_values=4,
+        )
+        assert session.result.algorithm == "RfQGen"
+
+    def test_config_options_forwarded(self, small_lki_bundle):
+        b = small_lki_bundle
+        session = FairSQGSession(
+            b.graph, b.template, b.groups, epsilon=0.1, lam=0.9,
+            max_domain_values=4,
+        )
+        assert session.config.lam == 0.9

@@ -1,0 +1,106 @@
+"""Regression: template refinement must not skip distinguishing bounds.
+
+Found by the end-to-end hypothesis test: with a *quantized* domain, the
+paper's "restrict x's values to those occurring in G_q^d" implemented as a
+plain intersection can drop a quantized bound that still separates match
+sets — here ``xl = 1`` (the only bound selecting recommender 6 alone) is
+in the quantized domain ``[0, 1, 3, 4]`` but not among the in-ball scores
+``{0, 2, 4}``, so RfQGen jumped from 0 straight to the infeasible 4 and
+lost the high-coverage front instance (δ=1.05, f=2). The fix snaps each
+in-ball value to its domain representative (0→0, 2→1, 4→4), keeping the
+step while preserving the pruning of the hopeless bound 3.
+"""
+
+import pytest
+
+from repro import (
+    BiQGen,
+    EnumQGen,
+    GenerationConfig,
+    GroupSet,
+    Literal,
+    NodeGroup,
+    Op,
+    QueryTemplate,
+    RfQGen,
+)
+from repro.core.pareto import epsilon_dominates
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture(scope="module")
+def config():
+    b = GraphBuilder("regression")
+    # Targets (answers) with scores and groups a/b.
+    b.node("person", kind="target", score=4, group="a")  # 0
+    b.node("person", kind="target", score=1, group="a")  # 1
+    b.node("person", kind="target", score=0, group="a")  # 2
+    b.node("person", kind="target", score=0, group="b")  # 3
+    b.node("person", kind="target", score=0, group="a")  # 4
+    b.node("person", kind="target", score=3, group="a")  # 5
+    # Recommenders: 6 (score 2) covers both groups; 7 (score 0) covers one.
+    b.node("person", kind="rec", score=2)  # 6
+    b.node("person", kind="rec", score=0)  # 7
+    b.edge(6, 2, "rec")
+    b.edge(6, 3, "rec")
+    b.edge(7, 0, "rec")
+    graph = b.build()
+
+    template = (
+        QueryTemplate.builder("regression")
+        .node("u0", "person", Literal("kind", Op.EQ, "target"))
+        .node("u1", "person")
+        .node("u1x", "person")
+        .fixed_edge("u1", "u0", "rec")
+        .edge_var("xe", "u1", "u1x", "rec")
+        .range_var("xl", "u1", "score", Op.GE)
+        .output("u0")
+        .build()
+    )
+    groups = GroupSet(
+        [
+            NodeGroup("a", frozenset({0, 1, 2, 4, 5}), 1),
+            NodeGroup("b", frozenset({3}), 1),
+        ]
+    )
+    # max_domain_values=4 quantizes score's domain {0,1,2,3,4} to
+    # [0, 1, 3, 4] — the quantization/ball interaction under test.
+    return GenerationConfig(graph, template, groups, epsilon=0.05, max_domain_values=4)
+
+
+class TestTemplateRefinementRegression:
+    def test_quantized_domain_is_exactly_the_failing_shape(self, config):
+        from repro.core.lattice import InstanceLattice
+
+        lattice = InstanceLattice(config)
+        assert lattice.domains.domain("xl") == (0, 1, 3, 4)
+
+    @pytest.mark.parametrize("algorithm_cls", [RfQGen, BiQGen])
+    def test_high_coverage_instance_not_lost(self, config, algorithm_cls):
+        enum = EnumQGen(config).run()
+        result = algorithm_cls(config).run()
+        slack = (
+            config.epsilon
+            if algorithm_cls is RfQGen
+            else (1 + config.epsilon) ** 2 - 1
+        )
+        for point in enum.instances:
+            assert any(
+                epsilon_dominates(kept, point, slack)
+                for kept in result.instances
+            ), f"{algorithm_cls.__name__} lost {point}"
+        # Specifically: the f=2 (exact-coverage) instance must be covered.
+        best_coverage = max(p.coverage for p in result.instances)
+        assert best_coverage == 2.0
+
+    def test_refinement_still_prunes_hopeless_bound(self, config):
+        """The fix keeps pruning: bound 3 (no rec scores ≥ 3) is skipped."""
+        result = RfQGen(config).run()
+        visited_bounds = set()
+        # Recover the bounds RfQGen actually verified from the evaluator cache.
+        for key in result.instances:
+            visited_bounds.add(dict(key.instance.instantiation)["xl"])
+        # Verified-instance count stays below exhaustive (4 instances
+        # spawn-pruned territory): 3 is never a useful next step because
+        # no in-ball value maps to it.
+        assert result.stats.verified <= EnumQGen(config).run().stats.verified

@@ -1,0 +1,97 @@
+"""Property-based tests: incremental match maintenance ≡ full recompute.
+
+Random graphs, random deltas (edge flips), a fixed two-hop query: after
+every maintained update the maintainer's match set must equal a fresh full
+verification on the updated graph.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
+from repro.matching.matcher import SubgraphMatcher
+from repro.query import Instantiation, Op, QueryInstance, QueryTemplate
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+def two_hop_template():
+    return (
+        QueryTemplate.builder("two-hop")
+        .node("u0", "a")
+        .node("u1", "a")
+        .node("u2", "a")
+        .fixed_edge("u1", "u0", "e")
+        .fixed_edge("u2", "u1", "e")
+        .range_var("xl", "u2", "x", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+@st.composite
+def graph_and_delta(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    graph = AttributedGraph("g")
+    for i in range(n):
+        graph.add_node(i, "a", {"x": draw(st.integers(min_value=0, max_value=4))})
+    possible = [(i, j, "e") for i in range(n) for j in range(n) if i != j]
+    present = draw(
+        st.lists(st.sampled_from(possible), max_size=14, unique=True)
+    )
+    for source, target, label in present:
+        graph.add_edge(source, target, label)
+    graph.freeze()
+
+    absent = [key for key in possible if key not in set(present)]
+    inserts = tuple(
+        draw(st.lists(st.sampled_from(absent), max_size=3, unique=True))
+        if absent
+        else []
+    )
+    deletes = tuple(
+        draw(st.lists(st.sampled_from(present), max_size=3, unique=True))
+        if present
+        else []
+    )
+    return graph, GraphDelta(insert_edges=inserts, delete_edges=deletes)
+
+
+class TestDeltaMaintenance:
+    @SETTINGS
+    @given(setup=graph_and_delta(), bound=st.integers(min_value=0, max_value=4))
+    def test_maintained_equals_full_recompute(self, setup, bound):
+        graph, delta = setup
+        instance = QueryInstance(Instantiation(two_hop_template(), {"xl": bound}))
+        maintainer = IncrementalMatchMaintainer(graph, instance)
+        new_graph = maintainer.apply(delta)
+        expected = SubgraphMatcher(new_graph).match(instance).matches
+        assert maintainer.matches == expected
+
+    @SETTINGS
+    @given(setup=graph_and_delta())
+    def test_sequential_deltas(self, setup):
+        graph, delta = setup
+        instance = QueryInstance(Instantiation(two_hop_template(), {"xl": 0}))
+        maintainer = IncrementalMatchMaintainer(graph, instance)
+        # Apply, then invert the delta; the matches must return to the
+        # original set (apply's validation guarantees both legs are legal).
+        original = maintainer.matches
+        maintainer.apply(delta)
+        inverse = GraphDelta(
+            insert_edges=delta.delete_edges, delete_edges=delta.insert_edges
+        )
+        maintainer.apply(inverse)
+        assert maintainer.matches == original
+
+    @SETTINGS
+    @given(setup=graph_and_delta())
+    def test_empty_delta_is_noop(self, setup):
+        graph, _ = setup
+        instance = QueryInstance(Instantiation(two_hop_template(), {"xl": 0}))
+        maintainer = IncrementalMatchMaintainer(graph, instance)
+        before = maintainer.matches
+        returned = maintainer.apply(GraphDelta())
+        assert returned is graph
+        assert maintainer.matches == before
+        assert maintainer.last_rechecked == 0

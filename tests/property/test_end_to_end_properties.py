@@ -1,0 +1,164 @@
+"""Randomized end-to-end validation of the generation algorithms.
+
+Hypothesis draws whole configurations — graph, groups, epsilon — and the
+lattice algorithms must deliver valid ε-Pareto sets against the brute-force
+universe on every draw. This is the highest-leverage test in the suite: a
+bug anywhere (matcher, measures, lattice, pruning, archive) surfaces here.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import BiQGen, EnumQGen, GenerationConfig, GroupSet, NodeGroup, RfQGen
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.lattice import InstanceLattice
+from repro.core.pareto import dominates, epsilon_dominates
+from repro.graph.attributed_graph import AttributedGraph
+from repro.query import Literal, Op, QueryTemplate
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def fixed_template():
+    """Recommendation template over the random graphs below."""
+    return (
+        QueryTemplate.builder("e2e")
+        .node("u0", "person", Literal("kind", Op.EQ, "target"))
+        .node("u1", "person")
+        .fixed_edge("u1", "u0", "rec")
+        .edge_var("xe", "u1", "u1x", "rec")
+        .node("u1x", "person")
+        .range_var("xl", "u1", "score", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+@st.composite
+def configurations(draw):
+    n_targets = draw(st.integers(min_value=4, max_value=8))
+    n_recommenders = draw(st.integers(min_value=2, max_value=4))
+    graph = AttributedGraph("e2e")
+    targets = []
+    for i in range(n_targets):
+        graph.add_node(
+            i,
+            "person",
+            {
+                "kind": "target",
+                "score": draw(st.integers(min_value=0, max_value=5)),
+                "group": draw(st.sampled_from(["a", "b"])),
+            },
+        )
+        targets.append(i)
+    recommenders = []
+    for i in range(n_targets, n_targets + n_recommenders):
+        graph.add_node(
+            i,
+            "person",
+            {"kind": "rec", "score": draw(st.integers(min_value=0, max_value=5))},
+        )
+        recommenders.append(i)
+    # Each recommender recommends a random non-empty subset of targets,
+    # and possibly another recommender (feeding the optional edge).
+    for r in recommenders:
+        chosen = draw(
+            st.sets(st.sampled_from(targets), min_size=1, max_size=n_targets)
+        )
+        for t in chosen:
+            graph.add_edge(r, t, "rec")
+        if draw(st.booleans()) and len(recommenders) > 1:
+            other = draw(st.sampled_from([x for x in recommenders if x != r]))
+            graph.add_edge(r, other, "rec")
+    graph.freeze()
+
+    group_a = frozenset(t for t in targets if graph.attribute(t, "group") == "a")
+    group_b = frozenset(t for t in targets if graph.attribute(t, "group") == "b")
+    if not group_a or not group_b:
+        # Degenerate split: make singleton groups from the two ends.
+        group_a, group_b = frozenset({targets[0]}), frozenset({targets[-1]})
+    groups = GroupSet(
+        [
+            NodeGroup("a", group_a, min(1, len(group_a))),
+            NodeGroup("b", group_b, min(1, len(group_b))),
+        ]
+    )
+    epsilon = draw(st.sampled_from([0.05, 0.2, 0.5, 1.0]))
+    return GenerationConfig(
+        graph, fixed_template(), groups, epsilon=epsilon, max_domain_values=4
+    )
+
+
+def feasible_universe(config):
+    evaluator = InstanceEvaluator(config)
+    lattice = InstanceLattice(config)
+    return [
+        e
+        for e in (evaluator.evaluate(i) for i in lattice.enumerate_instances())
+        if e.feasible
+    ]
+
+
+class TestEndToEnd:
+    @SETTINGS
+    @given(config=configurations())
+    def test_rfqgen_is_valid_epsilon_pareto_set(self, config):
+        universe = feasible_universe(config)
+        result = RfQGen(config).run()
+        assert len(result.instances) == 0 if not universe else True
+        for point in universe:
+            assert any(
+                epsilon_dominates(kept, point, config.epsilon)
+                for kept in result.instances
+            )
+        for kept in result.instances:
+            assert not any(dominates(p, kept) for p in universe)
+
+    @SETTINGS
+    @given(config=configurations())
+    def test_biqgen_is_valid_epsilon_pareto_set(self, config):
+        universe = feasible_universe(config)
+        result = BiQGen(config).run()
+        slack = (1 + config.epsilon) ** 2 - 1
+        for point in universe:
+            assert any(
+                epsilon_dominates(kept, point, slack) for kept in result.instances
+            )
+        for kept in result.instances:
+            assert not any(dominates(p, kept) for p in universe)
+
+    @SETTINGS
+    @given(config=configurations())
+    def test_pruned_algorithms_never_exceed_enum_work(self, config):
+        enum = EnumQGen(config).run()
+        rf = RfQGen(config).run()
+        assert rf.stats.verified <= enum.stats.verified
+
+
+class TestTemplateRefinementSoundness:
+    """Template refinement is an optimization: quality must be unchanged.
+
+    This is the property that caught the quantization/ball interaction bug
+    (see tests/integration/test_template_refinement_regression.py).
+    """
+
+    @SETTINGS
+    @given(config=configurations())
+    def test_on_off_equivalent(self, config):
+        from dataclasses import replace
+
+        on = RfQGen(config).run()
+        off = RfQGen(replace(config, use_template_refinement=False)).run()
+        for point in off.instances:
+            assert any(
+                epsilon_dominates(kept, point, config.epsilon)
+                for kept in on.instances
+            ), ("refinement lost", point)
+        for point in on.instances:
+            assert any(
+                epsilon_dominates(kept, point, config.epsilon)
+                for kept in off.instances
+            ), ("refinement invented", point)

@@ -1,0 +1,127 @@
+"""Property-based tests: the matcher against brute-force enumeration.
+
+Random small graphs (two labels, one numeric attribute, random edges) are
+matched against a fixed family of query shapes (path, star, triangle, with
+and without literals / optional edges); the backtracking matcher must agree
+with the exponential reference oracle on every draw.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.matching import SubgraphMatcher, naive_match_set
+from repro.query import Instantiation, Op, QueryInstance, QueryTemplate
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """A random graph with ≤7 nodes, labels a/b, attribute x ∈ [0, 5]."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    graph = AttributedGraph("random")
+    for i in range(n):
+        label = draw(st.sampled_from(["a", "b"]))
+        x = draw(st.integers(min_value=0, max_value=5))
+        graph.add_node(i, label, {"x": x})
+    possible = [(i, j) for i in range(n) for j in range(n) if i != j]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=min(14, len(possible)), unique=True)
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target, "e")
+    return graph.freeze()
+
+
+def path_template():
+    return (
+        QueryTemplate.builder("path")
+        .node("u0", "a")
+        .node("u1", "b")
+        .fixed_edge("u1", "u0", "e")
+        .range_var("xl", "u1", "x", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+def star_template():
+    return (
+        QueryTemplate.builder("star")
+        .node("u0", "a")
+        .node("u1", "b")
+        .node("u2", "b")
+        .fixed_edge("u1", "u0", "e")
+        .edge_var("xe", "u2", "u0", "e")
+        .range_var("xl", "u0", "x", Op.LE)
+        .output("u0")
+        .build()
+    )
+
+
+def triangle_template():
+    return (
+        QueryTemplate.builder("triangle")
+        .node("u0", "a")
+        .node("u1", "a")
+        .node("u2", "a")
+        .fixed_edge("u0", "u1", "e")
+        .fixed_edge("u1", "u2", "e")
+        .edge_var("xe", "u2", "u0", "e")
+        .output("u0")
+        .build()
+    )
+
+
+TEMPLATES = [path_template(), star_template(), triangle_template()]
+
+
+class TestMatcherAgainstOracle:
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        template_index=st.integers(min_value=0, max_value=2),
+        bound=st.integers(min_value=0, max_value=5),
+        edge_bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_homomorphism_semantics(self, graph, template_index, bound, edge_bit):
+        template = TEMPLATES[template_index]
+        bindings = {}
+        if "xl" in template.variable_names():
+            bindings["xl"] = bound
+        if "xe" in template.variable_names():
+            bindings["xe"] = edge_bit
+        instance = QueryInstance(Instantiation(template, bindings))
+        matcher = SubgraphMatcher(graph)
+        assert matcher.match(instance).matches == naive_match_set(graph, instance)
+
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        template_index=st.integers(min_value=0, max_value=2),
+        edge_bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_injective_semantics(self, graph, template_index, edge_bit):
+        template = TEMPLATES[template_index]
+        bindings = {}
+        if "xl" in template.variable_names():
+            bindings["xl"] = 0 if template.variable("xl").op is Op.GE else 5
+        if "xe" in template.variable_names():
+            bindings["xe"] = edge_bit
+        instance = QueryInstance(Instantiation(template, bindings))
+        matcher = SubgraphMatcher(graph, injective=True)
+        assert matcher.match(instance).matches == naive_match_set(
+            graph, instance, injective=True
+        )
+
+    @SETTINGS
+    @given(graph=random_graphs(), bound=st.integers(min_value=0, max_value=5))
+    def test_candidates_superset_of_matches(self, graph, bound):
+        template = path_template()
+        instance = QueryInstance(Instantiation(template, {"xl": bound}))
+        result = SubgraphMatcher(graph).match(instance)
+        assert result.matches <= frozenset(result.candidates.get("u0", set()))

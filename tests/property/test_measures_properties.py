@@ -1,0 +1,99 @@
+"""Property-based tests for the diversity and coverage measures."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.measures import CoverageMeasure, DiversityMeasure
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.groups import GroupSet, NodeGroup
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@st.composite
+def attributed_nodes(draw):
+    """A graph of one label with mixed numeric/categorical/missing attrs."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    graph = AttributedGraph("g")
+    for i in range(n):
+        attrs = {}
+        if draw(st.booleans()):
+            attrs["num"] = draw(st.integers(min_value=0, max_value=50))
+        if draw(st.booleans()):
+            attrs["cat"] = draw(st.sampled_from(["r", "g", "b"]))
+        graph.add_node(i, "m", attrs)
+    return graph.freeze()
+
+
+class TestDiversityProperties:
+    @SETTINGS
+    @given(graph=attributed_nodes(), lam=st.floats(min_value=0.0, max_value=1.0))
+    def test_exact_equals_decomposed(self, graph, lam):
+        exact = DiversityMeasure(graph, "m", lam=lam, mode="exact")
+        fast = DiversityMeasure(graph, "m", lam=lam, mode="decomposed")
+        answer = set(graph.node_ids())
+        assert abs(exact.of(answer) - fast.of(answer)) < 1e-9
+
+    @SETTINGS
+    @given(graph=attributed_nodes(), lam=st.floats(min_value=0.0, max_value=1.0))
+    def test_bounds(self, graph, lam):
+        measure = DiversityMeasure(graph, "m", lam=lam)
+        answer = set(graph.node_ids())
+        value = measure.of(answer)
+        assert 0.0 <= value <= measure.upper_bound + 1e-9
+
+    @SETTINGS
+    @given(graph=attributed_nodes())
+    def test_monotone_under_superset(self, graph):
+        """Max-sum diversity only grows when the answer grows."""
+        measure = DiversityMeasure(graph, "m", lam=0.5)
+        nodes = sorted(graph.node_ids())
+        for cut in range(1, len(nodes)):
+            smaller = measure.of(nodes[:cut])
+            larger = measure.of(nodes[: cut + 1])
+            assert larger >= smaller - 1e-9
+
+
+group_ids = st.sets(st.integers(min_value=0, max_value=30), min_size=1, max_size=10)
+
+
+class TestCoverageProperties:
+    @SETTINGS
+    @given(
+        a=group_ids,
+        b=group_ids,
+        answer=st.sets(st.integers(min_value=0, max_value=40), max_size=20),
+    )
+    def test_range_and_feasibility(self, a, b, answer):
+        b = b - a  # Enforce disjointness.
+        if not b:
+            return
+        groups = GroupSet(
+            [
+                NodeGroup("A", frozenset(a), min(1, len(a))),
+                NodeGroup("B", frozenset(b), min(1, len(b))),
+            ]
+        )
+        measure = CoverageMeasure(groups)
+        value = measure.of(answer)
+        assert 0.0 <= value <= measure.upper_bound
+        if measure.is_feasible(answer):
+            for group in groups:
+                assert group.overlap(answer) >= group.coverage
+
+    @SETTINGS
+    @given(a=group_ids, b=group_ids)
+    def test_exact_coverage_maximizes_f(self, a, b):
+        b = b - a
+        if not b:
+            return
+        groups = GroupSet(
+            [
+                NodeGroup("A", frozenset(a), min(1, len(a))),
+                NodeGroup("B", frozenset(b), min(1, len(b))),
+            ]
+        )
+        measure = CoverageMeasure(groups)
+        exact = set(list(a)[: groups["A"].coverage]) | set(
+            list(b)[: groups["B"].coverage]
+        )
+        assert measure.of(exact) == measure.upper_bound

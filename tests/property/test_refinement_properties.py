@@ -1,0 +1,112 @@
+"""Property-based tests: refinement preorder laws and Lemma 2 monotonicity."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+# The session-scoped graph/template fixtures are immutable, and each test
+# builds its own evaluator, so sharing them across generated examples is
+# safe — suppress the function-scoped-fixture health check.
+SHARED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+from repro.core.evaluator import InstanceEvaluator
+from repro.query import Instantiation, QueryInstance
+from repro.query.refinement import compare_instantiations, refines, strictly_refines
+
+# The toy talent template has xl1 ∈ yearsOfExp (GE), xl2 ∈ employees (GE),
+# xe1 ∈ {0, 1}. Draw bindings from the graph's actual active domains plus
+# values between/around them.
+XL1 = st.sampled_from([5, 9, 12, 15, 18, 20])
+XL2 = st.sampled_from([100, 500, 1000])
+XE1 = st.sampled_from([0, 1])
+
+
+def bindings():
+    return st.tuples(XL1, XL2, XE1)
+
+
+def make(template, triple):
+    xl1, xl2, xe1 = triple
+    return Instantiation(template, {"xl1": xl1, "xl2": xl2, "xe1": xe1})
+
+
+class TestPreorderLaws:
+    @given(a=bindings())
+    def test_reflexive(self, talent_template, a):
+        inst = make(talent_template, a)
+        assert refines(inst, inst)
+
+    @given(a=bindings(), b=bindings(), c=bindings())
+    def test_transitive(self, talent_template, a, b, c):
+        ia, ib, ic = (make(talent_template, t) for t in (a, b, c))
+        if refines(ia, ib) and refines(ib, ic):
+            assert refines(ia, ic)
+
+    @given(a=bindings(), b=bindings())
+    def test_antisymmetry_on_total_bindings(self, talent_template, a, b):
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        if refines(ia, ib) and refines(ib, ia):
+            assert ia.key == ib.key
+
+    @given(a=bindings(), b=bindings())
+    def test_compare_consistency(self, talent_template, a, b):
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        cmp = compare_instantiations(ia, ib)
+        if cmp == 1:
+            assert strictly_refines(ia, ib)
+        elif cmp == -1:
+            assert strictly_refines(ib, ia)
+
+
+class TestLemma2Monotonicity:
+    """Refinement shrinks match sets; δ is antitone, f monotone on feasible."""
+
+    @SHARED
+    @given(a=bindings(), b=bindings())
+    def test_match_set_containment(self, talent_config, talent_template, a, b):
+        evaluator = InstanceEvaluator(talent_config)
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        if not refines(ia, ib):
+            return
+        refined = evaluator.evaluate(QueryInstance(ia))
+        relaxed = evaluator.evaluate(QueryInstance(ib))
+        assert refined.matches <= relaxed.matches
+
+    @SHARED
+    @given(a=bindings(), b=bindings())
+    def test_diversity_antitone(self, talent_config, talent_template, a, b):
+        evaluator = InstanceEvaluator(talent_config)
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        if not refines(ia, ib):
+            return
+        refined = evaluator.evaluate(QueryInstance(ia))
+        relaxed = evaluator.evaluate(QueryInstance(ib))
+        assert refined.delta <= relaxed.delta + 1e-9
+
+    @SHARED
+    @given(a=bindings(), b=bindings())
+    def test_coverage_monotone_on_feasible(self, talent_config, talent_template, a, b):
+        evaluator = InstanceEvaluator(talent_config)
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        if not refines(ia, ib):
+            return
+        refined = evaluator.evaluate(QueryInstance(ia))
+        relaxed = evaluator.evaluate(QueryInstance(ib))
+        if refined.feasible and relaxed.feasible:
+            assert refined.coverage >= relaxed.coverage - 1e-9
+
+    @SHARED
+    @given(a=bindings(), b=bindings())
+    def test_infeasibility_propagates_to_refinements(
+        self, talent_config, talent_template, a, b
+    ):
+        evaluator = InstanceEvaluator(talent_config)
+        ia, ib = make(talent_template, a), make(talent_template, b)
+        if not refines(ia, ib):
+            return
+        refined = evaluator.evaluate(QueryInstance(ia))
+        relaxed = evaluator.evaluate(QueryInstance(ib))
+        if not relaxed.feasible:
+            assert not refined.feasible

@@ -1,0 +1,75 @@
+"""Property-based tests for workload generation components."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datasets.lki import LKI_SCHEMA
+from repro.query.serialization import template_from_dict, template_to_dict
+from repro.workload import TemplateGenerator, TemplateSpec
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def specs(draw):
+    size = draw(st.integers(min_value=1, max_value=5))
+    num_edge_vars = draw(st.integers(min_value=0, max_value=size))
+    num_range_vars = draw(st.integers(min_value=0, max_value=3))
+    return TemplateSpec(
+        "person",
+        size=size,
+        num_range_vars=num_range_vars,
+        num_edge_vars=num_edge_vars,
+    )
+
+
+class TestTemplateGeneratorProperties:
+    @SETTINGS
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=10_000))
+    def test_spec_always_respected(self, spec, seed):
+        generator = TemplateGenerator(LKI_SCHEMA, seed=seed)
+        template = generator.generate(spec)
+        assert template.size == spec.size
+        assert template.num_range_variables == spec.num_range_vars
+        assert template.num_edge_variables == spec.num_edge_vars
+        assert template.node(template.output_node).label == "person"
+
+    @SETTINGS
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=10_000))
+    def test_templates_schema_valid(self, spec, seed):
+        generator = TemplateGenerator(LKI_SCHEMA, seed=seed)
+        template = generator.generate(spec)
+        allowed = {
+            (e.source_label, e.label, e.target_label) for e in LKI_SCHEMA.edges
+        }
+        for source, target, label in template.all_edge_keys():
+            triple = (
+                template.node(source).label,
+                label,
+                template.node(target).label,
+            )
+            assert triple in allowed
+
+    @SETTINGS
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=10_000))
+    def test_serialization_roundtrip(self, spec, seed):
+        """Every generated template survives the JSON dict round-trip."""
+        generator = TemplateGenerator(LKI_SCHEMA, seed=seed)
+        template = generator.generate(spec)
+        data = template_to_dict(template)
+        rebuilt = template_from_dict(data)
+        assert template_to_dict(rebuilt) == data
+
+    @SETTINGS
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=10_000))
+    def test_dsl_roundtrip(self, spec, seed):
+        """Every generated template survives the textual DSL round-trip."""
+        from repro.query.parser import format_template, parse_template
+
+        generator = TemplateGenerator(LKI_SCHEMA, seed=seed)
+        template = generator.generate(spec)
+        again = parse_template(format_template(template))
+        assert template_to_dict(again) == template_to_dict(template)

@@ -1,0 +1,130 @@
+"""Unit tests for active-domain management and quantization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.active_domain import ActiveDomainIndex, quantize
+from repro.graph.builder import GraphBuilder
+from repro.query.predicates import Op
+from repro.query.template import QueryTemplate
+from repro.query.variables import WILDCARD
+
+
+@pytest.fixture(scope="module")
+def setup():
+    b = GraphBuilder()
+    for age in [10, 20, 30, 40, 50]:
+        b.node("person", age=age)
+    b.node("org", size=5)
+    graph = b.build()
+    template = (
+        QueryTemplate.builder("t")
+        .node("u0", "person")
+        .node("u1", "person")
+        .fixed_edge("u1", "u0", "knows")
+        .range_var("ge_var", "u0", "age", Op.GE)
+        .range_var("le_var", "u1", "age", Op.LE)
+        .output("u0")
+        .build()
+    )
+    return graph, template
+
+
+class TestQuantize:
+    def test_short_domain_unchanged(self):
+        assert quantize([1, 2, 3], 5) == [1, 2, 3]
+
+    def test_keeps_endpoints(self):
+        values = list(range(100))
+        picked = quantize(values, 5)
+        assert picked[0] == 0 and picked[-1] == 99
+        assert len(picked) == 5
+
+    def test_subsequence_order_preserved(self):
+        values = list(range(50))
+        picked = quantize(values, 7)
+        assert picked == sorted(picked)
+
+    def test_requires_two_values(self):
+        with pytest.raises(ConfigurationError):
+            quantize([1, 2, 3], 1)
+
+
+class TestDomains:
+    def test_ge_domain_relaxed_first(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        assert domains.domain("ge_var") == (10, 20, 30, 40, 50)
+
+    def test_le_domain_reversed(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        # For <= the most relaxed bound is the maximum.
+        assert domains.domain("le_var") == (50, 40, 30, 20, 10)
+
+    def test_quantization_cap(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template, max_values=3)
+        assert domains.domain("ge_var") == (10, 30, 50)
+
+    def test_edge_variable_rejected(self, setup):
+        graph, _ = setup
+        template = (
+            QueryTemplate.builder("t2")
+            .node("u0", "person")
+            .node("u1", "person")
+            .edge_var("xe", "u1", "u0", "knows")
+            .output("u0")
+            .build()
+        )
+        domains = ActiveDomainIndex(graph, template)
+        with pytest.raises(ConfigurationError):
+            domains.domain("xe")
+
+
+class TestStepping:
+    def test_next_refined_walks_forward(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        assert domains.next_refined("ge_var", 10) == 20
+        assert domains.next_refined("ge_var", 50) is None
+        assert domains.next_refined("ge_var", WILDCARD) == 10
+
+    def test_next_relaxed_walks_backward(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        assert domains.next_relaxed("ge_var", 20) == 10
+        assert domains.next_relaxed("ge_var", 10) is None
+        assert domains.next_relaxed("ge_var", WILDCARD) is None
+
+    def test_extremes(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        assert domains.most_relaxed("le_var") == 50
+        assert domains.most_refined("le_var") == 10
+
+
+class TestRestriction:
+    def test_restrict_and_release(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        domains.restrict("ge_var", [20, 40])
+        assert domains.domain("ge_var") == (20, 40)
+        assert domains.next_refined("ge_var", 20) == 40
+        domains.release("ge_var")
+        assert domains.domain("ge_var") == (10, 20, 30, 40, 50)
+
+    def test_next_refined_with_value_outside_restriction(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        domains.restrict("ge_var", [20, 40])
+        # Current value 30 is not in the restricted domain; the next
+        # strictly-refining listed value is 40.
+        assert domains.next_refined("ge_var", 30) == 40
+        domains.release("ge_var")
+
+    def test_instance_space_size(self, setup):
+        graph, template = setup
+        domains = ActiveDomainIndex(graph, template)
+        # 5 * 5 range combinations, no edge variables.
+        assert domains.instance_space_size() == 25

@@ -1,0 +1,152 @@
+"""Unit tests for the attributed-graph store."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import AttributedGraph
+from repro.graph.attributed_graph import _sort_key
+
+
+def make_graph():
+    g = AttributedGraph("g")
+    g.add_node(0, "person", {"age": 30, "name": "a"})
+    g.add_node(1, "person", {"age": 40})
+    g.add_node(2, "org", {"employees": 100})
+    g.add_edge(0, 2, "worksAt")
+    g.add_edge(1, 2, "worksAt")
+    g.add_edge(0, 1, "knows")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = make_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_duplicate_node_rejected(self):
+        g = make_graph()
+        with pytest.raises(GraphError):
+            g.add_node(0, "person")
+
+    def test_edge_requires_endpoints(self):
+        g = make_graph()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 99, "x")
+        with pytest.raises(GraphError):
+            g.add_edge(99, 0, "x")
+
+    def test_parallel_same_label_edges_collapse(self):
+        g = make_graph()
+        g.add_edge(0, 2, "worksAt")
+        assert g.num_edges == 3
+
+    def test_parallel_distinct_label_edges_kept(self):
+        g = make_graph()
+        g.add_edge(0, 2, "owns")
+        assert g.num_edges == 4
+
+    def test_freeze_blocks_mutation(self):
+        g = make_graph().freeze()
+        with pytest.raises(GraphError):
+            g.add_node(9, "x")
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, "y")
+
+
+class TestAccessors:
+    def test_node_lookup(self):
+        g = make_graph()
+        assert g.node(0).label == "person"
+        assert g.label(2) == "org"
+        with pytest.raises(GraphError):
+            g.node(42)
+
+    def test_contains(self):
+        g = make_graph()
+        assert 0 in g and 42 not in g
+        assert g.has_node(1)
+
+    def test_attributes(self):
+        g = make_graph()
+        assert g.attribute(0, "age") == 30
+        assert g.attribute(0, "missing") is None
+        assert g.attribute(0, "missing", -1) == -1
+        assert dict(g.attributes(2)) == {"employees": 100}
+
+    def test_node_iteration(self):
+        g = make_graph()
+        assert sorted(n.node_id for n in g.nodes()) == [0, 1, 2]
+        assert sorted(g.node_ids()) == [0, 1, 2]
+
+    def test_edge_iteration(self):
+        g = make_graph()
+        keys = sorted(e.key for e in g.edges())
+        assert keys == [(0, 1, "knows"), (0, 2, "worksAt"), (1, 2, "worksAt")]
+
+
+class TestAdjacency:
+    def test_labels(self):
+        g = make_graph()
+        assert g.node_labels() == {"person", "org"}
+        assert g.edge_labels() == {"worksAt", "knows"}
+        assert g.nodes_with_label("person") == {0, 1}
+        assert g.count_label("org") == 1
+        assert g.nodes_with_label("ghost") == frozenset()
+
+    def test_has_edge(self):
+        g = make_graph()
+        assert g.has_edge(0, 2, "worksAt")
+        assert not g.has_edge(2, 0, "worksAt")
+        assert not g.has_edge(0, 2, "knows")
+
+    def test_successors_predecessors(self):
+        g = make_graph()
+        assert g.successors(0) == {1, 2}
+        assert g.successors(0, "knows") == {1}
+        assert g.predecessors(2) == {0, 1}
+        assert g.predecessors(2, "worksAt") == {0, 1}
+        assert g.neighbors(1) == {0, 2}
+
+    def test_degrees(self):
+        g = make_graph()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.degree(1) == 2
+
+    def test_in_out_edges(self):
+        g = make_graph()
+        assert {e.target for e in g.out_edges(0)} == {1, 2}
+        assert {e.source for e in g.in_edges(2)} == {0, 1}
+
+
+class TestAttributeQueries:
+    def test_attribute_names(self):
+        g = make_graph()
+        assert g.attribute_names() == {"age", "name", "employees"}
+
+    def test_active_domain_global(self):
+        g = make_graph()
+        assert g.active_domain("age") == [30, 40]
+
+    def test_active_domain_by_label(self):
+        g = make_graph()
+        assert g.active_domain("employees", "org") == [100]
+        assert g.active_domain("employees", "person") == []
+
+    def test_mixed_type_sort_key(self):
+        # Numbers order before strings; booleans behave as 0/1.
+        assert _sort_key(3) < _sort_key("a")
+        assert _sort_key(False) < _sort_key(True)
+        assert _sort_key(2.5) < _sort_key(3)
+
+
+class TestInterop:
+    def test_to_networkx(self):
+        g = make_graph()
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.nodes[0]["label"] == "person"
+        assert nx_graph.nodes[0]["age"] == 30

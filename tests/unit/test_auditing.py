@@ -1,0 +1,77 @@
+"""Unit tests for fairness audits."""
+
+import pytest
+
+from repro.groups import GroupSet, NodeGroup
+from repro.groups.auditing import audit_answer, compare_audits
+
+
+@pytest.fixture()
+def groups():
+    return GroupSet(
+        [
+            NodeGroup("M", frozenset(range(0, 10)), 2),
+            NodeGroup("F", frozenset(range(10, 18)), 2),
+        ]
+    )
+
+
+class TestAuditAnswer:
+    def test_balanced_answer(self, groups):
+        audit = audit_answer({0, 1, 10, 11}, groups)
+        assert audit.feasible
+        assert audit.coverage_error == 0
+        assert audit.disparate_impact == 1.0
+        assert audit.passes_eighty_percent_rule
+        # Shares of group: 2/10 = 0.2 (M) vs 2/8 = 0.25 (F) → gap 0.05.
+        assert audit.equal_opportunity_gap == pytest.approx(0.05)
+
+    def test_skewed_answer(self, groups):
+        audit = audit_answer({0, 1, 2, 3, 10}, groups)
+        assert not audit.passes_eighty_percent_rule
+        assert audit.disparate_impact == pytest.approx(0.25)
+        assert audit.entry("M").overshoot == 2
+        assert audit.entry("F").shortfall == 1
+        assert not audit.feasible
+
+    def test_ungrouped_nodes_counted_in_answer_only(self, groups):
+        audit = audit_answer({0, 1, 10, 11, 99}, groups)
+        assert audit.answer_size == 5
+        assert audit.grouped_size == 4
+
+    def test_shares(self, groups):
+        audit = audit_answer({0, 1, 10, 11}, groups)
+        m = audit.entry("M")
+        assert m.share_of_answer == pytest.approx(0.5)
+        assert m.share_of_group == pytest.approx(0.2)
+
+    def test_empty_answer(self, groups):
+        audit = audit_answer(set(), groups)
+        assert audit.answer_size == 0
+        assert not audit.feasible
+        assert audit.coverage_error == 4
+        assert audit.disparate_impact == 1.0  # Vacuous parity.
+
+    def test_unknown_group_lookup(self, groups):
+        audit = audit_answer({0}, groups)
+        with pytest.raises(KeyError):
+            audit.entry("X")
+
+    def test_as_rows(self, groups):
+        rows = audit_answer({0, 1, 10}, groups).as_rows()
+        assert {row["group"] for row in rows} == {"M", "F"}
+        for row in rows:
+            assert set(row) >= {"covered", "shortfall", "overshoot"}
+
+    def test_summary_mentions_verdict(self, groups):
+        assert "feasible" in audit_answer({0, 1, 10, 11}, groups).summary()
+        assert "INFEASIBLE" in audit_answer({0}, groups).summary()
+
+
+class TestCompareAudits:
+    def test_movement_lines(self, groups):
+        before = audit_answer({0, 1, 2, 3, 10}, groups)
+        after = audit_answer({0, 1, 10, 11}, groups)
+        lines = compare_audits(before, after)
+        assert any("disparate impact: 0.25 -> 1.00" in l for l in lines)
+        assert any("coverage error" in l for l in lines)

@@ -1,0 +1,121 @@
+"""Unit tests for bench settings/reporting/harness and result containers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentContext, make_config
+from repro.bench.reporting import format_table, save_table
+from repro.bench.settings import BenchSettings, bench_settings
+from repro.core.result import GenerationResult, RunStats, timed
+from repro.graph.statistics import label_histogram
+
+
+class TestBenchSettings:
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_BENCH_SCALE", "REPRO_BENCH_C", "REPRO_BENCH_DOMAIN",
+                    "REPRO_BENCH_EPSILON"):
+            monkeypatch.delenv(var, raising=False)
+        settings = bench_settings()
+        assert settings.scale == 0.15
+        assert settings.coverage_total == 16
+        assert settings.max_domain_values == 5
+        assert settings.epsilon == 0.01
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_BENCH_C", "32")
+        settings = bench_settings()
+        assert settings.scale == 0.5
+        assert settings.coverage_total == 32
+
+    def test_paper_mapping_mentions_scale(self):
+        settings = BenchSettings(0.2, 10, 4, 0.05)
+        assert "scale=0.2" in settings.paper_mapping
+
+
+class TestReporting:
+    def test_format_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, "title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], "t")
+
+    def test_float_rendering(self):
+        text = format_table([{"v": 0.5}, {"v": 0.0}])
+        assert "0.5" in text
+        # Zero renders compactly, not as 0.0000.
+        assert "0.0000" not in text
+
+    def test_save_table(self, tmp_path, capsys):
+        path = tmp_path / "out.txt"
+        save_table([{"a": 1}], path, "t", extra="note")
+        content = path.read_text()
+        assert "t" in content and "note" in content
+        assert "a" in capsys.readouterr().out
+
+
+class TestHarness:
+    def test_bundle_cached(self):
+        ctx = ExperimentContext(BenchSettings(0.05, 4, 3, 0.1))
+        a = ctx.bundle("lki")
+        b = ctx.bundle("lki")
+        assert a is b
+
+    def test_universe_cached(self):
+        ctx = ExperimentContext(BenchSettings(0.05, 4, 3, 0.1))
+        bundle = ctx.bundle("lki")
+        config = make_config(bundle, ctx.settings)
+        first = ctx.universe(config)
+        second = ctx.universe(config)
+        assert first is second
+
+    def test_make_config_overrides(self):
+        ctx = ExperimentContext(BenchSettings(0.05, 4, 3, 0.1))
+        bundle = ctx.bundle("dbp")
+        config = make_config(bundle, ctx.settings, epsilon=0.7, max_domain_values=2)
+        assert config.epsilon == 0.7
+        assert config.max_domain_values == 2
+
+
+class TestResultContainers:
+    def test_run_stats_row(self):
+        stats = RunStats(generated=5, verified=4, feasible=2, elapsed_seconds=0.5)
+        row = stats.as_row()
+        assert row["generated"] == 5 and row["time (s)"] == 0.5
+
+    def test_timed(self):
+        stats = RunStats()
+        with timed(stats):
+            sum(range(1000))
+        assert stats.elapsed_seconds > 0
+
+    def test_generation_result_helpers(self):
+        class P:
+            def __init__(self, d, c):
+                self.delta, self.coverage = d, c
+
+            @property
+            def objectives(self):
+                return (self.delta, self.coverage)
+
+        result = GenerationResult("x", [P(1, 5), P(3, 2)], 0.1)
+        assert len(result) == 2
+        assert result.best_by_diversity().delta == 3
+        assert result.best_by_coverage().coverage == 5
+        assert result.objectives() == [(1, 5), (3, 2)]
+
+    def test_empty_result_helpers(self):
+        result = GenerationResult("x", [], 0.1)
+        assert result.best_by_diversity() is None
+        assert result.best_by_coverage() is None
+
+
+class TestLabelHistogram:
+    def test_sorted_by_frequency(self, talent_graph):
+        histogram = label_histogram(talent_graph)
+        assert histogram[0][0] == "person"
+        assert dict(histogram) == {"person": 6, "org": 2}

@@ -1,0 +1,100 @@
+"""Unit tests for GraphBuilder and graph (de)serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, graph_from_dicts
+from repro.graph.io import load_json, load_jsonl, save_json, save_jsonl
+
+
+def build_sample():
+    b = GraphBuilder("sample")
+    a = b.node("person", name="a", age=30)
+    c = b.node("org", employees=10)
+    b.edge(a, c, "worksAt")
+    return b.build()
+
+
+class TestBuilder:
+    def test_sequential_ids(self):
+        b = GraphBuilder()
+        assert b.node("x") == 0
+        assert b.node("y") == 1
+
+    def test_node_with_id_advances_counter(self):
+        b = GraphBuilder()
+        b.node_with_id(10, "x")
+        assert b.node("y") == 11
+
+    def test_edges_batch(self):
+        b = GraphBuilder()
+        n0, n1, n2 = b.node("x"), b.node("x"), b.node("x")
+        g = b.edges([(n0, n1, "e"), (n1, n2, "e")]).build()
+        assert g.num_edges == 2
+
+    def test_build_frozen_by_default(self):
+        g = build_sample()
+        with pytest.raises(GraphError):
+            g.add_node(99, "x")
+
+    def test_build_unfrozen(self):
+        b = GraphBuilder()
+        b.node("x")
+        g = b.build(freeze=False)
+        g.add_node(99, "y")
+        assert g.num_nodes == 2
+
+
+class TestGraphFromDicts:
+    def test_roundtrip_records(self):
+        g = graph_from_dicts(
+            nodes=[
+                {"id": 0, "label": "person", "age": 3},
+                {"id": 1, "label": "org"},
+            ],
+            edges=[{"source": 0, "target": 1, "label": "worksAt"}],
+        )
+        assert g.num_nodes == 2
+        assert g.attribute(0, "age") == 3
+        assert g.has_edge(0, 1, "worksAt")
+
+    def test_default_edge_label(self):
+        g = graph_from_dicts(
+            nodes=[{"id": 0, "label": "a"}, {"id": 1, "label": "a"}],
+            edges=[{"source": 0, "target": 1}],
+        )
+        assert g.has_edge(0, 1, "")
+
+
+class TestJsonIO:
+    def test_json_roundtrip(self, tmp_path):
+        g = build_sample()
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        loaded = load_json(path)
+        assert loaded.num_nodes == g.num_nodes
+        assert loaded.num_edges == g.num_edges
+        assert loaded.attribute(0, "age") == 30
+        assert loaded.has_edge(0, 1, "worksAt")
+        assert loaded.name == "sample"
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        g = build_sample()
+        path = tmp_path / "g.jsonl"
+        save_jsonl(g, path)
+        loaded = load_jsonl(path)
+        assert loaded.num_nodes == g.num_nodes
+        assert loaded.num_edges == g.num_edges
+        assert loaded.name == "sample"
+
+    def test_jsonl_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(GraphError):
+            load_jsonl(path)
+
+    def test_jsonl_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        loaded = load_jsonl(path)
+        assert loaded.num_nodes == 0

@@ -1,0 +1,86 @@
+"""Focused unit tests for the CBM sweep and the Kungs baseline internals."""
+
+import pytest
+
+from repro.core.cbm import CBM
+from repro.core.kungs import Kungs
+
+
+class FakeEvaluated:
+    def __init__(self, delta, coverage, tag):
+        self.delta = delta
+        self.coverage = coverage
+        self.feasible = True
+        self.instance = _FakeInstance(tag)
+
+    def __repr__(self):
+        return f"F({self.delta},{self.coverage})"
+
+
+class _FakeInstance:
+    def __init__(self, tag):
+        self.instantiation = _FakeInstantiation(tag)
+
+
+class _FakeInstantiation:
+    def __init__(self, tag):
+        self.key = tag
+
+
+class TestConstrainedMax:
+    def test_picks_best_delta_above_threshold(self):
+        pool = [
+            FakeEvaluated(10, 1, "a"),
+            FakeEvaluated(8, 5, "b"),
+            FakeEvaluated(2, 9, "c"),
+        ]
+        best = CBM._constrained_max(pool, threshold=4)
+        assert best.instance.instantiation.key == "b"
+
+    def test_no_candidate_above_threshold(self):
+        pool = [FakeEvaluated(10, 1, "a")]
+        assert CBM._constrained_max(pool, threshold=5) is None
+
+    def test_tie_broken_by_coverage(self):
+        pool = [FakeEvaluated(5, 2, "low"), FakeEvaluated(5, 4, "high")]
+        best = CBM._constrained_max(pool, threshold=0)
+        assert best.instance.instantiation.key == "high"
+
+
+class TestCbmSweep:
+    def make_cbm(self, small_lki_config, levels):
+        return CBM(small_lki_config, levels=levels)
+
+    def test_sweep_returns_non_dominated(self, small_lki_config):
+        cbm = self.make_cbm(small_lki_config, levels=4)
+        pool = [
+            FakeEvaluated(10, 1, "a"),
+            FakeEvaluated(8, 5, "b"),
+            FakeEvaluated(2, 9, "c"),
+            FakeEvaluated(1, 1, "dominated"),
+        ]
+        picked = cbm._sweep(pool)
+        keys = {p.instance.instantiation.key for p in picked}
+        assert "dominated" not in keys
+        assert {"a", "c"} <= keys  # Both anchors present.
+
+    def test_sweep_single_point(self, small_lki_config):
+        cbm = self.make_cbm(small_lki_config, levels=4)
+        only = FakeEvaluated(3, 3, "solo")
+        picked = cbm._sweep([only])
+        assert len(picked) == 1
+
+    def test_levels_clamped_to_one(self, small_lki_config):
+        cbm = CBM(small_lki_config, levels=0)
+        assert cbm.levels == 1
+
+
+class TestKungsResult:
+    def test_epsilon_reported_zero(self, small_lki_config):
+        result = Kungs(small_lki_config).run()
+        assert result.epsilon == 0.0  # Exact front: no tolerance consumed.
+
+    def test_front_sorted(self, small_lki_config):
+        result = Kungs(small_lki_config).run()
+        deltas = [p.delta for p in result.instances]
+        assert deltas == sorted(deltas, reverse=True)

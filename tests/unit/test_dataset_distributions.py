@@ -1,0 +1,97 @@
+"""Statistical sanity checks on the dataset emulations.
+
+The substitution argument in DESIGN.md rests on the emulations exhibiting
+the skews the real graphs have (Zipfian categories, heavy-tailed degrees,
+a configurable gender imbalance). These tests pin those properties.
+"""
+
+import pytest
+
+from repro.datasets import build_cite, build_dbp, build_lki
+
+
+@pytest.fixture(scope="module")
+def dbp():
+    return build_dbp(scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def lki():
+    return build_lki(scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def cite():
+    return build_cite(scale=0.3)
+
+
+def value_counts(graph, label, attribute):
+    counts = {}
+    for node_id in graph.nodes_with_label(label):
+        value = graph.attribute(node_id, attribute)
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+class TestDBPDistributions:
+    def test_genres_zipf_skewed(self, dbp):
+        counts = value_counts(dbp, "movie", "genre")
+        assert counts["Action"] > counts.get("Animation", 0)
+        # The top genre holds a clear plurality.
+        total = sum(counts.values())
+        assert counts["Action"] / total > 1.5 / len(counts)
+
+    def test_actor_degrees_heavy_tailed(self, dbp):
+        degrees = sorted(
+            (dbp.out_degree(v) for v in dbp.nodes_with_label("actor")), reverse=True
+        )
+        # Preferential attachment: the busiest actor far exceeds the median.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= max(3, 2 * max(1, median))
+
+    def test_ratings_within_range(self, dbp):
+        for movie in dbp.nodes_with_label("movie"):
+            assert 1.0 <= dbp.attribute(movie, "rating") <= 9.9
+
+
+class TestLKIDistributions:
+    def test_gender_ratio_near_55_45(self, lki):
+        counts = value_counts(lki, "person", "gender")
+        total = counts["M"] + counts["F"]
+        assert 0.45 <= counts["M"] / total <= 0.65
+
+    def test_director_title_present_in_bulk(self, lki):
+        counts = value_counts(lki, "person", "title")
+        assert counts.get("director", 0) >= 0.1 * sum(counts.values())
+
+    def test_recommendation_in_degree_tail(self, lki):
+        in_degrees = sorted(
+            (len(lki.predecessors(v, "recommend")) for v in lki.nodes_with_label("person")),
+            reverse=True,
+        )
+        median = in_degrees[len(in_degrees) // 2]
+        assert in_degrees[0] >= max(4, 2 * max(1, median))
+
+    def test_every_person_employed(self, lki):
+        for person in lki.nodes_with_label("person"):
+            assert len(lki.successors(person, "worksAt")) == 1
+
+
+class TestCiteDistributions:
+    def test_citation_counts_heavy_tailed(self, cite):
+        citations = sorted(
+            (cite.attribute(p, "numberOfCitations") for p in cite.nodes_with_label("paper")),
+            reverse=True,
+        )
+        median = citations[len(citations) // 2]
+        assert citations[0] >= max(5, 3 * max(1, median))
+
+    def test_topics_skewed(self, cite):
+        counts = value_counts(cite, "paper", "topic")
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > ordered[-1]
+
+    def test_every_paper_has_venue_and_author(self, cite):
+        for paper in cite.nodes_with_label("paper"):
+            assert len(cite.successors(paper, "publishedIn")) == 1
+            assert len(cite.successors(paper, "authoredBy")) >= 1

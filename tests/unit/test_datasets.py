@@ -1,0 +1,150 @@
+"""Unit tests for the dataset emulations and registry."""
+
+import pytest
+
+from repro.datasets import (
+    build_cite,
+    build_dbp,
+    build_lki,
+    dataset_bundle,
+    dataset_names,
+)
+from repro.datasets.dbp import DBP_SCHEMA, dbp_groups
+from repro.datasets.lki import LKI_SCHEMA, lki_groups
+from repro.datasets.cite import CITE_SCHEMA, cite_groups
+from repro.datasets.sampler import Sampler
+from repro.errors import DatasetError
+from repro.graph.statistics import compute_statistics
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("builder", [build_dbp, build_lki, build_cite])
+    def test_same_seed_same_graph(self, builder):
+        a = builder(scale=0.05)
+        b = builder(scale=0.05)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert sorted(e.key for e in a.edges()) == sorted(e.key for e in b.edges())
+
+    @pytest.mark.parametrize("builder", [build_dbp, build_lki, build_cite])
+    def test_different_seed_differs(self, builder):
+        a = builder(scale=0.05, seed=1)
+        b = builder(scale=0.05, seed=2)
+        assert sorted(e.key for e in a.edges()) != sorted(e.key for e in b.edges())
+
+
+class TestSchemas:
+    def test_dbp_schema_matches_graph(self):
+        graph = build_dbp(scale=0.05)
+        assert set(graph.node_labels()) <= set(DBP_SCHEMA.node_labels)
+        for edge_spec in DBP_SCHEMA.edges:
+            assert edge_spec.label in graph.edge_labels()
+
+    def test_lki_schema_matches_graph(self):
+        graph = build_lki(scale=0.05)
+        assert set(graph.node_labels()) == {"person", "org"}
+        assert set(graph.edge_labels()) <= {"worksAt", "recommend", "coReview"}
+        assert LKI_SCHEMA.numeric_attributes("person")
+
+    def test_cite_schema_matches_graph(self):
+        graph = build_cite(scale=0.05)
+        assert set(graph.node_labels()) == {"paper", "author", "venue"}
+        for label in CITE_SCHEMA.node_labels:
+            assert graph.count_label(label) > 0
+
+    def test_unknown_schema_label(self):
+        with pytest.raises(DatasetError):
+            DBP_SCHEMA.node("spaceship")
+
+
+class TestCiteCitationConsistency:
+    def test_attribute_equals_in_degree(self):
+        graph = build_cite(scale=0.05)
+        for paper in graph.nodes_with_label("paper"):
+            structural = len(graph.predecessors(paper, "cites"))
+            assert graph.attribute(paper, "numberOfCitations") == structural
+
+
+class TestGroups:
+    def test_dbp_genre_groups(self):
+        graph = build_dbp(scale=0.1)
+        groups = dbp_groups(graph, num_groups=3, coverage_total=9)
+        assert len(groups) == 3
+        for group in groups:
+            assert group.coverage <= len(group)
+            assert group.coverage <= 3
+
+    def test_dbp_country_groups(self):
+        graph = build_dbp(scale=0.1)
+        groups = dbp_groups(graph, num_groups=2, coverage_total=4, by="country")
+        assert groups.names == ("US", "UK")
+
+    def test_lki_gender_groups(self):
+        graph = build_lki(scale=0.1)
+        groups = lki_groups(graph, coverage_total=10)
+        assert set(groups.names) == {"M", "F"}
+        total = sum(len(g) for g in groups)
+        assert total == graph.count_label("person")
+
+    def test_cite_topic_groups(self):
+        graph = build_cite(scale=0.1)
+        groups = cite_groups(graph, num_groups=4, coverage_total=8)
+        assert len(groups) == 4
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(dataset_names()) == {"dbp", "lki", "cite"}
+
+    def test_bundles_build(self):
+        for name in dataset_names():
+            bundle = dataset_bundle(name, scale=0.05, coverage_total=4)
+            assert bundle.graph.num_nodes > 0
+            assert bundle.template.num_variables > 0
+            assert bundle.groups.total_coverage > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_bundle("imdb")
+
+    def test_explicit_seed_passthrough(self):
+        a = dataset_bundle("dbp", scale=0.05, seed=99)
+        b = dataset_bundle("dbp", scale=0.05, seed=99)
+        assert a.graph.num_edges == b.graph.num_edges
+
+
+class TestScale:
+    def test_scale_grows_graph(self):
+        small = build_lki(scale=0.05)
+        bigger = build_lki(scale=0.2)
+        assert bigger.num_nodes > small.num_nodes
+        assert bigger.num_edges > small.num_edges
+
+    def test_statistics_table(self):
+        stats = compute_statistics(build_dbp(scale=0.05))
+        row = stats.as_row()
+        assert row["|V|"] == stats.num_nodes
+        assert row["avg #attr"] > 0
+
+
+class TestSampler:
+    def test_zipf_skews_to_front(self):
+        sampler = Sampler(0)
+        pool = list(range(10))
+        picks = [sampler.zipf_choice(pool) for _ in range(2000)]
+        assert picks.count(0) > picks.count(9)
+
+    def test_gauss_int_clipped(self):
+        sampler = Sampler(0)
+        values = [sampler.gauss_int(5, 10, 0, 10) for _ in range(500)]
+        assert min(values) >= 0 and max(values) <= 10
+
+    def test_preferential_targets_distinct(self):
+        sampler = Sampler(0)
+        boost = []
+        picks = sampler.preferential_targets(list(range(100)), 10, boost)
+        assert len(picks) == len(set(picks)) == 10
+
+    def test_distinct_respects_pool(self):
+        sampler = Sampler(0)
+        assert len(sampler.distinct([1, 2], 10)) == 2

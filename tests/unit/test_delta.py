@@ -1,0 +1,93 @@
+"""Unit tests for graph deltas and localized match maintenance."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
+from repro.query import Instantiation, Literal, Op, QueryInstance, QueryTemplate
+
+
+@pytest.fixture()
+def chain_graph():
+    # a0 -> a1 -> a2 -> a3, all label 'a'.
+    b = GraphBuilder()
+    for i in range(4):
+        b.node("a", x=i)
+    for i in range(3):
+        b.edge(i, i + 1, "e")
+    return b.build()
+
+
+def one_hop_instance():
+    template = (
+        QueryTemplate.builder("hop")
+        .node("u0", "a")
+        .node("u1", "a")
+        .fixed_edge("u1", "u0", "e")
+        .output("u0")
+        .build()
+    )
+    return QueryInstance(Instantiation(template))
+
+
+class TestGraphDelta:
+    def test_touched_nodes(self):
+        delta = GraphDelta(insert_edges=((0, 1, "e"),), delete_edges=((2, 3, "e"),))
+        assert delta.touched_nodes == {0, 1, 2, 3}
+        assert not delta.is_empty
+        assert GraphDelta().is_empty
+
+
+class TestApplyDelta:
+    def test_insert_and_delete(self, chain_graph):
+        delta = GraphDelta(
+            insert_edges=((3, 0, "e"),), delete_edges=((0, 1, "e"),)
+        )
+        updated = apply_delta(chain_graph, delta)
+        assert updated.has_edge(3, 0, "e")
+        assert not updated.has_edge(0, 1, "e")
+        assert chain_graph.has_edge(0, 1, "e")  # Original untouched.
+
+    def test_delete_missing_edge_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            apply_delta(chain_graph, GraphDelta(delete_edges=((0, 3, "e"),)))
+
+    def test_insert_unknown_node_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            apply_delta(chain_graph, GraphDelta(insert_edges=((0, 99, "e"),)))
+
+    def test_attributes_preserved(self, chain_graph):
+        updated = apply_delta(chain_graph, GraphDelta(insert_edges=((3, 0, "e"),)))
+        assert updated.attribute(2, "x") == 2
+
+
+class TestMaintainer:
+    def test_initial_matches(self, chain_graph):
+        maintainer = IncrementalMatchMaintainer(chain_graph, one_hop_instance())
+        # Targets of any edge: a1, a2, a3.
+        assert maintainer.matches == {1, 2, 3}
+
+    def test_insert_grows_matches(self, chain_graph):
+        maintainer = IncrementalMatchMaintainer(chain_graph, one_hop_instance())
+        maintainer.apply(GraphDelta(insert_edges=((3, 0, "e"),)))
+        assert maintainer.matches == {0, 1, 2, 3}
+
+    def test_delete_shrinks_matches(self, chain_graph):
+        maintainer = IncrementalMatchMaintainer(chain_graph, one_hop_instance())
+        maintainer.apply(GraphDelta(delete_edges=((0, 1, "e"),)))
+        assert maintainer.matches == {2, 3}
+
+    def test_locality_limits_rechecks(self):
+        # Two far-apart components; touching one must not re-verify the other.
+        b = GraphBuilder()
+        for i in range(8):
+            b.node("a", x=i)
+        b.edge(0, 1, "e")
+        b.edge(6, 7, "e")
+        graph = b.build()
+        maintainer = IncrementalMatchMaintainer(graph, one_hop_instance())
+        maintainer.apply(GraphDelta(insert_edges=((1, 2, "e"),)))
+        # The ball around nodes 1, 2 (diameter 1) excludes 6 and 7.
+        assert maintainer.last_rechecked <= 4
+        assert maintainer.matches == {1, 2, 7}

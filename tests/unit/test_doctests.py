@@ -1,0 +1,32 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.graph.attributed_graph",
+    "repro.graph.builder",
+    "repro.graph.active_domain",
+    "repro.graph.sampling",
+    "repro.query.template",
+    "repro.query.predicates",
+    "repro.query.instantiation",
+    "repro.core.measures",
+    "repro.core.pareto",
+    "repro.core.update",
+    "repro.core.distance",
+    "repro.groups.groups",
+    "repro.groups.fairness",
+    "repro.datasets.synthetic",
+    "repro.workload.template_gen",
+    "repro.rpq.regex",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module_name}: {result.failed} doctest failures"

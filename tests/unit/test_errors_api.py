@@ -1,0 +1,52 @@
+"""Sanity tests on the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.QueryError,
+            errors.VariableError,
+            errors.ConfigurationError,
+            errors.GroupError,
+            errors.MatchingError,
+            errors.DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_variable_error_is_query_error(self):
+        assert issubclass(errors.VariableError, errors.QueryError)
+
+    def test_catchall(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("x")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points_importable(self):
+        from repro import (
+            BiQGen,
+            FairSQGSession,
+            GenerationConfig,
+            OnlineQGen,
+            dataset_bundle,
+        )
+
+        assert callable(dataset_bundle)
+        assert BiQGen.name == "BiQGen"
+        assert OnlineQGen.name == "OnlineQGen"

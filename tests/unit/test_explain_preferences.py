@@ -1,0 +1,131 @@
+"""Unit tests for suggestion explanations and preference selection."""
+
+import pytest
+
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.explain import diff_instances, explain_suggestion
+from repro.core.preferences import (
+    chebyshev_score,
+    rank_by_preference,
+    select_by_preference,
+    weighted_sum_score,
+)
+from repro.errors import ConfigurationError, QueryError
+from repro.query import Instantiation, QueryInstance
+
+
+def make(template, **bindings):
+    return QueryInstance(Instantiation(template, bindings))
+
+
+class TestDiffInstances:
+    def test_no_change(self, talent_template):
+        a = make(talent_template, xl1=5, xl2=100, xe1=0)
+        b = make(talent_template, xl1=5, xl2=100, xe1=0)
+        assert diff_instances(a, b) == []
+
+    def test_tightened_range(self, talent_template):
+        a = make(talent_template, xl1=5, xl2=100, xe1=0)
+        b = make(talent_template, xl1=12, xl2=100, xe1=0)
+        (change,) = diff_instances(a, b)
+        assert change.variable == "xl1"
+        assert change.direction == "refined"
+        assert "tightened" in change.description
+
+    def test_relaxed_range(self, talent_template):
+        a = make(talent_template, xl1=5, xl2=1000, xe1=0)
+        b = make(talent_template, xl1=5, xl2=100, xe1=0)
+        (change,) = diff_instances(a, b)
+        assert change.direction == "relaxed"
+        assert "relaxed" in change.description
+        assert "1000" in change.description and "100" in change.description
+
+    def test_edge_changes(self, talent_template):
+        a = make(talent_template, xl1=5, xl2=100, xe1=0)
+        b = make(talent_template, xl1=5, xl2=100, xe1=1)
+        (change,) = diff_instances(a, b)
+        assert "added edge" in change.description
+        (reverse,) = diff_instances(b, a)
+        assert "removed edge" in reverse.description
+
+    def test_added_and_dropped_condition(self, talent_template):
+        a = make(talent_template, xl2=100, xe1=0)  # xl1 wildcard.
+        b = make(talent_template, xl1=12, xl2=100, xe1=0)
+        (change,) = diff_instances(a, b)
+        assert "added condition" in change.description
+        (reverse,) = diff_instances(b, a)
+        assert "dropped condition" in reverse.description
+
+    def test_cross_template_rejected(self, talent_template, triangle_graph):
+        from repro.query import QueryTemplate
+
+        other = (
+            QueryTemplate.builder("o")
+            .node("u0", "a")
+            .node("u1", "a")
+            .fixed_edge("u1", "u0", "e")
+            .output("u0")
+            .build()
+        )
+        with pytest.raises(QueryError):
+            diff_instances(make(talent_template), QueryInstance(Instantiation(other)))
+
+
+class TestExplainSuggestion:
+    def test_narrative(self, talent_config, talent_template, talent_groups):
+        evaluator = InstanceEvaluator(talent_config)
+        baseline = evaluator.evaluate(make(talent_template, xl1=5, xl2=100, xe1=0))
+        suggestion = evaluator.evaluate(make(talent_template, xl1=5, xl2=1000, xe1=0))
+        text = explain_suggestion(baseline, suggestion, talent_groups)
+        assert "suggested edits:" in text
+        assert "answer size: 4 -> 2" in text
+        assert "group coverage: M: 2 -> 1, F: 2 -> 1" in text
+        assert "diversity δ" in text
+
+    def test_identical(self, talent_config, talent_template):
+        evaluator = InstanceEvaluator(talent_config)
+        point = evaluator.evaluate(make(talent_template, xl1=5, xl2=100, xe1=0))
+        text = explain_suggestion(point, point)
+        assert "identical" in text
+
+
+class Point:
+    def __init__(self, delta, coverage):
+        self.delta = delta
+        self.coverage = coverage
+
+
+class TestPreferences:
+    def test_extremes(self):
+        diverse = Point(10, 0)
+        covered = Point(0, 10)
+        both = [diverse, covered]
+        assert select_by_preference(both, 0.0) is diverse
+        assert select_by_preference(both, 1.0) is covered
+
+    def test_balanced_prefers_knee(self):
+        knee = Point(8, 8)
+        points = [Point(10, 0), knee, Point(0, 10)]
+        assert select_by_preference(points, 0.5) is knee
+        assert select_by_preference(points, 0.5, method="weighted_sum") is knee
+
+    def test_empty(self):
+        assert select_by_preference([], 0.5) is None
+        assert rank_by_preference([], 0.5) == []
+
+    def test_rank_order(self):
+        points = [Point(10, 0), Point(5, 5), Point(0, 10)]
+        ranked = rank_by_preference(points, 0.0)
+        assert [p.delta for p in ranked] == [10, 5, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            select_by_preference([Point(1, 1)], 2.0)
+        with pytest.raises(ConfigurationError):
+            select_by_preference([Point(1, 1)], 0.5, method="sorcery")
+
+    def test_scores_monotone_in_objectives(self):
+        better = Point(9, 9)
+        worse = Point(5, 5)
+        for scorer in (weighted_sum_score, chebyshev_score):
+            assert scorer(better, 0.5, 10, 10) > scorer(worse, 0.5, 10, 10)

@@ -1,0 +1,82 @@
+"""Tests for the Theorem-1 NP-hardness gadget (k-clique reduction)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.hardness import encode_clique_instance, has_k_clique
+from repro.errors import ConfigurationError
+
+
+def triangle_plus_tail():
+    vertices = [0, 1, 2, 3]
+    edges = [(0, 1), (1, 2), (2, 0), (2, 3)]
+    return vertices, edges
+
+
+class TestGadgetConstruction:
+    def test_graph_shape(self):
+        vertices, edges = triangle_plus_tail()
+        config = encode_clique_instance(vertices, edges, 3)
+        assert config.graph.num_nodes == 4
+        # Each undirected edge becomes two directed ones.
+        assert config.graph.num_edges == 8
+        assert config.injective is True
+
+    def test_template_is_clique_pattern(self):
+        vertices, edges = triangle_plus_tail()
+        config = encode_clique_instance(vertices, edges, 4)
+        assert len(config.template.nodes) == 4
+        assert config.template.size == 6  # C(4, 2).
+        assert config.template.num_variables == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            encode_clique_instance([0], [], 1)
+        with pytest.raises(ConfigurationError):
+            encode_clique_instance([], [], 3)
+
+
+class TestDecision:
+    def test_triangle_found(self):
+        vertices, edges = triangle_plus_tail()
+        assert has_k_clique(vertices, edges, 3)
+
+    def test_no_four_clique(self):
+        vertices, edges = triangle_plus_tail()
+        assert not has_k_clique(vertices, edges, 4)
+
+    def test_k2_is_any_edge(self):
+        assert has_k_clique([0, 1], [(0, 1)], 2)
+        assert not has_k_clique([0, 1], [], 2)
+
+    def test_complete_graph_has_all_cliques(self):
+        vertices = list(range(5))
+        edges = list(itertools.combinations(vertices, 2))
+        for k in range(2, 6):
+            assert has_k_clique(vertices, edges, k)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_networkx_on_random_graphs(self, seed):
+        import networkx as nx
+
+        rng = random.Random(seed)
+        n = 8
+        vertices = list(range(n))
+        edges = [
+            (u, v)
+            for u, v in itertools.combinations(vertices, 2)
+            if rng.random() < 0.45
+        ]
+        reference = nx.Graph(edges)
+        reference.add_nodes_from(vertices)
+        clique_number = max(
+            (len(c) for c in nx.find_cliques(reference)), default=1
+        )
+        for k in (2, 3, 4):
+            assert has_k_clique(vertices, edges, k) == (clique_number >= k), (
+                seed,
+                k,
+                clique_number,
+            )

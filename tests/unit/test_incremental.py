@@ -1,0 +1,68 @@
+"""Unit tests for incremental verification (incVerify)."""
+
+from repro.matching import IncrementalVerifier, SubgraphMatcher
+from repro.query import Instantiation, QueryInstance
+
+
+def make(template, **bindings):
+    return QueryInstance(Instantiation(template, bindings))
+
+
+class TestMemoization:
+    def test_same_instance_verified_once(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        q = make(talent_template, xl1=5, xl2=100, xe1=0)
+        first = verifier.verify(q)
+        second = verifier.verify(make(talent_template, xl1=5, xl2=100, xe1=0))
+        assert first is second
+        assert verifier.verified_count == 1
+        assert verifier.cache_hits == 1
+
+    def test_clear_resets(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        verifier.verify(make(talent_template, xl1=5, xl2=100, xe1=0))
+        verifier.clear()
+        assert verifier.verified_count == 0
+        assert verifier.peek(make(talent_template, xl1=5, xl2=100, xe1=0)) is None
+
+
+class TestParentSeeding:
+    def test_child_matches_subset_of_parent(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        parent = make(talent_template, xl1=5, xl2=100, xe1=0)
+        child = make(talent_template, xl1=12, xl2=100, xe1=0)
+        parent_result = verifier.verify(parent)
+        child_result = verifier.verify(child, parent)
+        assert child_result.matches <= parent_result.matches
+        assert verifier.incremental_count == 1
+
+    def test_seeded_equals_unseeded(self, talent_graph, talent_template):
+        parent = make(talent_template, xl1=5, xl2=100, xe1=0)
+        child = make(talent_template, xl1=12, xl2=1000, xe1=1)
+
+        seeded = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        seeded.verify(parent)
+        with_seed = seeded.verify(child, parent)
+
+        plain = IncrementalVerifier(SubgraphMatcher(talent_graph), use_incremental=False)
+        without_seed = plain.verify(child)
+
+        assert with_seed.matches == without_seed.matches
+
+    def test_unknown_parent_falls_back(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        parent = make(talent_template, xl1=5, xl2=100, xe1=0)  # Never verified.
+        child = make(talent_template, xl1=12, xl2=100, xe1=0)
+        result = verifier.verify(child, parent)
+        assert result.matches  # Full verification still ran.
+        assert verifier.incremental_count == 0
+
+    def test_incremental_disabled(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(
+            SubgraphMatcher(talent_graph), use_incremental=False
+        )
+        parent = make(talent_template, xl1=5, xl2=100, xe1=0)
+        child = make(talent_template, xl1=12, xl2=100, xe1=0)
+        verifier.verify(parent)
+        verifier.verify(child, parent)
+        assert verifier.incremental_count == 0

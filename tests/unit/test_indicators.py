@@ -1,0 +1,100 @@
+"""Unit tests for the quality indicators."""
+
+import math
+
+import pytest
+
+from repro.core.indicators import (
+    epsilon_indicator,
+    hypervolume,
+    normalized_epsilon_indicator,
+    r_indicator,
+)
+from repro.errors import ConfigurationError
+
+
+class Point:
+    def __init__(self, delta, coverage):
+        self.delta = delta
+        self.coverage = coverage
+
+
+class TestEpsilonIndicator:
+    def test_exact_set_scores_zero(self):
+        universe = [Point(1, 5), Point(3, 2)]
+        assert epsilon_indicator(universe, universe) == 0.0
+
+    def test_empty_universe_vacuous(self):
+        assert epsilon_indicator([Point(1, 1)], []) == 0.0
+
+    def test_empty_candidates_infinite(self):
+        assert epsilon_indicator([], [Point(1, 1)]) == math.inf
+
+    def test_factor_needed(self):
+        # Candidate (2, 2) must stretch ×1.5 to cover (3, 2).
+        assert epsilon_indicator([Point(2, 2)], [Point(3, 2)]) == pytest.approx(0.5)
+
+
+class TestNormalizedEpsilonIndicator:
+    def test_perfect_is_one(self):
+        universe = [Point(1, 5), Point(3, 2)]
+        assert normalized_epsilon_indicator(universe, universe, 0.1) == 1.0
+
+    def test_clamped_to_zero(self):
+        assert (
+            normalized_epsilon_indicator([Point(1, 1)], [Point(100, 100)], 0.01) == 0.0
+        )
+
+    def test_partial(self):
+        # ε_m = 0.5, ε = 1.0 → I = 0.5.
+        value = normalized_epsilon_indicator([Point(2, 2)], [Point(3, 2)], 1.0)
+        assert value == pytest.approx(0.5)
+
+    def test_empty_candidates(self):
+        assert normalized_epsilon_indicator([], [Point(1, 1)], 0.5) == 0.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            normalized_epsilon_indicator([], [], 0.0)
+
+
+class TestRIndicator:
+    def test_balanced(self):
+        points = [Point(10, 0), Point(0, 20)]
+        value = r_indicator(points, 0.5, delta_max=10, coverage_max=20)
+        # δ*=1, f*=1 → (0.5 + 0.5)/2 = 0.5.
+        assert value == pytest.approx(0.5)
+
+    def test_preference_weighting(self):
+        points = [Point(10, 0)]
+        favors_coverage = r_indicator(points, 0.9, 10, 20)
+        favors_diversity = r_indicator(points, 0.1, 10, 20)
+        assert favors_diversity > favors_coverage
+
+    def test_empty_set(self):
+        assert r_indicator([], 0.5, 1, 1) == 0.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ConfigurationError):
+            r_indicator([Point(1, 1)], 1.5, 1, 1)
+
+    def test_zero_normalizers(self):
+        assert r_indicator([Point(1, 1)], 0.5, 0, 0) == 0.0
+
+
+class TestHypervolume:
+    def test_full_square(self):
+        assert hypervolume([Point(10, 20)], 10, 20) == pytest.approx(1.0)
+
+    def test_staircase(self):
+        points = [Point(10, 10), Point(5, 20)]
+        # Normalized: (1, 0.5) and (0.5, 1): area = 1*0.5 + 0.5*0.5 = 0.75.
+        assert hypervolume(points, 10, 20) == pytest.approx(0.75)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([Point(10, 20)], 10, 20)
+        extra = hypervolume([Point(10, 20), Point(5, 5)], 10, 20)
+        assert base == pytest.approx(extra)
+
+    def test_empty(self):
+        assert hypervolume([], 10, 20) == 0.0

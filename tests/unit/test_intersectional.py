@@ -1,0 +1,117 @@
+"""Unit tests for intersectional group construction."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.graph.builder import GraphBuilder
+from repro.groups.intersectional import attribute_axis, bucketize, intersect_attributes
+
+
+@pytest.fixture(scope="module")
+def graph():
+    b = GraphBuilder()
+    # (gender, yearsOfExp): F/2, F/10, F/20, M/3, M/12, M/25, plus one
+    # person with no experience attribute.
+    for gender, years in [("F", 2), ("F", 10), ("F", 20), ("M", 3), ("M", 12), ("M", 25)]:
+        b.node("person", gender=gender, yearsOfExp=years)
+    b.node("person", gender="M")
+    b.node("org", employees=10)
+    return b.build()
+
+
+BANDS = [("junior", 5), ("senior", float("inf"))]
+
+
+class TestBucketize:
+    def test_banding(self, graph):
+        bands = bucketize(graph, "person", "yearsOfExp", BANDS)
+        assert bands[0] == "junior"  # F/2.
+        assert bands[1] == "senior"  # F/10.
+        assert bands[3] == "junior"  # M/3.
+
+    def test_missing_attribute_excluded(self, graph):
+        bands = bucketize(graph, "person", "yearsOfExp", BANDS)
+        assert 6 not in bands  # The attribute-less person.
+
+    def test_validation(self, graph):
+        with pytest.raises(GroupError):
+            bucketize(graph, "person", "yearsOfExp", [])
+        with pytest.raises(GroupError):
+            bucketize(graph, "person", "yearsOfExp", [("a", 10), ("b", 5)])
+
+    def test_strictly_below_semantics(self, graph):
+        bands = bucketize(graph, "person", "yearsOfExp", [("low", 10), ("high", 99)])
+        # F/10 is NOT strictly below 10 → high.
+        assert bands[1] == "high"
+
+
+class TestIntersectAttributes:
+    def test_cross_product_groups(self, graph):
+        gender = attribute_axis(graph, "person", "gender")
+        seniority = bucketize(graph, "person", "yearsOfExp", BANDS)
+        groups = intersect_attributes(
+            graph,
+            "person",
+            [gender, seniority],
+            coverage={
+                ("F", "junior"): 1,
+                ("F", "senior"): 1,
+                ("M", "junior"): 1,
+                ("M", "senior"): 1,
+            },
+        )
+        assert len(groups) == 4
+        assert len(groups["F×junior"]) == 1
+        assert len(groups["F×senior"]) == 2
+        assert len(groups["M×senior"]) == 2
+
+    def test_disjointness_automatic(self, graph):
+        gender = attribute_axis(graph, "person", "gender")
+        seniority = bucketize(graph, "person", "yearsOfExp", BANDS)
+        groups = intersect_attributes(
+            graph, "person", [gender, seniority],
+            coverage={("F", "junior"): 1, ("M", "junior"): 1},
+        )
+        all_members = [v for g in groups for v in g.members]
+        assert len(all_members) == len(set(all_members))
+
+    def test_unrequested_tuples_skipped(self, graph):
+        gender = attribute_axis(graph, "person", "gender")
+        groups = intersect_attributes(
+            graph, "person", [gender], coverage={("F",): 2}
+        )
+        assert groups.names == ("F",)
+
+    def test_overcoverage_rejected(self, graph):
+        gender = attribute_axis(graph, "person", "gender")
+        with pytest.raises(GroupError):
+            intersect_attributes(
+                graph, "person", [gender], coverage={("F",): 99}
+            )
+
+    def test_no_axes_rejected(self, graph):
+        with pytest.raises(GroupError):
+            intersect_attributes(graph, "person", [], coverage={})
+
+    def test_usable_in_generation(self, graph):
+        """Intersectional groups drive FairSQG like any other GroupSet."""
+        from repro import EnumQGen, GenerationConfig, Op, QueryTemplate
+
+        gender = attribute_axis(graph, "person", "gender")
+        seniority = bucketize(graph, "person", "yearsOfExp", BANDS)
+        groups = intersect_attributes(
+            graph, "person", [gender, seniority],
+            coverage={("F", "senior"): 1, ("M", "senior"): 1},
+        )
+        template = (
+            QueryTemplate.builder("everyone")
+            .node("u0", "person")
+            .range_var("xl", "u0", "yearsOfExp", Op.GE)
+            .output("u0")
+            .build()
+        )
+        config = GenerationConfig(graph, template, groups, epsilon=0.3)
+        result = EnumQGen(config).run()
+        assert result.instances
+        for point in result.instances:
+            assert groups.is_feasible(point.matches)

@@ -1,0 +1,73 @@
+"""Unit tests for CSV graph IO."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import load_csv, save_csv
+
+
+@pytest.fixture()
+def graph():
+    b = GraphBuilder("csv-sample")
+    b.node("person", name="ann", age=31, score=2.5)
+    b.node("person", name="bob")  # Missing age/score → empty cells.
+    b.node("org", employees=100)
+    b.edge(0, 2, "worksAt")
+    b.edge(1, 0, "knows")
+    return b.build()
+
+
+class TestCsvRoundtrip:
+    def test_structure_preserved(self, graph, tmp_path):
+        save_csv(graph, tmp_path / "n.csv", tmp_path / "e.csv")
+        loaded = load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        assert loaded.has_edge(0, 2, "worksAt")
+        assert loaded.has_edge(1, 0, "knows")
+
+    def test_attribute_types_sniffed(self, graph, tmp_path):
+        save_csv(graph, tmp_path / "n.csv", tmp_path / "e.csv")
+        loaded = load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+        assert loaded.attribute(0, "age") == 31  # int, not "31".
+        assert loaded.attribute(0, "score") == 2.5  # float.
+        assert loaded.attribute(0, "name") == "ann"  # string.
+
+    def test_missing_attributes_stay_missing(self, graph, tmp_path):
+        save_csv(graph, tmp_path / "n.csv", tmp_path / "e.csv")
+        loaded = load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+        assert loaded.attribute(1, "age") is None
+        assert "age" not in loaded.node(1).attributes
+
+    def test_loaded_graph_frozen(self, graph, tmp_path):
+        save_csv(graph, tmp_path / "n.csv", tmp_path / "e.csv")
+        loaded = load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+        with pytest.raises(GraphError):
+            loaded.add_node(99, "x")
+
+
+class TestCsvValidation:
+    def test_missing_id_column(self, tmp_path):
+        (tmp_path / "n.csv").write_text("label\nperson\n")
+        (tmp_path / "e.csv").write_text("source,target\n")
+        with pytest.raises(GraphError):
+            load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+
+    def test_missing_label_column(self, tmp_path):
+        (tmp_path / "n.csv").write_text("id\n0\n")
+        (tmp_path / "e.csv").write_text("source,target\n")
+        with pytest.raises(GraphError):
+            load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+
+    def test_missing_edge_columns(self, tmp_path):
+        (tmp_path / "n.csv").write_text("id,label\n0,person\n")
+        (tmp_path / "e.csv").write_text("from,to\n")
+        with pytest.raises(GraphError):
+            load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+
+    def test_edge_without_label_column(self, tmp_path):
+        (tmp_path / "n.csv").write_text("id,label\n0,a\n1,a\n")
+        (tmp_path / "e.csv").write_text("source,target\n0,1\n")
+        loaded = load_csv(tmp_path / "n.csv", tmp_path / "e.csv")
+        assert loaded.has_edge(0, 1, "")

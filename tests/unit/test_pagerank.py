@@ -1,0 +1,85 @@
+"""Unit tests for PageRank and the PageRank relevance scorer."""
+
+import pytest
+
+from repro.core.pagerank import PageRankRelevance, pagerank
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture(scope="module")
+def star_graph():
+    # Node 0 is the hub (everyone links to it, it links nowhere); node 1
+    # ("second") additionally receives a link from one leaf.
+    b = GraphBuilder()
+    hub = b.node("p", name="hub")
+    second = b.node("p", name="second")
+    b.edge(second, hub, "e")
+    leaves = [b.node("p") for _ in range(4)]
+    for leaf in leaves:
+        b.edge(leaf, hub, "e")
+    b.edge(leaves[0], second, "e")
+    return b.build()
+
+
+class TestPageRank:
+    def test_distribution_sums_to_one(self, star_graph):
+        scores = pagerank(star_graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-8)
+
+    def test_hub_ranks_highest(self, star_graph):
+        scores = pagerank(star_graph)
+        assert max(scores, key=scores.get) == 0
+
+    def test_second_beats_plain_leaves(self, star_graph):
+        scores = pagerank(star_graph)
+        leaves = [scores[v] for v in range(3, 6)]
+        assert scores[1] > max(leaves)
+
+    def test_empty_graph(self):
+        assert pagerank(GraphBuilder().build()) == {}
+
+    def test_edgeless_graph_uniform(self):
+        b = GraphBuilder()
+        for _ in range(4):
+            b.node("p")
+        scores = pagerank(b.build())
+        values = list(scores.values())
+        assert max(values) == pytest.approx(min(values))
+
+    def test_matches_networkx(self, star_graph):
+        import networkx as nx
+
+        ours = pagerank(star_graph, damping=0.85)
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(star_graph.node_ids())
+        for edge in star_graph.edges():
+            nx_graph.add_edge(edge.source, edge.target)
+        reference = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        for node_id, score in reference.items():
+            assert ours[node_id] == pytest.approx(score, abs=1e-6)
+
+
+class TestPageRankRelevance:
+    def test_normalized_to_label_max(self, star_graph):
+        relevance = PageRankRelevance(star_graph, "p")
+        assert relevance(0) == 1.0
+        for v in range(1, 6):
+            assert 0.0 < relevance(v) <= 1.0
+
+    def test_unknown_node_scores_zero(self, star_graph):
+        relevance = PageRankRelevance(star_graph, "p")
+        assert relevance(999) == 0.0
+
+    def test_precomputed_scores_accepted(self, star_graph):
+        relevance = PageRankRelevance(
+            star_graph, "p", precomputed={v: 1.0 for v in range(6)}
+        )
+        assert relevance(3) == 1.0
+
+    def test_usable_as_diversity_relevance(self, star_graph):
+        from repro.core.measures import DiversityMeasure
+
+        measure = DiversityMeasure(
+            star_graph, "p", lam=0.0, relevance=PageRankRelevance(star_graph, "p")
+        )
+        assert measure.of({0, 1}) > measure.of({2, 3})

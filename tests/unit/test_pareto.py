@@ -1,0 +1,145 @@
+"""Unit tests for dominance, ε-dominance, boxes and front extraction."""
+
+import math
+
+import pytest
+
+from repro.core.kung import kung_front
+from repro.core.pareto import (
+    Box,
+    ZERO_BOX,
+    box_coordinate,
+    box_of,
+    dominates,
+    epsilon_dominates,
+    is_pareto_set,
+    minimal_epsilon,
+    pareto_front,
+)
+
+
+class Point:
+    """Minimal BiObjective stand-in."""
+
+    def __init__(self, delta, coverage):
+        self.delta = delta
+        self.coverage = coverage
+
+    def __repr__(self):
+        return f"P({self.delta}, {self.coverage})"
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(Point(2, 2), Point(1, 2))
+        assert dominates(Point(2, 2), Point(2, 1))
+        assert not dominates(Point(2, 2), Point(2, 2))
+        assert not dominates(Point(1, 3), Point(2, 2))
+
+    def test_epsilon_dominance(self):
+        assert epsilon_dominates(Point(1.0, 1.0), Point(1.09, 1.0), 0.1)
+        assert not epsilon_dominates(Point(1.0, 1.0), Point(1.2, 1.0), 0.1)
+        # Plain dominance implies ε-dominance.
+        assert epsilon_dominates(Point(2, 2), Point(1, 1), 0.01)
+
+
+class TestBoxCoordinates:
+    def test_zero_gets_sink_box(self):
+        assert box_coordinate(0.0, 0.1) == ZERO_BOX
+        assert box_coordinate(-1.0, 0.1) == ZERO_BOX
+
+    def test_same_box_implies_factor(self):
+        eps = 0.25
+        for value in (0.5, 1.0, 3.7, 120.0):
+            b = box_coordinate(value, eps)
+            # Box lower edge ≤ value < upper edge.
+            assert (1 + eps) ** b <= value * (1 + 1e-9)
+            assert value < (1 + eps) ** (b + 1) * (1 + 1e-9)
+
+    def test_monotone(self):
+        eps = 0.3
+        values = [0.1, 0.5, 1.0, 2.0, 10.0]
+        coords = [box_coordinate(v, eps) for v in values]
+        assert coords == sorted(coords)
+
+    def test_box_dominates(self):
+        assert Box(2, 2).dominates(Box(1, 2))
+        assert not Box(2, 2).dominates(Box(2, 2))
+        assert Box(2, 2).dominates_or_equal(Box(2, 2))
+        assert not Box(1, 3).dominates(Box(2, 2))
+
+    def test_box_of(self):
+        b = box_of(Point(2.0, 4.0), 1.0)
+        assert b == Box(1, 2)
+
+
+class TestParetoFront:
+    def test_small_front(self):
+        points = [Point(1, 5), Point(2, 4), Point(3, 1), Point(2, 2), Point(1, 4)]
+        front = pareto_front(points)
+        coords = sorted((p.delta, p.coverage) for p in front)
+        assert coords == [(1, 5), (2, 4), (3, 1)]
+
+    def test_duplicates_kept(self):
+        points = [Point(2, 2), Point(2, 2), Point(1, 1)]
+        front = pareto_front(points)
+        assert len(front) == 2
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_matches_kung(self):
+        import random
+
+        rng = random.Random(0)
+        points = [Point(rng.randint(0, 20), rng.randint(0, 20)) for _ in range(200)]
+        sweep = {(p.delta, p.coverage) for p in pareto_front(points)}
+        kung = {(p.delta, p.coverage) for p in kung_front(points)}
+        assert sweep == kung
+
+    def test_is_pareto_set(self):
+        universe = [Point(1, 5), Point(2, 4), Point(3, 1), Point(2, 2)]
+        front = pareto_front(universe)
+        assert is_pareto_set(front, universe)
+        assert not is_pareto_set([Point(2, 2)], universe)
+
+
+class TestMinimalEpsilon:
+    def test_exact_front_needs_zero(self):
+        universe = [Point(1, 5), Point(2, 4), Point(3, 1)]
+        assert minimal_epsilon(universe, universe) == 0.0
+
+    def test_single_candidate(self):
+        universe = [Point(2, 2), Point(4, 1)]
+        # Candidate (2,2) needs factor 2 on delta to cover (4,1).
+        assert minimal_epsilon([Point(2, 2)], universe) == pytest.approx(1.0)
+
+    def test_zero_candidate_axis_unusable(self):
+        assert minimal_epsilon([Point(0, 5)], [Point(1, 1)]) == math.inf
+
+    def test_zero_universe_axis_free(self):
+        # Universe point with 0 coverage needs nothing on that axis.
+        assert minimal_epsilon([Point(2, 0)], [Point(2, 0)]) == 0.0
+
+
+class TestKungFront:
+    def test_empty(self):
+        assert kung_front([]) == []
+
+    def test_singleton(self):
+        p = Point(1, 1)
+        assert kung_front([p]) == [p]
+
+    def test_all_dominated_chain(self):
+        points = [Point(i, i) for i in range(5)]
+        front = kung_front(points)
+        assert [(p.delta, p.coverage) for p in front] == [(4, 4)]
+
+    def test_anti_chain(self):
+        points = [Point(i, 10 - i) for i in range(5)]
+        assert len(kung_front(points)) == 5
+
+    def test_coordinate_ties_kept(self):
+        points = [Point(3, 3), Point(3, 3), Point(1, 4)]
+        front = kung_front(points)
+        assert len(front) == 3

@@ -1,0 +1,141 @@
+"""Unit tests for the template DSL parser and JSON serialization."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Instantiation, Op, QueryInstance
+from repro.query.parser import format_template, parse_template
+from repro.query.serialization import (
+    instantiation_from_dict,
+    instantiation_to_dict,
+    load_template,
+    load_workload,
+    save_template,
+    save_workload,
+    template_from_dict,
+    template_to_dict,
+)
+
+DSL = """
+# The paper's talent-search template.
+template talent
+node u0: person [title = "director"]
+node u1: person
+node u2: org
+edge u1 -recommend-> u0
+edge u1 -worksAt-> u2
+edge? xe1: u0 -knows-> u1
+var xl1: u1.yearsOfExp >= ?
+var xl2: u2.employees <= ?
+output u0
+"""
+
+
+class TestParser:
+    def test_parse_structure(self):
+        t = parse_template(DSL)
+        assert t.name == "talent"
+        assert set(t.nodes) == {"u0", "u1", "u2"}
+        assert t.output_node == "u0"
+        assert len(t.fixed_edges) == 2
+        assert t.num_edge_variables == 1
+        assert t.num_range_variables == 2
+
+    def test_parse_literal(self):
+        t = parse_template(DSL)
+        (literal,) = t.node("u0").literals
+        assert literal.attribute == "title"
+        assert literal.op is Op.EQ
+        assert literal.constant == "director"
+
+    def test_parse_operators(self):
+        t = parse_template(DSL)
+        assert t.variable("xl1").op is Op.GE
+        assert t.variable("xl2").op is Op.LE
+
+    def test_numeric_literals(self):
+        t = parse_template(
+            "template n\nnode u0: a [x >= 3, y = 2.5]\noutput u0\n"
+        )
+        literals = t.node("u0").literals
+        assert literals[0].constant == 3
+        assert literals[1].constant == 2.5
+
+    def test_roundtrip_through_format(self):
+        t = parse_template(DSL)
+        again = parse_template(format_template(t))
+        assert template_to_dict(t) == template_to_dict(again)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # Empty.
+            "template t\nnode u0: a\n",  # No output.
+            "template t\nnode u0: a\nwat u0\noutput u0",  # Unknown decl.
+            "template t\nnode u0: a [x ~ 3]\noutput u0",  # Bad literal op.
+            "template t\nnode u0: a [x = banana]\noutput u0",  # Bad value.
+            "template t\nnode u0: a\noutput u0 extra",  # Bad output.
+        ],
+    )
+    def test_rejects_bad_input(self, bad):
+        with pytest.raises(QueryError):
+            parse_template(bad)
+
+
+class TestTemplateSerialization:
+    def test_dict_roundtrip(self, talent_template):
+        data = template_to_dict(talent_template)
+        rebuilt = template_from_dict(data)
+        assert template_to_dict(rebuilt) == data
+
+    def test_file_roundtrip(self, talent_template, tmp_path):
+        path = tmp_path / "t.json"
+        save_template(talent_template, path)
+        rebuilt = load_template(path)
+        assert rebuilt.variable_names() == talent_template.variable_names()
+        assert rebuilt.output_node == talent_template.output_node
+
+    def test_missing_key_raises(self):
+        with pytest.raises(QueryError):
+            template_from_dict({"name": "x"})
+
+
+class TestInstantiationSerialization:
+    def test_roundtrip(self, talent_template):
+        inst = Instantiation(talent_template, {"xl1": 10, "xe1": 1})
+        data = instantiation_to_dict(inst)
+        rebuilt = instantiation_from_dict(data, talent_template)
+        assert rebuilt == inst
+
+    def test_template_mismatch(self, talent_template):
+        data = {"template": "someone-else", "bindings": {}}
+        with pytest.raises(QueryError):
+            instantiation_from_dict(data, talent_template)
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip(self, talent_template, tmp_path):
+        instances = [
+            QueryInstance(Instantiation(talent_template, {"xl1": v, "xl2": 100, "xe1": 0}))
+            for v in (5, 12)
+        ]
+        path = tmp_path / "w.json"
+        save_workload(instances, path)
+        loaded = load_workload(path)
+        assert [i.instantiation.key for i in loaded] == [
+            i.instantiation.key for i in instances
+        ]
+
+    def test_empty_workload(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_workload([], path)
+        assert load_workload(path) == []
+
+    def test_mixed_templates_rejected(self, talent_template, tmp_path):
+        other = parse_template(DSL)
+        instances = [
+            QueryInstance(Instantiation(talent_template)),
+            QueryInstance(Instantiation(other)),
+        ]
+        with pytest.raises(QueryError):
+            save_workload(instances, tmp_path / "bad.json")

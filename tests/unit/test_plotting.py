@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII series renderer."""
+
+from repro.bench.plotting import render_series
+
+
+ROWS = [
+    {"x": 0, "y": 0.0, "algo": "A"},
+    {"x": 1, "y": 0.5, "algo": "A"},
+    {"x": 2, "y": 1.0, "algo": "A"},
+    {"x": 0, "y": 1.0, "algo": "B"},
+    {"x": 2, "y": 0.0, "algo": "B"},
+]
+
+
+class TestRenderSeries:
+    def test_contains_markers_and_axes(self):
+        chart = render_series(ROWS, "x", "y", group_by="algo", title="t")
+        assert chart.startswith("t")
+        assert "o = A" in chart and "x = B" in chart
+        assert "x: x, y: y" in chart
+        assert "+" + "-" * 10 in chart  # Axis line.
+
+    def test_y_labels_show_extremes(self):
+        chart = render_series(ROWS, "x", "y")
+        assert "1 |" in chart
+        assert "0 |" in chart
+
+    def test_no_data(self):
+        assert "(no data)" in render_series([], "x", "y")
+        assert "(no data)" in render_series([{"a": 1}], "x", "y")
+
+    def test_non_numeric_rows_skipped(self):
+        rows = ROWS + [{"x": "nan?", "y": "oops", "algo": "A"}]
+        chart = render_series(rows, "x", "y", group_by="algo")
+        assert "x: x" in chart
+
+    def test_constant_series(self):
+        rows = [{"x": 0, "y": 5}, {"x": 1, "y": 5}]
+        chart = render_series(rows, "x", "y")
+        assert "5 |" in chart
+
+    def test_dimensions_respected(self):
+        chart = render_series(ROWS, "x", "y", width=20, height=5)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) == 20

@@ -1,0 +1,56 @@
+"""Unit tests for the verification profiler."""
+
+import pytest
+
+from repro.matching.profiling import profile_instance
+from repro.query import Instantiation, QueryInstance
+
+
+def make(template, **bindings):
+    return QueryInstance(Instantiation(template, bindings))
+
+
+class TestProfileInstance:
+    def test_funnel_counts(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=12, xl2=1000, xe1=0)
+        profile = profile_instance(talent_graph, q)
+        by_node = {f.node: f for f in profile.funnels}
+        # u0: 6 persons in the pool, 4 directors after the title literal.
+        assert by_node["u0"].label_pool == 6
+        assert by_node["u0"].after_literals == 4
+        # u1: persons with yearsOfExp >= 12 — r2, d1, d2, d3.
+        assert by_node["u1"].after_literals == 4
+        # After AC, u1 shrinks to {r2} (must recommend and work somewhere).
+        assert by_node["u1"].after_propagation == 1
+        assert profile.matches == 2
+
+    def test_funnel_monotone(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=5, xl2=100, xe1=1)
+        profile = profile_instance(talent_graph, q)
+        for funnel in profile.funnels:
+            assert funnel.label_pool >= funnel.after_literals >= funnel.after_propagation
+
+    def test_bottleneck(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=12, xl2=1000, xe1=0)
+        profile = profile_instance(talent_graph, q)
+        # The org-size literal keeps 1 of 2 orgs (0.5); the recommender
+        # literal keeps 4 of 6 persons — the org node is the bottleneck.
+        assert profile.bottleneck().node == "u2"
+
+    def test_output_marked_in_rows(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=5, xl2=100, xe1=0)
+        rows = profile_instance(talent_graph, q).as_rows()
+        assert any(row["node"] == "u0*" for row in rows)
+
+    def test_summary_mentions_matches(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=5, xl2=100, xe1=0)
+        summary = profile_instance(talent_graph, q).summary()
+        assert "4 matches" in summary
+        assert "tightest node" in summary
+
+    def test_empty_answer_profile(self, talent_graph, talent_template):
+        q = make(talent_template, xl1=99, xl2=100, xe1=0)
+        profile = profile_instance(talent_graph, q)
+        assert profile.matches == 0
+        for funnel in profile.funnels:
+            assert funnel.after_propagation == 0

@@ -1,0 +1,273 @@
+"""Unit tests for predicates, variables, templates, instantiations, instances."""
+
+import pytest
+
+from repro.errors import QueryError, VariableError
+from repro.query import (
+    EdgeVariable,
+    Instantiation,
+    Literal,
+    Op,
+    QueryInstance,
+    QueryTemplate,
+    RangeVariable,
+    WILDCARD,
+)
+
+
+class TestOp:
+    @pytest.mark.parametrize(
+        "op,value,constant,expected",
+        [
+            (Op.GT, 5, 4, True),
+            (Op.GT, 4, 4, False),
+            (Op.GE, 4, 4, True),
+            (Op.EQ, "a", "a", True),
+            (Op.LE, 3, 4, True),
+            (Op.LT, 4, 4, False),
+        ],
+    )
+    def test_evaluate(self, op, value, constant, expected):
+        assert op.evaluate(value, constant) is expected
+
+    def test_none_never_matches(self):
+        for op in Op:
+            assert op.evaluate(None, 1) is False
+
+    def test_type_mismatch_never_matches(self):
+        assert Op.GT.evaluate("abc", 5) is False
+
+    def test_refine_direction(self):
+        assert Op.GT.refine_direction == 1
+        assert Op.GE.refine_direction == 1
+        assert Op.LT.refine_direction == -1
+        assert Op.LE.refine_direction == -1
+        assert Op.EQ.refine_direction == 0
+
+    def test_parse(self):
+        assert Op.parse(">=") is Op.GE
+        assert Op.parse("==") is Op.EQ
+        with pytest.raises(ValueError):
+            Op.parse("<>")
+
+
+class TestLiteral:
+    def test_holds_for(self):
+        lit = Literal("age", Op.GE, 18)
+        assert lit.holds_for(20)
+        assert not lit.holds_for(17)
+        assert not lit.holds_for(None)
+
+    def test_str(self):
+        assert str(Literal("age", Op.GE, 18)) == "age >= 18"
+
+
+class TestRangeVariable:
+    def test_refinement_sorted_ge(self):
+        var = RangeVariable("x", "u", "age", Op.GE)
+        assert var.refinement_sorted((30, 10, 20)) == (10, 20, 30)
+
+    def test_refinement_sorted_le(self):
+        var = RangeVariable("x", "u", "age", Op.LE)
+        assert var.refinement_sorted((30, 10, 20)) == (30, 20, 10)
+
+    def test_refines_value_ge(self):
+        var = RangeVariable("x", "u", "age", Op.GE)
+        assert var.refines_value(20, 10)
+        assert var.refines_value(10, 10)
+        assert not var.refines_value(5, 10)
+
+    def test_refines_value_le(self):
+        var = RangeVariable("x", "u", "age", Op.LE)
+        assert var.refines_value(5, 10)
+        assert not var.refines_value(20, 10)
+
+    def test_wildcard_rules(self):
+        var = RangeVariable("x", "u", "age", Op.GE)
+        assert var.refines_value(10, WILDCARD)
+        assert var.refines_value(WILDCARD, WILDCARD)
+        assert not var.refines_value(WILDCARD, 10)
+
+    def test_eq_only_refines_itself(self):
+        var = RangeVariable("x", "u", "age", Op.EQ)
+        assert var.refines_value(10, 10)
+        assert not var.refines_value(11, 10)
+
+
+class TestEdgeVariable:
+    def test_one_refines_zero(self):
+        var = EdgeVariable("xe", "u1", "u0", "knows")
+        assert var.refines_value(1, 0)
+        assert var.refines_value(1, 1)
+        assert not var.refines_value(0, 1)
+        assert var.refines_value(0, WILDCARD)
+
+
+def build_template():
+    return (
+        QueryTemplate.builder("t")
+        .node("u0", "person", Literal("title", Op.EQ, "director"))
+        .node("u1", "person")
+        .node("u2", "org")
+        .fixed_edge("u1", "u0", "recommend")
+        .edge_var("xe1", "u1", "u2", "worksAt")
+        .range_var("xl1", "u1", "age", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+class TestTemplate:
+    def test_counts(self):
+        t = build_template()
+        assert t.num_range_variables == 1
+        assert t.num_edge_variables == 1
+        assert t.num_variables == 2
+        assert t.size == 2
+        assert t.variable_names() == ("xl1", "xe1")
+
+    def test_variable_lookup(self):
+        t = build_template()
+        assert t.variable("xl1").attribute == "age"
+        assert t.variable("xe1").label == "worksAt"
+        with pytest.raises(VariableError):
+            t.variable("nope")
+
+    def test_requires_output(self):
+        with pytest.raises(QueryError):
+            QueryTemplate.builder("x").node("u0", "a").build()
+
+    def test_output_must_exist(self):
+        with pytest.raises(QueryError):
+            (
+                QueryTemplate.builder("x")
+                .node("u0", "a")
+                .output("zz")
+                .build()
+            )
+
+    def test_connectivity_required(self):
+        with pytest.raises(QueryError):
+            (
+                QueryTemplate.builder("x")
+                .node("u0", "a")
+                .node("u1", "a")  # Disconnected.
+                .output("u0")
+                .build()
+            )
+
+    def test_unknown_edge_endpoint(self):
+        with pytest.raises(QueryError):
+            (
+                QueryTemplate.builder("x")
+                .node("u0", "a")
+                .fixed_edge("u0", "zz", "e")
+                .output("u0")
+                .build()
+            )
+
+    def test_duplicate_variable_names_rejected(self):
+        with pytest.raises(QueryError):
+            (
+                QueryTemplate.builder("x")
+                .node("u0", "a")
+                .node("u1", "a")
+                .fixed_edge("u1", "u0", "e")
+                .range_var("v", "u0", "age", Op.GE)
+                .edge_var("v", "u1", "u0", "e2")
+                .output("u0")
+                .build()
+            )
+
+    def test_diameter(self):
+        t = build_template()
+        # u2 - u1 - u0 is a path of length 2.
+        assert t.diameter() == 2
+
+    def test_is_bridge(self):
+        t = build_template()
+        assert t.is_bridge(("u1", "u0", "recommend"))
+        assert t.is_bridge(("u1", "u2", "worksAt"))
+
+    def test_range_variables_on(self):
+        t = build_template()
+        assert [v.name for v in t.range_variables_on("u1")] == ["xl1"]
+        assert t.range_variables_on("u0") == []
+
+
+class TestInstantiation:
+    def test_defaults_to_wildcard(self):
+        t = build_template()
+        inst = Instantiation(t)
+        assert inst["xl1"] == WILDCARD
+        assert not inst.is_total()
+        assert inst.wildcard_variables() == ("xl1", "xe1")
+
+    def test_unknown_variable_rejected(self):
+        t = build_template()
+        with pytest.raises(VariableError):
+            Instantiation(t, {"ghost": 1})
+
+    def test_bind_returns_copy(self):
+        t = build_template()
+        a = Instantiation(t, {"xl1": 10})
+        b = a.bind(xl1=20)
+        assert a["xl1"] == 10 and b["xl1"] == 20
+
+    def test_equality_and_hash(self):
+        t = build_template()
+        a = Instantiation(t, {"xl1": 10, "xe1": 1})
+        b = Instantiation(t, {"xe1": 1, "xl1": 10})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Instantiation(t, {"xl1": 11, "xe1": 1})
+
+    def test_mapping_protocol(self):
+        t = build_template()
+        inst = Instantiation(t, {"xl1": 10})
+        assert len(inst) == 2
+        assert set(inst) == {"xl1", "xe1"}
+
+
+class TestQueryInstance:
+    def test_total_instance_keeps_all(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t, {"xl1": 10, "xe1": 1}))
+        assert q.active_nodes == {"u0", "u1", "u2"}
+        assert set(q.edges) == {("u1", "u0", "recommend"), ("u1", "u2", "worksAt")}
+        literals = q.literals_on("u1")
+        assert len(literals) == 1 and literals[0].constant == 10
+
+    def test_disabled_edge_drops_component(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t, {"xl1": 10, "xe1": 0}))
+        # u2 hangs off the disabled optional edge: dropped.
+        assert q.active_nodes == {"u0", "u1"}
+        assert set(q.edges) == {("u1", "u0", "recommend")}
+
+    def test_wildcard_range_var_drops_literal(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t, {"xe1": 1}))
+        assert q.literals_on("u1") == ()
+
+    def test_wildcard_edge_var_reads_as_absent(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t))
+        assert q.active_nodes == {"u0", "u1"}
+
+    def test_fixed_literals_kept(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t))
+        assert [l.constant for l in q.literals_on("u0")] == ["director"]
+
+    def test_describe_mentions_output(self):
+        t = build_template()
+        q = QueryInstance(Instantiation(t, {"xl1": 10, "xe1": 1}))
+        text = q.describe()
+        assert "u0" in text and "recommend" in text
+
+    def test_equality(self):
+        t = build_template()
+        a = QueryInstance(Instantiation(t, {"xl1": 10}))
+        b = QueryInstance(Instantiation(t, {"xl1": 10}))
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,114 @@
+"""Unit tests for the refinement preorder (Lemma 2 structure)."""
+
+import pytest
+
+from repro.query import (
+    Instantiation,
+    Op,
+    QueryInstance,
+    QueryTemplate,
+    compare_instantiations,
+    refines,
+    refines_at,
+    strictly_refines,
+)
+from repro.query.refinement import between
+
+
+@pytest.fixture(scope="module")
+def template():
+    return (
+        QueryTemplate.builder("t")
+        .node("u0", "a")
+        .node("u1", "a")
+        .fixed_edge("u1", "u0", "e")
+        .range_var("ge", "u1", "x", Op.GE)
+        .range_var("le", "u0", "y", Op.LE)
+        .edge_var("xe", "u0", "u1", "f")
+        .output("u0")
+        .build()
+    )
+
+
+def make(template, ge="_", le="_", xe="_"):
+    return Instantiation(template, {"ge": ge, "le": le, "xe": xe})
+
+
+class TestRefines:
+    def test_reflexive(self, template):
+        inst = make(template, 5, 5, 1)
+        assert refines(inst, inst)
+
+    def test_ge_direction(self, template):
+        assert refines(make(template, 10), make(template, 5))
+        assert not refines(make(template, 5), make(template, 10))
+
+    def test_le_direction(self, template):
+        assert refines(make(template, le=5), make(template, le=10))
+        assert not refines(make(template, le=10), make(template, le=5))
+
+    def test_edge_direction(self, template):
+        assert refines(make(template, xe=1), make(template, xe=0))
+        assert not refines(make(template, xe=0), make(template, xe=1))
+
+    def test_wildcard_is_bottom(self, template):
+        assert refines(make(template, 5, 5, 1), make(template))
+        assert not refines(make(template), make(template, 5, 5, 1))
+
+    def test_mixed_incomparable(self, template):
+        a = make(template, ge=10, le=10)
+        b = make(template, ge=5, le=5)
+        # a refines on ge but relaxes on le: incomparable.
+        assert not refines(a, b) and not refines(b, a)
+
+    def test_per_variable(self, template):
+        a = make(template, ge=10, le=5)
+        b = make(template, ge=5, le=10)
+        assert refines_at(a, b, "ge")
+        assert refines_at(a, b, "le")
+        assert refines(a, b)
+
+    def test_cross_template_never_refines(self, template):
+        other = (
+            QueryTemplate.builder("other")
+            .node("u0", "a")
+            .node("u1", "a")
+            .fixed_edge("u1", "u0", "e")
+            .range_var("ge", "u1", "x", Op.GE)
+            .range_var("le", "u0", "y", Op.LE)
+            .edge_var("xe", "u0", "u1", "f")
+            .output("u0")
+            .build()
+        )
+        assert not refines(make(template, 5), make(other, 5))
+
+    def test_instances_accepted(self, template):
+        a = QueryInstance(make(template, 10, 5, 1))
+        b = QueryInstance(make(template, 5, 10, 0))
+        assert refines(a, b)
+
+
+class TestStrictAndCompare:
+    def test_strictly_refines(self, template):
+        assert strictly_refines(make(template, 10), make(template, 5))
+        assert not strictly_refines(make(template, 5), make(template, 5))
+
+    def test_compare(self, template):
+        assert compare_instantiations(make(template, 10), make(template, 5)) == 1
+        assert compare_instantiations(make(template, 5), make(template, 10)) == -1
+        assert compare_instantiations(make(template, 5), make(template, 5)) == 0
+        # Incomparable also yields 0.
+        assert (
+            compare_instantiations(
+                make(template, ge=10, le=10), make(template, ge=5, le=5)
+            )
+            == 0
+        )
+
+    def test_between(self, template):
+        lo = QueryInstance(make(template, 5, 10, 0))
+        mid = QueryInstance(make(template, 7, 8, 0))
+        hi = QueryInstance(make(template, 10, 5, 1))
+        assert between(mid, lo, hi)
+        assert not between(lo, lo, hi)
+        assert not between(hi, lo, hi)

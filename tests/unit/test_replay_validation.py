@@ -1,0 +1,92 @@
+"""Unit tests for workload replay and schema validation."""
+
+import pytest
+
+from repro.datasets.dbp import DBP_SCHEMA, build_dbp
+from repro.datasets.lki import LKI_SCHEMA, build_lki
+from repro.datasets.validation import validate_graph
+from repro.graph.builder import GraphBuilder
+from repro.query import Instantiation, QueryInstance
+from repro.workload.replay import replay_workload
+
+
+class TestReplay:
+    @pytest.fixture()
+    def workload(self, talent_template):
+        return [
+            QueryInstance(
+                Instantiation(talent_template, {"xl1": v, "xl2": c, "xe1": 0})
+            )
+            for v, c in [(5, 100), (12, 100), (5, 1000), (99, 100)]
+        ]
+
+    def test_records_per_query(self, talent_graph, workload):
+        report = replay_workload(talent_graph, workload)
+        assert len(report.records) == 4
+        assert [r.cardinality for r in report.records] == [4, 2, 2, 0]
+        assert report.empty_queries == 1
+        assert report.total_answers == 8
+
+    def test_audits_attached_when_groups_given(
+        self, talent_graph, workload, talent_groups
+    ):
+        report = replay_workload(talent_graph, workload, talent_groups)
+        first = report.records[0]
+        assert first.audit is not None
+        assert first.audit.feasible
+        rows = report.as_rows()
+        assert all("DI ratio" in row for row in rows)
+
+    def test_no_groups_no_audit(self, talent_graph, workload):
+        report = replay_workload(talent_graph, workload)
+        assert all(r.audit is None for r in report.records)
+        assert "feasible" not in report.as_rows()[0]
+
+    def test_summary(self, talent_graph, workload):
+        report = replay_workload(talent_graph, workload)
+        assert "4 queries" in report.summary()
+        assert "1 empty" in report.summary()
+
+    def test_empty_workload(self, talent_graph):
+        report = replay_workload(talent_graph, [])
+        assert report.total_time == 0
+        assert report.summary().startswith("0 queries")
+
+
+class TestValidation:
+    def test_datasets_conform_to_their_schemas(self):
+        assert validate_graph(build_dbp(scale=0.05), DBP_SCHEMA) == []
+        assert validate_graph(build_lki(scale=0.05), LKI_SCHEMA) == []
+
+    def test_unknown_label_detected(self):
+        b = GraphBuilder()
+        b.node("martian", x=1)
+        violations = validate_graph(b.build(), LKI_SCHEMA)
+        assert any(v.kind == "unknown-node-label" for v in violations)
+
+    def test_unknown_edge_detected(self):
+        b = GraphBuilder()
+        p = b.node("person", yearsOfExp=3)
+        o = b.node("org", employees=10)
+        b.edge(o, p, "employs")  # Not in the schema.
+        violations = validate_graph(b.build(), LKI_SCHEMA)
+        assert any(v.kind == "unknown-edge" for v in violations)
+
+    def test_attribute_type_detected(self):
+        b = GraphBuilder()
+        b.node("person", yearsOfExp="ten")  # Should be numeric.
+        violations = validate_graph(b.build(), LKI_SCHEMA)
+        assert any(v.kind == "attribute-type" for v in violations)
+
+    def test_extra_attribute_lenient_by_default(self):
+        b = GraphBuilder()
+        b.node("person", yearsOfExp=3, shoeSize=42)
+        assert validate_graph(b.build(), LKI_SCHEMA) == []
+        strict = validate_graph(b.build(), LKI_SCHEMA, strict_attributes=True)
+        assert any(v.kind == "unknown-attribute" for v in strict)
+
+    def test_violation_str(self):
+        b = GraphBuilder()
+        b.node("martian")
+        (violation,) = validate_graph(b.build(), LKI_SCHEMA)
+        assert "unknown-node-label" in str(violation)

@@ -1,0 +1,77 @@
+"""Unit tests for offline k-representative selection."""
+
+import pytest
+
+from repro.core.representatives import select_representatives
+from repro.errors import ConfigurationError
+
+
+class Point:
+    def __init__(self, delta, coverage):
+        self.delta = delta
+        self.coverage = coverage
+
+    def __repr__(self):
+        return f"P({self.delta}, {self.coverage})"
+
+
+def front(n):
+    """An n-point anti-chain front from (n, 0) to (0, n)."""
+    return [Point(n - i, i) for i in range(n + 1)]
+
+
+class TestSelectRepresentatives:
+    def test_small_set_returned_whole(self):
+        points = front(2)
+        assert len(select_representatives(points, 10)) == 3
+
+    def test_exact_k(self):
+        points = front(10)
+        picked = select_representatives(points, 4)
+        assert len(picked) == 4
+
+    def test_extremes_always_kept(self):
+        points = front(10)
+        picked = select_representatives(points, 3)
+        deltas = [p.delta for p in picked]
+        coverages = [p.coverage for p in picked]
+        assert max(deltas) == 10  # The best-δ extreme.
+        assert max(coverages) == 10  # The best-f extreme.
+
+    def test_spread(self):
+        points = front(10)
+        picked = select_representatives(points, 3)
+        # With the two extremes fixed, the third pick is near the middle.
+        middle = [p for p in picked if 0 < p.delta < 10]
+        assert len(middle) == 1
+        assert 3 <= middle[0].delta <= 7
+
+    def test_output_sorted_by_objectives(self):
+        picked = select_representatives(front(8), 4)
+        deltas = [p.delta for p in picked]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_duplicates_collapse(self):
+        points = [Point(1, 1)] * 5 + [Point(2, 0)]
+        picked = select_representatives(points, 4)
+        coords = [(p.delta, p.coverage) for p in picked]
+        assert len(set(coords)) == len(coords) == 2
+
+    def test_k_one(self):
+        picked = select_representatives(front(5), 1)
+        assert len(picked) == 1
+        assert picked[0].delta == 5  # Seeded with the max-δ point.
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            select_representatives(front(3), 0)
+
+    def test_empty_input(self):
+        assert select_representatives([], 3) == []
+
+    def test_integration_with_generation_result(self, small_lki_config):
+        from repro.core import Kungs
+
+        result = Kungs(small_lki_config).run()
+        picked = select_representatives(result.instances, 2)
+        assert 1 <= len(picked) <= 2

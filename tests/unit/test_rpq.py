@@ -1,0 +1,202 @@
+"""Unit tests for the RPQ substrate: regex, NFA, engine, templates."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.builder import GraphBuilder
+from repro.query.predicates import Literal, Op
+from repro.query.variables import RangeVariable
+from repro.rpq import RPQTemplate, evaluate_rpq, parse_regex
+from repro.rpq.engine import reachable_pairs
+
+
+def sym(label, forward=True):
+    return (label, forward)
+
+
+class TestRegexParsing:
+    def test_single_label(self):
+        nfa = parse_regex("knows")
+        assert nfa.accepts_word([sym("knows")])
+        assert not nfa.accepts_word([])
+        assert not nfa.accepts_word([sym("likes")])
+
+    def test_concatenation_slash(self):
+        nfa = parse_regex("a/b")
+        assert nfa.accepts_word([sym("a"), sym("b")])
+        assert not nfa.accepts_word([sym("a")])
+
+    def test_concatenation_juxtaposition(self):
+        nfa = parse_regex("a b")
+        assert nfa.accepts_word([sym("a"), sym("b")])
+
+    def test_alternation(self):
+        nfa = parse_regex("a|b")
+        assert nfa.accepts_word([sym("a")])
+        assert nfa.accepts_word([sym("b")])
+        assert not nfa.accepts_word([sym("a"), sym("b")])
+
+    def test_star(self):
+        nfa = parse_regex("a*")
+        assert nfa.matches_empty()
+        assert nfa.accepts_word([sym("a")] * 5)
+
+    def test_plus(self):
+        nfa = parse_regex("a+")
+        assert not nfa.matches_empty()
+        assert nfa.accepts_word([sym("a")])
+        assert nfa.accepts_word([sym("a")] * 3)
+
+    def test_optional(self):
+        nfa = parse_regex("a?")
+        assert nfa.matches_empty()
+        assert nfa.accepts_word([sym("a")])
+        assert not nfa.accepts_word([sym("a"), sym("a")])
+
+    def test_inverse(self):
+        nfa = parse_regex("^a")
+        assert nfa.accepts_word([sym("a", forward=False)])
+        assert not nfa.accepts_word([sym("a")])
+
+    def test_grouping_precedence(self):
+        nfa = parse_regex("(a/b)|c")
+        assert nfa.accepts_word([sym("a"), sym("b")])
+        assert nfa.accepts_word([sym("c")])
+        # Without grouping, a/(b|c):
+        other = parse_regex("a/(b|c)")
+        assert other.accepts_word([sym("a"), sym("c")])
+        assert not other.accepts_word([sym("c")])
+
+    def test_star_on_group(self):
+        nfa = parse_regex("(a/b)*")
+        assert nfa.matches_empty()
+        assert nfa.accepts_word([sym("a"), sym("b"), sym("a"), sym("b")])
+        assert not nfa.accepts_word([sym("a")])
+
+    @pytest.mark.parametrize(
+        "bad", ["", "(a", "a)", "|a", "a/", "^", "a^", "*", "a b )"]
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_regex(bad)
+
+
+@pytest.fixture(scope="module")
+def path_graph():
+    # p0 -r-> p1 -r-> p2 -r-> p3; p1 -w-> o0; p2 -w-> o0.
+    b = GraphBuilder()
+    p = [b.node("person", idx=i) for i in range(4)]
+    org = b.node("org")
+    for i in range(3):
+        b.edge(p[i], p[i + 1], "r")
+    b.edge(p[1], org, "w")
+    b.edge(p[2], org, "w")
+    return b.build()
+
+
+class TestEngine:
+    def test_single_step(self, path_graph):
+        nfa = parse_regex("r")
+        assert evaluate_rpq(path_graph, [0], nfa) == {1}
+
+    def test_plus_closure(self, path_graph):
+        nfa = parse_regex("r+")
+        assert evaluate_rpq(path_graph, [0], nfa) == {1, 2, 3}
+
+    def test_star_includes_sources(self, path_graph):
+        nfa = parse_regex("r*")
+        assert evaluate_rpq(path_graph, [2], nfa) == {2, 3}
+
+    def test_inverse_step(self, path_graph):
+        nfa = parse_regex("^r")
+        assert evaluate_rpq(path_graph, [2], nfa) == {1}
+
+    def test_colleague_pattern(self, path_graph):
+        # w/^w: nodes sharing an org (including self via the same edge).
+        nfa = parse_regex("w/^w")
+        assert evaluate_rpq(path_graph, [1], nfa) == {1, 2}
+
+    def test_multiple_sources(self, path_graph):
+        nfa = parse_regex("r")
+        assert evaluate_rpq(path_graph, [0, 2], nfa) == {1, 3}
+
+    def test_no_match(self, path_graph):
+        nfa = parse_regex("zz")
+        assert evaluate_rpq(path_graph, [0], nfa) == frozenset()
+
+    def test_reachable_pairs(self, path_graph):
+        nfa = parse_regex("r")
+        pairs = reachable_pairs(path_graph, [0, 1], nfa)
+        assert pairs == {0: frozenset({1}), 1: frozenset({2})}
+
+
+class TestRPQTemplate:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        b = GraphBuilder()
+        people = [
+            b.node("person", seniority=i, gender="M" if i % 2 else "F")
+            for i in range(6)
+        ]
+        for i in range(5):
+            b.edge(people[i], people[i + 1], "recommend")
+        return b.build()
+
+    def make_template(self):
+        return RPQTemplate(
+            "chain",
+            source_label="person",
+            path="recommend+",
+            range_variables=[
+                RangeVariable("min_src", "source", "seniority", Op.GE),
+                RangeVariable("min_dst", "target", "seniority", Op.GE),
+            ],
+        )
+
+    def test_answer_respects_bounds(self, graph):
+        template = self.make_template()
+        instance = template.instantiate({"min_src": 0, "min_dst": 3})
+        # Reachable from anyone via recommend+ with seniority >= 3: {3,4,5}.
+        assert instance.answer(graph) == {3, 4, 5}
+
+    def test_refining_source_shrinks_answer(self, graph):
+        template = self.make_template()
+        relaxed = template.instantiate({"min_src": 0, "min_dst": 0})
+        refined = template.instantiate({"min_src": 4, "min_dst": 0})
+        assert refined.answer(graph) <= relaxed.answer(graph)
+
+    def test_wildcards_drop_predicates(self, graph):
+        template = self.make_template()
+        instance = template.instantiate({})
+        assert instance.answer(graph) == {1, 2, 3, 4, 5}
+
+    def test_bad_anchor_rejected(self):
+        with pytest.raises(QueryError):
+            RPQTemplate(
+                "bad",
+                source_label="person",
+                path="r",
+                range_variables=[RangeVariable("x", "middle", "a", Op.GE)],
+            )
+
+    def test_enumerate_instances(self, graph):
+        template = self.make_template()
+        instances = template.enumerate_instances(graph, max_values=3)
+        # 3 values per variable (quantized).
+        assert len(instances) == 9
+        assert len({i.key for i in instances}) == 9
+
+    def test_describe(self, graph):
+        template = self.make_template()
+        text = template.instantiate({"min_src": 2}).describe()
+        assert "recommend+" in text and "seniority >= 2" in text
+
+    def test_fixed_literals(self, graph):
+        template = RPQTemplate(
+            "fixed",
+            source_label="person",
+            path="recommend+",
+            target_literals=[Literal("gender", Op.EQ, "F")],
+        )
+        answer = template.instantiate({}).answer(graph)
+        assert answer == {2, 4}  # F-gendered reachable nodes.

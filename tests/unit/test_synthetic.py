@@ -1,0 +1,168 @@
+"""Unit tests for the schema-driven synthetic graph generator."""
+
+import pytest
+
+from repro.datasets.sampler import Sampler
+from repro.datasets.synthetic import (
+    Constant,
+    EdgePopulation,
+    GaussInt,
+    LogUniformInt,
+    NodePopulation,
+    SyntheticSpec,
+    UniformChoice,
+    UniformInt,
+    WeightedCoin,
+    ZipfChoice,
+    build_synthetic,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SyntheticSpec(
+        name="toy",
+        nodes=[
+            NodePopulation(
+                "user",
+                50,
+                {
+                    "age": GaussInt(35, 12, 18, 80),
+                    "plan": ZipfChoice(("free", "pro", "team")),
+                    "active": WeightedCoin(0.8, "yes", "no"),
+                },
+            ),
+            NodePopulation("doc", 150, {"size": LogUniformInt(0, 3)}),
+        ],
+        edges=[
+            EdgePopulation(
+                "user", "owns", "doc", out_degree=UniformInt(1, 4),
+                attachment="preferential",
+            ),
+            EdgePopulation("user", "follows", "user", attachment="zipf"),
+        ],
+    )
+
+
+class TestDistributions:
+    def test_constant(self):
+        assert Constant(7).sample(Sampler(0)) == 7
+        assert Constant(7).is_numeric
+        assert not Constant("x").is_numeric
+
+    def test_uniform_int_bounds(self):
+        sampler = Sampler(0)
+        values = [UniformInt(3, 5).sample(sampler) for _ in range(100)]
+        assert set(values) <= {3, 4, 5}
+
+    def test_gauss_int_clipped(self):
+        sampler = Sampler(0)
+        values = [GaussInt(0, 100, -5, 5).sample(sampler) for _ in range(100)]
+        assert min(values) >= -5 and max(values) <= 5
+
+    def test_loguniform_heavy_tail(self):
+        sampler = Sampler(0)
+        values = [LogUniformInt(0, 3).sample(sampler) for _ in range(500)]
+        assert min(values) >= 1 and max(values) <= 1000
+        assert max(values) > 50 * min(values)  # Actually spread out.
+
+    def test_choices(self):
+        sampler = Sampler(0)
+        assert UniformChoice(("a",)).sample(sampler) == "a"
+        zipf_values = [ZipfChoice(("a", "b", "c")).sample(sampler) for _ in range(500)]
+        assert zipf_values.count("a") > zipf_values.count("c")
+
+    def test_weighted_coin(self):
+        sampler = Sampler(0)
+        values = [WeightedCoin(0.9, 1, 0).sample(sampler) for _ in range(300)]
+        assert sum(values) > 200
+
+
+class TestSpecValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(
+                "bad",
+                nodes=[NodePopulation("x", 1), NodePopulation("x", 1)],
+                edges=[],
+            )
+
+    def test_unknown_edge_label_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(
+                "bad",
+                nodes=[NodePopulation("x", 1)],
+                edges=[EdgePopulation("x", "e", "ghost")],
+            )
+
+    def test_unknown_attachment_rejected(self):
+        with pytest.raises(DatasetError):
+            EdgePopulation("x", "e", "x", attachment="magnetic")
+
+
+class TestBuild:
+    def test_counts_scale(self, spec):
+        small = build_synthetic(spec, scale=0.5, seed=1)
+        full = build_synthetic(spec, scale=1.0, seed=1)
+        assert small.count_label("user") == 25
+        assert full.count_label("user") == 50
+        assert full.count_label("doc") == 150
+
+    def test_deterministic(self, spec):
+        a = build_synthetic(spec, scale=0.5, seed=3)
+        b = build_synthetic(spec, scale=0.5, seed=3)
+        assert sorted(e.key for e in a.edges()) == sorted(e.key for e in b.edges())
+
+    def test_edges_respect_signature(self, spec):
+        graph = build_synthetic(spec, scale=0.5, seed=1)
+        for edge in graph.edges():
+            source_label = graph.label(edge.source)
+            target_label = graph.label(edge.target)
+            if edge.label == "owns":
+                assert (source_label, target_label) == ("user", "doc")
+            else:
+                assert (source_label, target_label) == ("user", "user")
+
+    def test_no_self_loops(self, spec):
+        graph = build_synthetic(spec, scale=1.0, seed=2)
+        assert all(e.source != e.target for e in graph.edges())
+
+    def test_attributes_populated(self, spec):
+        graph = build_synthetic(spec, scale=0.5, seed=1)
+        some_user = next(iter(graph.nodes_with_label("user")))
+        attrs = graph.attributes(some_user)
+        assert 18 <= attrs["age"] <= 80
+        assert attrs["plan"] in ("free", "pro", "team")
+
+
+class TestSchemaDerivation:
+    def test_to_schema(self, spec):
+        schema = spec.to_schema()
+        assert set(schema.node_labels) == {"user", "doc"}
+        numeric = {a.name for a in schema.numeric_attributes("user")}
+        assert numeric == {"age"}
+        assert len(schema.edges) == 2
+
+    def test_generated_templates_run_end_to_end(self, spec):
+        """The derived schema feeds the template generator and FairSQG."""
+        from repro import GenerationConfig, GroupSet, NodeGroup, RfQGen
+        from repro.workload import TemplateGenerator, TemplateSpec
+
+        graph = build_synthetic(spec, scale=1.0, seed=5)
+        template = TemplateGenerator(spec.to_schema(), seed=2).generate(
+            TemplateSpec("user", size=2, num_range_vars=1, num_edge_vars=1)
+        )
+        users = sorted(graph.nodes_with_label("user"))
+        half = len(users) // 2
+        groups = GroupSet(
+            [
+                NodeGroup("a", frozenset(users[:half]), 1),
+                NodeGroup("b", frozenset(users[half:]), 1),
+            ]
+        )
+        config = GenerationConfig(
+            graph, template, groups, epsilon=0.2, max_domain_values=4
+        )
+        result = RfQGen(config).run()
+        assert result.stats.verified > 0

@@ -1,0 +1,103 @@
+"""Unit tests for graph transformations."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.transform import (
+    filter_nodes,
+    largest_weakly_connected_component,
+    project_labels,
+    relabel,
+)
+
+
+@pytest.fixture()
+def graph():
+    b = GraphBuilder("t")
+    p0 = b.node("person", age=30)
+    p1 = b.node("person", age=40)
+    o0 = b.node("org", size=5)
+    spam = b.node("bot", score=1)
+    b.edge(p0, p1, "knows")
+    b.edge(p0, o0, "worksAt")
+    b.edge(spam, p0, "spams")
+    # An isolated fragment.
+    f0 = b.node("person", age=99)
+    f1 = b.node("person", age=98)
+    b.edge(f0, f1, "knows")
+    return b.build()
+
+
+class TestFilterNodes:
+    def test_predicate_filtering(self, graph):
+        adults = filter_nodes(graph, lambda n: n.get("age", 0) >= 40)
+        assert adults.num_nodes == 3
+        assert all(adults.attribute(v, "age") >= 40 for v in adults.node_ids())
+
+    def test_edges_restricted(self, graph):
+        people = filter_nodes(graph, lambda n: n.label == "person")
+        assert people.has_edge(0, 1, "knows")
+        assert people.num_edges == 2  # worksAt and spams dropped.
+
+    def test_ids_preserved(self, graph):
+        people = filter_nodes(graph, lambda n: n.label == "person")
+        assert people.attribute(1, "age") == 40
+
+
+class TestProjectLabels:
+    def test_node_projection(self, graph):
+        sub = project_labels(graph, ["person", "org"])
+        assert sub.node_labels() == {"person", "org"}
+        assert not sub.has_node(3)  # The bot.
+
+    def test_edge_projection(self, graph):
+        sub = project_labels(graph, ["person", "org"], edge_labels=["worksAt"])
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 2, "worksAt")
+
+
+class TestRelabel:
+    def test_node_and_edge_relabel(self, graph):
+        renamed = relabel(
+            graph,
+            node_label_map={"person": "user"},
+            edge_label_map={"knows": "follows"},
+        )
+        assert renamed.count_label("user") == 4
+        assert renamed.has_edge(0, 1, "follows")
+        assert renamed.count_label("org") == 1  # Unmapped passes through.
+
+    def test_attribute_rename(self, graph):
+        renamed = relabel(graph, attribute_map={"age": "years"})
+        assert renamed.attribute(0, "years") == 30
+        assert renamed.attribute(0, "age") is None
+
+    def test_colliding_attribute_map_rejected(self, graph):
+        with pytest.raises(GraphError):
+            relabel(graph, attribute_map={"age": "x", "size": "x"})
+
+    def test_rename_onto_existing_attribute_rejected(self):
+        b = GraphBuilder()
+        b.node("a", x=1, y=2)
+        with pytest.raises(GraphError):
+            relabel(b.build(), attribute_map={"x": "y"})
+
+
+class TestLargestComponent:
+    def test_keeps_core(self, graph):
+        core = largest_weakly_connected_component(graph)
+        # Core component: p0, p1, o0, bot (4 nodes) vs fragment (2).
+        assert core.num_nodes == 4
+        assert core.has_node(0) and not core.has_node(4)
+
+    def test_empty_graph(self):
+        empty = GraphBuilder().build()
+        assert largest_weakly_connected_component(empty).num_nodes == 0
+
+    def test_single_component_unchanged_size(self):
+        b = GraphBuilder()
+        a0, a1 = b.node("a"), b.node("a")
+        b.edge(a0, a1, "e")
+        core = largest_weakly_connected_component(b.build())
+        assert core.num_nodes == 2

@@ -1,0 +1,149 @@
+"""Unit tests for the Update procedure (ε-Pareto archive)."""
+
+import pytest
+
+from repro.core.pareto import epsilon_dominates
+from repro.core.update import EpsilonParetoArchive, UpdateCase
+
+
+class FakeEvaluated:
+    """Duck-typed EvaluatedInstance for archive tests."""
+
+    def __init__(self, delta, coverage, tag=None):
+        self.delta = delta
+        self.coverage = coverage
+        self.instance = tag if tag is not None else (delta, coverage)
+        self.feasible = True
+
+    def __repr__(self):
+        return f"F({self.delta}, {self.coverage})"
+
+
+class TestOfferCases:
+    def test_first_offer_adds(self):
+        archive = EpsilonParetoArchive(0.5)
+        assert archive.offer(FakeEvaluated(1.0, 1.0)) is UpdateCase.ADDED_BOX
+        assert len(archive) == 1
+
+    def test_dominating_box_replaces(self):
+        archive = EpsilonParetoArchive(0.5)
+        archive.offer(FakeEvaluated(1.0, 1.0))
+        case = archive.offer(FakeEvaluated(10.0, 10.0))
+        assert case is UpdateCase.REPLACED_BOXES
+        assert len(archive) == 1
+        assert archive.instances()[0].delta == 10.0
+
+    def test_multiple_boxes_replaced_at_once(self):
+        archive = EpsilonParetoArchive(0.5)
+        archive.offer(FakeEvaluated(1.0, 8.0))
+        archive.offer(FakeEvaluated(8.0, 1.0))
+        assert len(archive) == 2
+        case = archive.offer(FakeEvaluated(100.0, 100.0))
+        assert case is UpdateCase.REPLACED_BOXES
+        assert len(archive) == 1
+
+    def test_same_box_duel_keeps_dominant(self):
+        archive = EpsilonParetoArchive(1.0)  # Wide boxes.
+        weak = FakeEvaluated(2.0, 2.0)
+        strong = FakeEvaluated(2.5, 2.5)
+        archive.offer(weak)
+        case = archive.offer(strong)
+        assert case is UpdateCase.REPLACED_INSTANCE
+        assert archive.instances()[0] is strong
+
+    def test_same_box_incomparable_keeps_occupant(self):
+        archive = EpsilonParetoArchive(1.0)
+        first = FakeEvaluated(2.0, 2.5)
+        second = FakeEvaluated(2.5, 2.0)  # Same boxes, neither dominates.
+        archive.offer(first)
+        assert archive.offer(second) is UpdateCase.REJECTED
+        assert archive.instances()[0] is first
+
+    def test_dominated_box_rejected(self):
+        archive = EpsilonParetoArchive(0.5)
+        archive.offer(FakeEvaluated(10.0, 10.0))
+        assert archive.offer(FakeEvaluated(1.0, 1.0)) is UpdateCase.REJECTED
+
+    def test_incomparable_boxes_coexist(self):
+        archive = EpsilonParetoArchive(0.1)
+        archive.offer(FakeEvaluated(10.0, 1.0))
+        assert archive.offer(FakeEvaluated(1.0, 10.0)) is UpdateCase.ADDED_BOX
+        assert len(archive) == 2
+
+    def test_classify_does_not_mutate(self):
+        archive = EpsilonParetoArchive(0.5)
+        archive.offer(FakeEvaluated(1.0, 1.0))
+        archive.classify(FakeEvaluated(50.0, 50.0))
+        assert len(archive) == 1
+        assert archive.instances()[0].delta == 1.0
+
+
+class TestArchiveInvariants:
+    def test_every_offered_point_is_epsilon_dominated(self):
+        import random
+
+        rng = random.Random(1)
+        eps = 0.3
+        archive = EpsilonParetoArchive(eps)
+        offered = []
+        for _ in range(300):
+            point = FakeEvaluated(rng.uniform(0, 50), rng.uniform(0, 50))
+            offered.append(point)
+            archive.offer(point)
+        kept = archive.instances()
+        for point in offered:
+            assert any(epsilon_dominates(k, point, eps) for k in kept), point
+
+    def test_kept_boxes_mutually_non_dominating(self):
+        import random
+
+        rng = random.Random(2)
+        archive = EpsilonParetoArchive(0.4)
+        for _ in range(200):
+            archive.offer(FakeEvaluated(rng.uniform(0, 30), rng.uniform(0, 30)))
+        boxes = list(archive.boxes().keys())
+        for i, a in enumerate(boxes):
+            for j, b in enumerate(boxes):
+                if i != j:
+                    assert not a.dominates(b)
+
+    def test_size_bound(self):
+        import random
+
+        rng = random.Random(3)
+        eps = 0.25
+        archive = EpsilonParetoArchive(eps)
+        for _ in range(500):
+            archive.offer(FakeEvaluated(rng.uniform(0, 100), rng.uniform(0, 100)))
+        assert len(archive) <= archive.size_bound(100.0, 100.0)
+
+
+class TestMaintenance:
+    def test_remove(self):
+        archive = EpsilonParetoArchive(0.3)
+        point = FakeEvaluated(5.0, 5.0, tag="a")
+        archive.offer(point)
+        assert archive.remove(point)
+        assert len(archive) == 0
+        assert not archive.remove(point)
+
+    def test_rebuild_with_larger_epsilon_shrinks_or_keeps(self):
+        archive = EpsilonParetoArchive(0.05)
+        points = [FakeEvaluated(1.0 + 0.1 * i, 10.0 - 0.5 * i) for i in range(10)]
+        for p in points:
+            archive.offer(p)
+        before = len(archive)
+        archive.rebuild(1.0)
+        assert len(archive) <= before
+        assert archive.epsilon == 1.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonParetoArchive(0.0)
+
+    def test_instances_ordering(self):
+        archive = EpsilonParetoArchive(0.1)
+        archive.offer(FakeEvaluated(1.0, 10.0))
+        archive.offer(FakeEvaluated(10.0, 1.0))
+        ordered = archive.instances()
+        assert ordered[0].delta >= ordered[1].delta

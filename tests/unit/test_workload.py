@@ -1,0 +1,164 @@
+"""Unit tests for template generation and instance streams."""
+
+import pytest
+
+from repro.datasets.dbp import DBP_SCHEMA, build_dbp
+from repro.datasets.lki import LKI_SCHEMA
+from repro.errors import ConfigurationError
+from repro.graph.active_domain import ActiveDomainIndex
+from repro.query.variables import WILDCARD
+from repro.workload import (
+    TemplateGenerator,
+    TemplateSpec,
+    random_instance_stream,
+    shuffled_space_stream,
+)
+
+
+class TestTemplateSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TemplateSpec("movie", size=0)
+        with pytest.raises(ConfigurationError):
+            TemplateSpec("movie", size=2, num_edge_vars=3)
+        with pytest.raises(ConfigurationError):
+            TemplateSpec("movie", num_range_vars=-1)
+
+
+class TestTemplateGenerator:
+    @pytest.mark.parametrize("size,xl,xe", [(2, 1, 1), (3, 2, 1), (4, 3, 2), (5, 2, 3)])
+    def test_spec_respected(self, size, xl, xe):
+        gen = TemplateGenerator(DBP_SCHEMA, seed=3)
+        template = gen.generate(TemplateSpec("movie", size, xl, xe))
+        assert template.size == size
+        assert template.num_range_variables == xl
+        assert template.num_edge_variables == xe
+        assert template.node(template.output_node).label == "movie"
+
+    def test_deterministic_given_seed(self):
+        a = TemplateGenerator(LKI_SCHEMA, seed=5).generate(TemplateSpec("person", 3, 2, 1))
+        b = TemplateGenerator(LKI_SCHEMA, seed=5).generate(TemplateSpec("person", 3, 2, 1))
+        assert a.variable_names() == b.variable_names()
+        assert a.all_edge_keys() == b.all_edge_keys()
+
+    def test_schema_validity(self):
+        gen = TemplateGenerator(DBP_SCHEMA, seed=11)
+        template = gen.generate(TemplateSpec("movie", 4, 2, 1))
+        specs = {
+            (e.source_label, e.label, e.target_label) for e in DBP_SCHEMA.edges
+        }
+        for source, target, label in template.all_edge_keys():
+            triple = (
+                template.node(source).label,
+                label,
+                template.node(target).label,
+            )
+            assert triple in specs
+
+    def test_unreachable_label_fails(self):
+        gen = TemplateGenerator(DBP_SCHEMA, seed=0)
+        with pytest.raises(ConfigurationError):
+            gen.generate(TemplateSpec("ghost", 2, 1, 0))
+
+    def test_generate_many(self):
+        gen = TemplateGenerator(LKI_SCHEMA, seed=1)
+        batch = gen.generate_many(TemplateSpec("person", 3, 1, 1), 4)
+        assert len(batch) == 4
+        assert len({t.name for t in batch}) == 4
+
+
+class TestStreams:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = build_dbp(scale=0.05)
+        gen = TemplateGenerator(DBP_SCHEMA, seed=2)
+        template = gen.generate(TemplateSpec("movie", 3, 2, 1))
+        domains = ActiveDomainIndex(graph, template, max_values=4)
+        return template, domains
+
+    def test_random_stream_count_and_totality(self, setup):
+        template, domains = setup
+        instances = list(random_instance_stream(template, domains, 25, seed=1))
+        assert len(instances) == 25
+        for instance in instances:
+            for name, value in instance.instantiation.items():
+                assert value != WILDCARD
+
+    def test_random_stream_deterministic(self, setup):
+        template, domains = setup
+        a = [i.instantiation.key for i in random_instance_stream(template, domains, 10, seed=7)]
+        b = [i.instantiation.key for i in random_instance_stream(template, domains, 10, seed=7)]
+        assert a == b
+
+    def test_shuffled_stream_covers_space(self, setup):
+        template, domains = setup
+        instances = list(shuffled_space_stream(template, domains, seed=0))
+        keys = {i.instantiation.key for i in instances}
+        assert len(keys) == len(instances) == domains.instance_space_size()
+
+    def test_shuffled_stream_limit(self, setup):
+        template, domains = setup
+        limited = list(shuffled_space_stream(template, domains, seed=0, limit=5))
+        assert len(limited) == 5
+
+    def test_shuffled_stream_seed_changes_order(self, setup):
+        template, domains = setup
+        a = [i.instantiation.key for i in shuffled_space_stream(template, domains, seed=1)]
+        b = [i.instantiation.key for i in shuffled_space_stream(template, domains, seed=2)]
+        assert a != b
+        assert sorted(a) == sorted(b)
+
+
+class TestDriftingStream:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.datasets.dbp import DBP_SCHEMA, build_dbp
+
+        graph = build_dbp(scale=0.05)
+        gen = TemplateGenerator(DBP_SCHEMA, seed=2)
+        template = gen.generate(TemplateSpec("movie", 3, 2, 1))
+        domains = ActiveDomainIndex(graph, template, max_values=6)
+        return template, domains
+
+    def test_count_and_totality(self, setup):
+        from repro.workload import drifting_instance_stream
+
+        template, domains = setup
+        instances = list(drifting_instance_stream(template, domains, 30, seed=1))
+        assert len(instances) == 30
+        for instance in instances:
+            for value in instance.instantiation.values():
+                assert value != WILDCARD
+
+    def test_drift_moves_toward_refined(self, setup):
+        from repro.workload import drifting_instance_stream
+
+        template, domains = setup
+        instances = list(drifting_instance_stream(template, domains, 60, seed=2))
+        name = next(iter(template.range_variables))
+        values = list(domains.domain(name))
+        early = [values.index(i.instantiation[name]) for i in instances[:15]]
+        late = [values.index(i.instantiation[name]) for i in instances[-15:]]
+        assert sum(late) / len(late) > sum(early) / len(early)
+
+    def test_zero_strength_is_stationary(self, setup):
+        from repro.workload import drifting_instance_stream
+
+        template, domains = setup
+        instances = list(
+            drifting_instance_stream(template, domains, 60, seed=3, drift_strength=0.0)
+        )
+        name = next(iter(template.range_variables))
+        values = list(domains.domain(name))
+        early = [values.index(i.instantiation[name]) for i in instances[:20]]
+        late = [values.index(i.instantiation[name]) for i in instances[-20:]]
+        # No systematic movement: means stay within one domain step.
+        assert abs(sum(late) / len(late) - sum(early) / len(early)) <= 1.0
+
+    def test_deterministic(self, setup):
+        from repro.workload import drifting_instance_stream
+
+        template, domains = setup
+        a = [i.instantiation.key for i in drifting_instance_stream(template, domains, 10, seed=7)]
+        b = [i.instantiation.key for i in drifting_instance_stream(template, domains, 10, seed=7)]
+        assert a == b
