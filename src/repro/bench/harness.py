@@ -17,6 +17,7 @@ from repro.core.indicators import normalized_epsilon_indicator, r_indicator
 from repro.core.lattice import InstanceLattice
 from repro.datasets.registry import DatasetBundle, dataset_bundle
 from repro.groups.groups import GroupSet
+from repro.obs import MetricsRegistry, current_registry
 from repro.query.template import QueryTemplate
 
 
@@ -45,11 +46,22 @@ def make_config(
 
 
 def evaluate_universe(config: GenerationConfig) -> List[EvaluatedInstance]:
-    """All feasible evaluated instances of the configuration's space."""
-    evaluator = InstanceEvaluator(config)
-    lattice = InstanceLattice(config)
+    """All feasible evaluated instances of the configuration's space.
+
+    Verification work done here is published into the ambient metrics
+    registry (see :func:`repro.obs.collecting`) under the ``universe.``
+    namespace so figure tables can report it alongside generator counters.
+    """
+    metrics = MetricsRegistry()
+    evaluator = InstanceEvaluator(config, metrics=metrics)
+    lattice = InstanceLattice(config, metrics=metrics)
     evaluated = (evaluator.evaluate(i) for i in lattice.enumerate_instances())
-    return [e for e in evaluated if e.feasible]
+    feasible = [e for e in evaluated if e.feasible]
+    ambient = current_registry()
+    if ambient is not None:
+        for name, value in metrics.counters().items():
+            ambient.inc(f"universe.{name}", value)
+    return feasible
 
 
 class ExperimentContext:

@@ -7,6 +7,10 @@ Subcommands:
   returned ε-Pareto instance set;
 * ``online`` — run OnlineQGen over a random instance stream;
 * ``experiment`` — run a paper-figure experiment driver and print its table.
+
+``generate``, ``online`` and ``experiment`` accept ``--metrics PATH`` to
+write the run's full work-counter snapshot (the ``repro.obs`` registry)
+as JSON; a ``.prom`` suffix selects the Prometheus text format instead.
 """
 
 from __future__ import annotations
@@ -78,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--show-queries", action="store_true")
     generate.add_argument("--report", action="store_true",
                           help="print the full run report")
+    generate.add_argument("--metrics", default=None, metavar="PATH",
+                          help="write the work-counter snapshot here "
+                          "(JSON; use a .prom suffix for Prometheus text)")
 
     online = sub.add_parser("online", help="run OnlineQGen over a stream")
     online.add_argument("--dataset", choices=dataset_names(), default="lki")
@@ -88,6 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--scale", type=float, default=0.15)
     online.add_argument("--coverage", type=int, default=16)
     online.add_argument("--seed", type=int, default=0)
+    online.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the work-counter snapshot here")
 
     experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
     experiment.add_argument(
@@ -96,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument("--out", default=None,
                             help="also write a combined markdown results file")
+    experiment.add_argument("--metrics", default=None, metavar="PATH",
+                            help="write the accumulated work-counter snapshot here")
 
     rpq = sub.add_parser("rpq", help="FairSQG over a regular path query")
     rpq.add_argument("--dataset", choices=dataset_names(), default="cite")
@@ -136,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _metrics_registry(args):
+    """A fresh registry when ``--metrics`` was given, else None."""
+    if getattr(args, "metrics", None):
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Write a registry snapshot (JSON, or Prometheus for ``.prom``)."""
+    from pathlib import Path
+
+    from repro.obs import write_json, write_prometheus
+
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    if path.endswith(".prom"):
+        write_prometheus(registry, path)
+    else:
+        write_json(registry, path)
+    print(f"wrote metrics snapshot to {path}")
+
+
 def _cmd_datasets(args) -> int:
     from repro.bench.experiments import table2_datasets
 
@@ -153,14 +187,18 @@ def _cmd_generate(args) -> int:
         num_groups=args.groups,
         coverage_total=args.coverage,
     )
+    registry = _metrics_registry(args)
     config = make_config(
         bundle,
         BenchSettings(args.scale, args.coverage, args.domain_cap, args.epsilon),
         epsilon=args.epsilon,
         max_domain_values=args.domain_cap,
+        metrics=registry,
     )
     algorithm = ALGORITHMS[args.algorithm](config)
     result = algorithm.run()
+    if registry is not None:
+        _write_metrics(registry, args.metrics)
     if getattr(args, "report", False):
         from repro.core.report import build_report
 
@@ -190,16 +228,20 @@ def _cmd_online(args) -> int:
     bundle = dataset_bundle(
         args.dataset, scale=args.scale, coverage_total=args.coverage
     )
+    registry = _metrics_registry(args)
     config = make_config(
         bundle,
         BenchSettings(args.scale, args.coverage, 5, args.epsilon),
         epsilon=args.epsilon,
+        metrics=registry,
     )
     online = OnlineQGen(config, k=args.k, window=args.window)
     stream = random_instance_stream(
         config.template, online.lattice.domains, args.count, seed=args.seed
     )
     result = online.run(stream)
+    if registry is not None:
+        _write_metrics(registry, args.metrics)
     rows = [
         {"δ": round(p.delta, 3), "f": round(p.coverage, 1), "|q(G)|": p.cardinality}
         for p in result.instances
@@ -213,7 +255,10 @@ def _cmd_online(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    from repro.obs import collecting
+
     registry = _experiment_registry()
+    metrics = _metrics_registry(args)
     settings = None
     if args.scale is not None:
         settings = BenchSettings(
@@ -223,15 +268,21 @@ def _cmd_experiment(args) -> int:
         from repro.bench.runner import run_all
 
         only = None if args.name == "all" else [args.name]
-        run_all(settings, output_path=args.out, only=only)
+        with collecting(metrics) as collected:
+            run_all(settings, output_path=args.out, only=only)
         print(f"wrote combined results to {args.out}")
+        if metrics is not None:
+            _write_metrics(collected, args.metrics)
         return 0
     ctx = ExperimentContext(settings)
     names = sorted(registry) if args.name == "all" else [args.name]
-    for name in names:
-        result = registry[name](ctx)
-        rows = result[0] if isinstance(result, tuple) else result
-        print_table(rows, name)
+    with collecting(metrics) as collected:
+        for name in names:
+            result = registry[name](ctx)
+            rows = result[0] if isinstance(result, tuple) else result
+            print_table(rows, name)
+    if metrics is not None:
+        _write_metrics(collected, args.metrics)
     return 0
 
 

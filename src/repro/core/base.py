@@ -5,20 +5,33 @@ exposes ``run()`` returning a
 :class:`~repro.core.result.GenerationResult`, and optionally records
 *anytime* snapshots of its archive every ``trace_every`` verifications —
 the convergence experiments (Fig. 9(e), Fig. 11(b)) replay those traces.
+
+Observability: each algorithm instance owns a per-run
+:class:`~repro.obs.registry.MetricsRegistry` shared with its evaluator,
+matcher, verifier and lattice. Work is counted under ``gen.<algo>.*``
+while the run executes; :class:`~repro.core.result.RunStats` is
+materialized from the registry at the end. When the run finishes, the
+per-run registry is *published* (absorbed) into ``config.metrics`` and/or
+the ambient :func:`repro.obs.tracing.collecting` registry, which is how
+``fairsqg ... --metrics`` and the bench runner harvest counters across
+many runs without per-run interference.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import GenerationConfig
 from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
 from repro.core.lattice import InstanceLattice
 from repro.core.result import GenerationResult, RunStats
+from repro.core.update import EpsilonParetoArchive, UpdateCase
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import current_registry
 
 
 class QGenAlgorithm:
-    """Base class: owns the evaluator, lattice and trace plumbing.
+    """Base class: owns the evaluator, lattice, metrics and trace plumbing.
 
     Args:
         config: The generation configuration.
@@ -31,8 +44,11 @@ class QGenAlgorithm:
     def __init__(self, config: GenerationConfig, trace_every: int = 0) -> None:
         self.config = config
         self.trace_every = trace_every
-        self.evaluator = InstanceEvaluator(config)
-        self.lattice = InstanceLattice(config)
+        # One registry per algorithm instance: counters stay per-run even
+        # when many algorithms share a config (parameter sweeps).
+        self.metrics = MetricsRegistry()
+        self.evaluator = InstanceEvaluator(config, metrics=self.metrics)
+        self.lattice = InstanceLattice(config, metrics=self.metrics)
         self._trace: List[tuple] = []
 
     # ------------------------------------------------------------------ #
@@ -40,6 +56,77 @@ class QGenAlgorithm:
     def run(self) -> GenerationResult:  # pragma: no cover - abstract
         """Execute the algorithm; subclasses implement."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Metrics helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metrics_namespace(self) -> str:
+        """Counter prefix of this algorithm (``gen.biqgen``)."""
+        return f"gen.{self.name.lower()}"
+
+    def _inc(self, suffix: str, amount: int = 1) -> None:
+        """Bump ``gen.<algo>.<suffix>`` on the per-run registry."""
+        self.metrics.inc(f"{self.metrics_namespace}.{suffix}", amount)
+
+    def _begin_run(self) -> None:
+        """Reset and pre-register this run's ``gen.<algo>.*`` counters.
+
+        Resetting first keeps counters per-run even if ``run()`` is called
+        twice on one instance; pre-registering makes every export carry
+        the full counter set (zeros included).
+        """
+        namespace = self.metrics_namespace
+        self.metrics.reset(prefix=f"{namespace}.")
+        for suffix in (
+            "generated",
+            "verified",
+            "pruned",
+            "feasible",
+            "dedup_skipped",
+            "archive_offers",
+            "archive_updates",
+        ):
+            self.metrics.counter(f"{namespace}.{suffix}")
+
+    def _offer(
+        self, archive: EpsilonParetoArchive, evaluated: EvaluatedInstance
+    ) -> UpdateCase:
+        """Offer to the archive, counting offers and accepted updates."""
+        case = archive.offer(evaluated)
+        self._inc("archive_offers")
+        if case is not UpdateCase.REJECTED:
+            self._inc("archive_updates")
+        return case
+
+    def _finalize_stats(self, stats: RunStats) -> RunStats:
+        """Fill ``stats`` from the registry and publish the run's counters.
+
+        The evaluator-derived fields (verified / incremental) are mirrored
+        into the ``gen.<algo>.*`` namespace so exported snapshots carry
+        per-generator work counts without consumers having to join
+        namespaces, then the whole per-run registry is absorbed into
+        ``config.metrics`` and the ambient collector (if any).
+        """
+        namespace = self.metrics_namespace
+        elapsed = stats.elapsed_seconds
+        stats.fill_from_registry(self.metrics, namespace)
+        stats.elapsed_seconds = elapsed
+        verified_counter = self.metrics.counter(f"{namespace}.verified")
+        verified_counter.inc(stats.verified - verified_counter.value)
+        self.metrics.set(f"{namespace}.elapsed_seconds", stats.elapsed_seconds)
+        targets = []
+        for target in (self.config.metrics, current_registry()):
+            if (
+                target is not None
+                and target is not self.metrics
+                and all(target is not t for t in targets)
+            ):
+                targets.append(target)
+        for target in targets:
+            target.absorb(self.metrics)
+        return stats
 
     # ------------------------------------------------------------------ #
     # Trace helpers

@@ -71,6 +71,7 @@ class BiQGen(QGenAlgorithm):
     name = "BiQGen"
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         epsilon = self.config.epsilon
         archive = EpsilonParetoArchive(epsilon)
@@ -84,13 +85,13 @@ class BiQGen(QGenAlgorithm):
         # frontier cross the infeasible bottom region cheaply.
         self._infeasible: List[QueryInstance] = []
 
-        with timed(stats):
+        with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
             forward: Deque[Tuple[QueryInstance, Optional[QueryInstance]]] = deque()
             backward: Deque[QueryInstance] = deque()
             self._root = self.lattice.root()
             forward.append((self._root, None))
             backward.append(self.lattice.bottom())
-            stats.generated += 2
+            self._inc("generated", 2)
 
             while forward or backward:
                 if forward:
@@ -103,9 +104,9 @@ class BiQGen(QGenAlgorithm):
                         backward, visited, bounds, archive, stats,
                         forward_feasible, backward_feasible, epsilon,
                     )
+            self.metrics.set("gen.biqgen.sandwich_bounds", len(bounds))
 
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=archive.instances(),
@@ -132,6 +133,7 @@ class BiQGen(QGenAlgorithm):
         instance, parent = forward.popleft()
         key = instance.instantiation.key
         if key in visited:
+            self._inc("dedup_skipped")
             return
         visited.add(key)
         if bounds.prunes(instance):
@@ -139,31 +141,34 @@ class BiQGen(QGenAlgorithm):
             # ε-dominated by an endpoint already in the archive: skip the
             # verification but keep traversing so refinements outside the
             # sandwich stay reachable.
-            stats.pruned += 1
+            self._inc("pruned")
+            self._inc("pruned_sandwich")
             for _, child in self.lattice.refine_children(instance, None):
                 if child.instantiation.key not in visited:
-                    stats.generated += 1
+                    self._inc("generated")
                     forward.append((child, instance))
             return
         if self._known_infeasible(instance):
             # A relaxation of this instance already failed feasibility;
             # refining it further cannot help (Lemma 2) — drop the subtree.
-            stats.pruned += 1
+            self._inc("pruned")
+            self._inc("pruned_witness")
             return
         evaluated = self.evaluator.evaluate(instance, parent)
         self._maybe_trace(archive.instances())
         if not evaluated.feasible:
             # Lemma 2: refinements of an infeasible instance stay infeasible.
-            stats.pruned += 1
+            self._inc("pruned")
+            self._inc("pruned_infeasible")
             self._infeasible.append(instance)
             return
-        stats.feasible += 1
-        archive.offer(evaluated)
+        self._inc("feasible")
+        self._offer(archive, evaluated)
         forward_feasible.append(evaluated)
         self._register_pairs(evaluated, backward_feasible, bounds, epsilon, forward=True)
         for _, child in self.lattice.refine_children(instance, evaluated):
             if child.instantiation.key not in visited:
-                stats.generated += 1
+                self._inc("generated")
                 forward.append((child, instance))
 
     def _backward_step(
@@ -180,19 +185,22 @@ class BiQGen(QGenAlgorithm):
         instance = backward.popleft()
         key = instance.instantiation.key
         if key in visited:
+            self._inc("dedup_skipped")
             return
         visited.add(key)
         if bounds.prunes(instance):
-            stats.pruned += 1
+            self._inc("pruned")
+            self._inc("pruned_sandwich")
             for _, child in self.lattice.relax_children(instance):
                 if child.instantiation.key not in visited:
-                    stats.generated += 1
+                    self._inc("generated")
                     backward.append(child)
             return
         if self._known_infeasible(instance):
             # Skip verification, but keep relaxing: relaxations may leave
             # the infeasible region.
-            stats.pruned += 1
+            self._inc("pruned")
+            self._inc("pruned_witness")
         else:
             # Every instance refines the root, so the root's verified
             # candidate map soundly bounds any backward verification
@@ -200,19 +208,22 @@ class BiQGen(QGenAlgorithm):
             evaluated = self.evaluator.evaluate(instance, self._root)
             self._maybe_trace(archive.instances())
             if evaluated.feasible:
-                stats.feasible += 1
-                archive.offer(evaluated)
+                self._inc("feasible")
+                self._offer(archive, evaluated)
                 backward_feasible.append(evaluated)
                 self._register_pairs(
                     evaluated, forward_feasible, bounds, epsilon, forward=False
                 )
             else:
+                # Not counted as "pruned": the instance *was* verified.
+                # The sub-counter still records the infeasibility witness.
+                self._inc("pruned_infeasible")
                 self._infeasible.append(instance)
         # Relaxation can restore feasibility, so the backward frontier keeps
         # expanding from infeasible instances as well.
         for _, child in self.lattice.relax_children(instance):
             if child.instantiation.key not in visited:
-                stats.generated += 1
+                self._inc("generated")
                 backward.append(child)
 
     def _known_infeasible(self, instance: QueryInstance) -> bool:

@@ -37,21 +37,21 @@ class CBM(QGenAlgorithm):
         self.levels = max(1, levels)
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         solutions: List[EvaluatedInstance] = []
-        with timed(stats):
+        with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
             instances = self.lattice.enumerate_instances()
-            stats.generated = len(instances)
+            self._inc("generated", len(instances))
             feasible: List[EvaluatedInstance] = []
             for instance in instances:
                 evaluated = self.evaluator.evaluate(instance)
                 if evaluated.feasible:
+                    self._inc("feasible")
                     feasible.append(evaluated)
-            stats.feasible = len(feasible)
             if feasible:
                 solutions = self._sweep(feasible)
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=sorted(solutions, key=lambda p: (-p.delta, -p.coverage)),

@@ -18,6 +18,7 @@ from repro.graph.active_domain import ActiveDomainIndex
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.indexes import GraphIndexes
 from repro.groups.groups import GroupSet
+from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
 
 
@@ -40,6 +41,12 @@ class GenerationConfig:
         use_template_refinement: Enable Spawn's d-hop domain restriction
             and edge-variable fixing (Section IV optimization).
         injective: Use isomorphism-style (injective) match semantics.
+        verifier_max_entries: Optional LRU bound on the verification memo
+            table (None = unbounded; set for long online streams).
+        metrics: Optional shared :class:`~repro.obs.registry.MetricsRegistry`
+            into which generators publish their per-run work counters
+            (``fairsqg ... --metrics`` plugs in here). Never changes
+            results — only observability.
     """
 
     graph: AttributedGraph
@@ -54,6 +61,8 @@ class GenerationConfig:
     use_incremental: bool = True
     use_template_refinement: bool = True
     injective: bool = False
+    verifier_max_entries: Optional[int] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:

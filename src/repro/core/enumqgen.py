@@ -20,19 +20,19 @@ class EnumQGen(QGenAlgorithm):
     name = "EnumQGen"
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         archive = EpsilonParetoArchive(self.config.epsilon)
-        with timed(stats):
+        with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
             instances = self.lattice.enumerate_instances()
-            stats.generated = len(instances)
+            self._inc("generated", len(instances))
             for instance in instances:
                 evaluated = self.evaluator.evaluate(instance)
                 if evaluated.feasible:
-                    stats.feasible += 1
-                    archive.offer(evaluated)
+                    self._inc("feasible")
+                    self._offer(archive, evaluated)
                 self._maybe_trace(archive.instances())
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=archive.instances(),

@@ -16,6 +16,7 @@ from repro.core.config import GenerationConfig
 from repro.core.measures import CoverageMeasure, DiversityMeasure
 from repro.matching.incremental import IncrementalVerifier
 from repro.matching.matcher import SubgraphMatcher
+from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 
 
@@ -59,19 +60,38 @@ class InstanceEvaluator:
 
     Results are memoized by instantiation, so re-evaluating an instance
     reached through a different lattice path is free.
+
+    Args:
+        config: The generation configuration.
+        metrics: Registry shared with the matcher and verifier. When
+            omitted, ``config.metrics`` is used if set, else a private
+            registry — so standalone evaluators stay self-contained and
+            generator-owned evaluators share the run's registry.
     """
 
-    def __init__(self, config: GenerationConfig) -> None:
+    def __init__(
+        self, config: GenerationConfig, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.config = config
+        self.metrics = metrics or config.metrics or MetricsRegistry()
         self.matcher = SubgraphMatcher(
-            config.graph, config.build_indexes(), injective=config.injective
+            config.graph,
+            config.build_indexes(),
+            injective=config.injective,
+            metrics=self.metrics,
         )
         self.verifier = IncrementalVerifier(
-            self.matcher, use_incremental=config.use_incremental
+            self.matcher,
+            use_incremental=config.use_incremental,
+            metrics=self.metrics,
+            max_entries=config.verifier_max_entries,
         )
         self.diversity: DiversityMeasure = config.build_diversity()
         self.coverage: CoverageMeasure = config.build_coverage()
         self._evaluated: Dict[tuple, EvaluatedInstance] = {}
+        # Pre-register so snapshots always carry the pair, even at zero.
+        self.metrics.counter("evaluator.eval_calls")
+        self.metrics.counter("evaluator.memo_hits")
 
     # ------------------------------------------------------------------ #
 
@@ -84,9 +104,11 @@ class InstanceEvaluator:
         its per-node candidate sets bound the child's (Lemma 2), cutting the
         verification cost.
         """
+        self.metrics.inc("evaluator.eval_calls")
         key = instance.instantiation.key
         cached = self._evaluated.get(key)
         if cached is not None:
+            self.metrics.inc("evaluator.memo_hits")
             return cached
         result = self.verifier.verify(instance, parent)
         matches = result.matches
@@ -112,6 +134,11 @@ class InstanceEvaluator:
     def incremental_count(self) -> int:
         """How many verifications were parent-seeded."""
         return self.verifier.incremental_count
+
+    @property
+    def cache_hits(self) -> int:
+        """Verifier memo hits (re-evaluations that skipped matching)."""
+        return self.verifier.cache_hits
 
     def reset_counters(self) -> None:
         """Clear memoization and counters (between benchmark repetitions)."""

@@ -19,19 +19,19 @@ class Kungs(QGenAlgorithm):
     name = "Kungs"
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         feasible = []
-        with timed(stats):
+        with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
             instances = self.lattice.enumerate_instances()
-            stats.generated = len(instances)
+            self._inc("generated", len(instances))
             for instance in instances:
                 evaluated = self.evaluator.evaluate(instance)
                 if evaluated.feasible:
+                    self._inc("feasible")
                     feasible.append(evaluated)
-            stats.feasible = len(feasible)
             front = kung_front(feasible)
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        stats = self._finalize_stats(stats)
         front = sorted(front, key=lambda p: (-p.delta, -p.coverage))
         return GenerationResult(
             algorithm=self.name,

@@ -22,6 +22,7 @@ from repro.core.config import GenerationConfig
 from repro.core.evaluator import EvaluatedInstance
 from repro.graph.active_domain import ActiveDomainIndex
 from repro.graph.sampling import NeighborhoodView, neighborhood_view
+from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 from repro.query.instantiation import Instantiation
 from repro.query.variables import RangeVariable, WILDCARD, _value_key
@@ -65,12 +66,21 @@ class InstanceLattice:
         config: The generation configuration.
         domains: Shared active-domain index (owns quantization and the
             temporary restrictions of template refinement).
+        metrics: Registry receiving the ``lattice.*`` spawner counters
+            (children spawned, balls built, edges fixed by template
+            refinement). Private registry when omitted.
     """
 
-    def __init__(self, config: GenerationConfig, domains: Optional[ActiveDomainIndex] = None) -> None:
+    def __init__(
+        self,
+        config: GenerationConfig,
+        domains: Optional[ActiveDomainIndex] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
         self.template = config.template
         self.domains = domains or config.build_domains()
+        self.metrics = metrics or MetricsRegistry()
         self._diameter = self.template.diameter()
         self._ball_cache: Dict[FrozenSet[int], NeighborhoodView] = {}
 
@@ -155,8 +165,11 @@ class InstanceLattice:
                 # Template refinement "fixes" the variable to 0: no edge with
                 # this label exists near any match, so raising it can only
                 # produce empty answers.
+                self.metrics.inc("lattice.edges_fixed")
                 continue
             children.append((name, QueryInstance(inst.with_value(name, 1))))
+        self.metrics.inc("lattice.refine_calls")
+        self.metrics.inc("lattice.children_spawned", len(children))
         return children
 
     def relax_children(self, instance: QueryInstance) -> List[Tuple[str, QueryInstance]]:
@@ -171,6 +184,8 @@ class InstanceLattice:
             current = inst[name]
             if current != WILDCARD and int(current) == 1:
                 children.append((name, QueryInstance(inst.with_value(name, 0))))
+        self.metrics.inc("lattice.relax_calls")
+        self.metrics.inc("lattice.children_spawned", len(children))
         return children
 
     # ------------------------------------------------------------------ #
@@ -206,6 +221,7 @@ class InstanceLattice:
                 recurse(position + 1)
 
         recurse(0)
+        self.metrics.inc("lattice.enumerated", len(instances))
         return instances
 
     def instance_space_size(self) -> int:
@@ -220,8 +236,11 @@ class InstanceLattice:
         """Cached d-hop neighborhood view of a match set."""
         view = self._ball_cache.get(matches)
         if view is None:
+            self.metrics.inc("lattice.ball_cache_misses")
             view = neighborhood_view(self.config.graph, matches, self._diameter)
             if len(self._ball_cache) > 256:
                 self._ball_cache.clear()
             self._ball_cache[matches] = view
+        else:
+            self.metrics.inc("lattice.ball_cache_hits")
         return view

@@ -104,31 +104,34 @@ class OnlineQGen(QGenAlgorithm):
         Infeasible stream instances are verified (they cost delay) but
         never enter the archive or the cache.
         """
+        self._begin_run()
         stats = OnlineStats()
         epsilon = self.config.epsilon
         archive = EpsilonParetoArchive(epsilon)
         cache: Deque[Tuple[int, EvaluatedInstance]] = deque()
         t = 0
         start = time.perf_counter()
-        for instance in stream:
-            tick = time.perf_counter()
-            t += 1
-            stats.generated += 1
-            evaluated = self.evaluator.evaluate(instance)
-            # Expire cached instances older than the window.
-            while cache and cache[0][0] < t - self.window + 1:
-                cache.popleft()
-            if evaluated.feasible:
-                stats.feasible += 1
-                epsilon = self._maintain(evaluated, archive, cache, t, epsilon)
-            stats.delays.append(time.perf_counter() - tick)
-            if self.snapshot_every and t % self.snapshot_every == 0:
-                self.snapshots.append(
-                    OnlineSnapshot(t, epsilon, archive.instances(), stats.delays[-1])
-                )
+        with self.metrics.trace(f"{self.metrics_namespace}.run"):
+            for instance in stream:
+                tick = time.perf_counter()
+                t += 1
+                self._inc("generated")
+                evaluated = self.evaluator.evaluate(instance)
+                # Expire cached instances older than the window.
+                while cache and cache[0][0] < t - self.window + 1:
+                    cache.popleft()
+                    self._inc("window_expired")
+                if evaluated.feasible:
+                    self._inc("feasible")
+                    epsilon = self._maintain(evaluated, archive, cache, t, epsilon)
+                stats.delays.append(time.perf_counter() - tick)
+                if self.snapshot_every and t % self.snapshot_every == 0:
+                    self.snapshots.append(
+                        OnlineSnapshot(t, epsilon, archive.instances(), stats.delays[-1])
+                    )
         stats.elapsed_seconds = time.perf_counter() - start
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        self.metrics.set(f"{self.metrics_namespace}.final_epsilon", epsilon)
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=archive.instances(),
@@ -151,19 +154,21 @@ class OnlineQGen(QGenAlgorithm):
     ) -> float:
         """Incrementalized Update; returns the possibly-enlarged ε."""
         if len(archive) < self.k:
-            case = archive.offer(evaluated)
+            case = self._offer(archive, evaluated)
             if case is UpdateCase.REJECTED:
                 cache.append((t, evaluated))
+                self._inc("cached")
             return epsilon
 
         case = archive.classify(evaluated)
         if case is UpdateCase.REJECTED:
             cache.append((t, evaluated))
+            self._inc("cached")
             return epsilon
         if case in (UpdateCase.REPLACED_BOXES, UpdateCase.REPLACED_INSTANCE):
             # Size cannot grow; a multi-box replacement may even shrink it,
             # freeing slots for cached instances.
-            archive.offer(evaluated)
+            self._offer(archive, evaluated)
             self._refill(archive, cache)
             return epsilon
 
@@ -175,7 +180,8 @@ class OnlineQGen(QGenAlgorithm):
             epsilon = max(epsilon, self._distance(evaluated, neighbor))
             archive.remove(neighbor)
             archive.rebuild(epsilon)
-        archive.offer(evaluated)
+            self._inc("epsilon_growths")
+        self._offer(archive, evaluated)
         self._refill(archive, cache)
         return epsilon
 
@@ -193,7 +199,8 @@ class OnlineQGen(QGenAlgorithm):
                 case = archive.classify(cached)
                 if case in (UpdateCase.REPLACED_BOXES, UpdateCase.REPLACED_INSTANCE,
                             UpdateCase.ADDED_BOX):
-                    archive.offer(cached)
+                    self._offer(archive, cached)
+                    self._inc("refilled")
                     continue
             survivors.append((ts, cached))
         cache.clear()

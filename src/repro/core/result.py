@@ -8,11 +8,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.evaluator import EvaluatedInstance
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
 class RunStats:
     """Work counters for one generation run (the efficiency experiments).
+
+    Since the observability layer landed, these are a *view* over the
+    run's :class:`~repro.obs.registry.MetricsRegistry` (see
+    :meth:`from_registry`): generators count work into the registry and
+    the stats object is materialized from it when the run finishes, so
+    existing table printers and benchmark code keep working unchanged.
 
     Attributes:
         generated: Instances spawned/enumerated (lattice nodes touched).
@@ -41,6 +48,27 @@ class RunStats:
             "feasible": self.feasible,
             "time (s)": round(self.elapsed_seconds, 4),
         }
+
+    @classmethod
+    def from_registry(
+        cls, metrics: MetricsRegistry, namespace: str
+    ) -> "RunStats":
+        """Materialize stats from a run registry's counters.
+
+        ``namespace`` is the generator's counter prefix (``gen.rfqgen``);
+        verified/incremental come from the shared ``evaluator.*`` space.
+        """
+        stats = cls()
+        stats.fill_from_registry(metrics, namespace)
+        return stats
+
+    def fill_from_registry(self, metrics: MetricsRegistry, namespace: str) -> None:
+        """In-place variant of :meth:`from_registry` (used by subclasses)."""
+        self.generated = metrics.value(f"{namespace}.generated")
+        self.pruned = metrics.value(f"{namespace}.pruned")
+        self.feasible = metrics.value(f"{namespace}.feasible")
+        self.verified = metrics.value("evaluator.cache_misses")
+        self.incremental = metrics.value("evaluator.incremental")
 
 
 @dataclass

@@ -29,12 +29,13 @@ class RfQGen(QGenAlgorithm):
     name = "RfQGen"
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         archive = EpsilonParetoArchive(self.config.epsilon)
         visited: Set[tuple] = set()
-        with timed(stats):
+        with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
             root = self.lattice.root()
-            stats.generated += 1
+            self._inc("generated")
             # Explicit stack (instance, parent) — recursion depth equals the
             # lattice height, which can exceed Python's default limit.
             stack: List[Tuple[QueryInstance, Optional[QueryInstance]]] = [(root, None)]
@@ -42,25 +43,26 @@ class RfQGen(QGenAlgorithm):
                 instance, parent = stack.pop()
                 key = instance.instantiation.key
                 if key in visited:
+                    self._inc("dedup_skipped")
                     continue
                 visited.add(key)
                 evaluated = self.evaluator.evaluate(instance, parent)
                 if not evaluated.feasible:
                     # Lemma 2: every refinement is also infeasible — prune
                     # the whole subtree by not spawning.
-                    stats.pruned += 1
+                    self._inc("pruned")
+                    self._inc("pruned_infeasible")
                     self._maybe_trace(archive.instances())
                     continue
-                stats.feasible += 1
-                archive.offer(evaluated)
+                self._inc("feasible")
+                self._offer(archive, evaluated)
                 self._maybe_trace(archive.instances())
                 children = self.lattice.refine_children(instance, evaluated)
                 for _, child in children:
                     if child.instantiation.key not in visited:
-                        stats.generated += 1
+                        self._inc("generated")
                         stack.append((child, instance))
-        stats.verified = self.evaluator.verified_count
-        stats.incremental = self.evaluator.incremental_count
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=archive.instances(),

@@ -90,7 +90,12 @@ def propagate(
         constraints[target].append((source, label, False))
 
     removed = 0
-    queue = deque(instance.active_nodes)
+    # Sorted worklist: active_nodes is a frozenset of strings, whose
+    # iteration order varies with PYTHONHASHSEED. The fixpoint itself is
+    # confluent, but the early exit below makes the *removal count* depend
+    # on processing order — sorting keeps the work counters reproducible
+    # across processes (the regression baselines rely on that).
+    queue = deque(sorted(instance.active_nodes))
     queued = set(queue)
     while queue:
         node_id = queue.popleft()

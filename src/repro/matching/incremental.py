@@ -7,34 +7,91 @@ the parent's AC-pruned candidate map instead of the full label pools, which
 is where the refinement-based algorithms gain over naive enumeration.
 
 Results are memoized per instantiation so the lattice explorations never
-verify the same instance twice (BiQGen's two frontiers can collide).
+verify the same instance twice (BiQGen's two frontiers can collide). The
+memo table is optionally bounded (``max_entries``) with LRU eviction so
+long online streams cannot grow memory without limit; an evicted entry
+only costs a re-verification (and forfeits parent seeding from it), never
+correctness.
+
+Work counters live in a :class:`~repro.obs.registry.MetricsRegistry`
+under the ``evaluator.*`` namespace; the legacy ``verified_count`` /
+``incremental_count`` / ``cache_hits`` attributes are views over it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 from repro.matching.matcher import MatchResult, SubgraphMatcher
+from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 
 
 class IncrementalVerifier:
     """Memoizing wrapper around :class:`SubgraphMatcher` with parent seeding.
 
-    Attributes:
+    Args:
         matcher: The underlying matcher.
+        use_incremental: Seed child verification from verified parents.
+        metrics: Registry receiving the ``evaluator.*`` counters. Defaults
+            to the matcher's registry so one run shares one registry.
+        max_entries: Optional bound on the memo table; when exceeded the
+            least-recently-used result is evicted (counted under
+            ``evaluator.evictions``). ``None`` keeps the table unbounded.
+
+    Attributes:
         verified_count: Number of *distinct* instances actually matched
             (cache misses) — the paper's "# verified instances" metric.
         incremental_count: How many of those were seeded from a parent.
+        cache_hits: Memo hits that skipped verification entirely.
     """
 
-    def __init__(self, matcher: SubgraphMatcher, use_incremental: bool = True) -> None:
+    def __init__(
+        self,
+        matcher: SubgraphMatcher,
+        use_incremental: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
         self.matcher = matcher
         self.use_incremental = use_incremental
-        self._cache: Dict[Tuple, MatchResult] = {}
-        self.verified_count = 0
-        self.incremental_count = 0
-        self.cache_hits = 0
+        self.metrics = metrics or matcher.metrics
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Tuple, MatchResult]" = OrderedDict()
+        for name in (
+            "evaluator.verify_calls",
+            "evaluator.cache_hits",
+            "evaluator.cache_misses",
+            "evaluator.incremental",
+            "evaluator.evictions",
+        ):
+            self.metrics.counter(name)
+
+    # -- Registry-backed counter views ---------------------------------- #
+
+    @property
+    def verified_count(self) -> int:
+        return self.metrics.value("evaluator.cache_misses")
+
+    @property
+    def incremental_count(self) -> int:
+        return self.metrics.value("evaluator.incremental")
+
+    @property
+    def cache_hits(self) -> int:
+        return self.metrics.value("evaluator.cache_hits")
+
+    @property
+    def evictions(self) -> int:
+        return self.metrics.value("evaluator.evictions")
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
 
     def verify(
         self,
@@ -49,10 +106,13 @@ class IncrementalVerifier:
         unsound and is therefore never attempted silently: an unknown
         parent simply falls back to full verification.
         """
+        metrics = self.metrics
+        metrics.inc("evaluator.verify_calls")
         key = instance.instantiation.key
         cached = self._cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            metrics.inc("evaluator.cache_hits")
             return cached
 
         restrict = None
@@ -60,19 +120,29 @@ class IncrementalVerifier:
             parent_result = self._cache.get(parent.instantiation.key)
             if parent_result is not None and parent_result.candidates:
                 restrict = parent_result.candidates
-                self.incremental_count += 1
+                metrics.inc("evaluator.incremental")
         result = self.matcher.match(instance, restrict=restrict)
         self._cache[key] = result
-        self.verified_count += 1
+        metrics.inc("evaluator.cache_misses")
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            metrics.inc("evaluator.evictions")
+        metrics.set("evaluator.cache_size", len(self._cache))
         return result
 
     def peek(self, instance: QueryInstance) -> Optional[MatchResult]:
-        """Return a cached result without verifying."""
+        """Return a cached result without verifying (no LRU touch)."""
         return self._cache.get(instance.instantiation.key)
 
     def clear(self) -> None:
-        """Drop the memo table (used between independent runs)."""
+        """Drop the memo table and counters (used between independent runs)."""
         self._cache.clear()
-        self.verified_count = 0
-        self.incremental_count = 0
-        self.cache_hits = 0
+        self.metrics.reset(prefix="evaluator.")
+        for name in (
+            "evaluator.verify_calls",
+            "evaluator.cache_hits",
+            "evaluator.cache_misses",
+            "evaluator.incremental",
+            "evaluator.evictions",
+        ):
+            self.metrics.counter(name)

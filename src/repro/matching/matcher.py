@@ -10,12 +10,13 @@ instances it resolves the residual joins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import MatchingError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.indexes import GraphIndexes
 from repro.matching.candidates import CandidateMap, initial_candidates, propagate
+from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 
 
@@ -58,6 +59,9 @@ class SubgraphMatcher:
             distinct data nodes (subgraph-isomorphism semantics). The
             paper's definition is the non-injective one; the switch exists
             for benchmarking against isomorphism-based engines.
+        metrics: Registry receiving the ``matcher.*`` work counters
+            (a private one is created when omitted). Instrumentation
+            never affects match results.
     """
 
     def __init__(
@@ -65,10 +69,22 @@ class SubgraphMatcher:
         graph: AttributedGraph,
         indexes: Optional[GraphIndexes] = None,
         injective: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.indexes = indexes or GraphIndexes(graph)
         self.injective = injective
+        self.metrics = metrics or MetricsRegistry()
+        # Pre-register the headline counters so exports always carry them,
+        # even for runs that never hit the corresponding path.
+        for name in (
+            "matcher.match_calls",
+            "matcher.backtrack_calls",
+            "matcher.ac_removed",
+            "matcher.empty_pool_short_circuits",
+            "matcher.acyclic_fast_paths",
+        ):
+            self.metrics.counter(name)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -85,12 +101,22 @@ class SubgraphMatcher:
         incremental-verification hook (see
         :class:`~repro.matching.incremental.IncrementalVerifier`).
         """
+        metrics = self.metrics
+        metrics.inc("matcher.match_calls")
         candidates = initial_candidates(self.indexes, instance, restrict)
+        metrics.observe(
+            "matcher.initial_pool_size",
+            sum(len(pool) for pool in candidates.values()),
+        )
         if any(not pool for pool in candidates.values()):
+            metrics.inc("matcher.empty_pool_short_circuits")
             return MatchResult(frozenset(), {k: set() for k in candidates})
         candidates, pruned = propagate(self.graph, instance, candidates)
+        metrics.inc("matcher.ac_removed", pruned)
         output = instance.output_node
+        metrics.observe("matcher.output_pool_size", len(candidates[output]))
         if not candidates[output]:
+            metrics.inc("matcher.empty_pool_short_circuits")
             return MatchResult(frozenset(), candidates, pruned_candidates=pruned)
 
         order = self._search_order(instance, candidates)
@@ -100,15 +126,18 @@ class SubgraphMatcher:
         if len(instance.active_nodes) == 1:
             # Single-node query: candidates are exactly the matches.
             matches = set(candidates[output])
+            metrics.inc("matcher.acyclic_fast_paths")
         elif self._is_acyclic(instance) and not self.injective:
             # Arc consistency is exact for homomorphisms on acyclic queries.
             matches = set(candidates[output])
+            metrics.inc("matcher.acyclic_fast_paths")
         else:
             for v in candidates[output]:
                 if self._extendable(
                     instance, adjacency, candidates, order, {output: v}, 1, counter
                 ):
                     matches.add(v)
+            metrics.inc("matcher.backtrack_calls", counter.calls)
         return MatchResult(
             frozenset(matches),
             candidates,
@@ -136,10 +165,13 @@ class SubgraphMatcher:
         for output in outputs:
             if output not in instance.active_nodes:
                 raise MatchingError(f"output node {output!r} not active in instance")
+        self.metrics.inc("matcher.match_outputs_calls")
         candidates = initial_candidates(self.indexes, instance, restrict)
         if any(not pool for pool in candidates.values()):
+            self.metrics.inc("matcher.empty_pool_short_circuits")
             return {output: frozenset() for output in outputs}
-        candidates, _ = propagate(self.graph, instance, candidates)
+        candidates, removed = propagate(self.graph, instance, candidates)
+        self.metrics.inc("matcher.ac_removed", removed)
         if (
             len(instance.active_nodes) == 1
             or (self._is_acyclic(instance) and not self.injective)
@@ -158,6 +190,7 @@ class SubgraphMatcher:
                 ):
                     matched.add(v)
             results[output] = frozenset(matched)
+        self.metrics.inc("matcher.backtrack_calls", counter.calls)
         return results
 
     def _search_order_from(

@@ -10,7 +10,7 @@ spawner's template refinement exploits, exposed for humans.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.indexes import GraphIndexes
@@ -72,10 +72,17 @@ class InstanceProfile:
 
 
 def profile_instance(
-    graph: AttributedGraph, instance: QueryInstance
+    graph: AttributedGraph,
+    instance: QueryInstance,
+    indexes: Optional[GraphIndexes] = None,
 ) -> InstanceProfile:
-    """Run the matching pipeline stage by stage and record the funnel."""
-    indexes = GraphIndexes(graph)
+    """Run the matching pipeline stage by stage and record the funnel.
+
+    ``indexes`` lets callers profiling many instances of one graph reuse
+    a prebuilt :class:`GraphIndexes` instead of rebuilding the (graph-
+    sized) label and attribute indexes on every call.
+    """
+    indexes = indexes or GraphIndexes(graph)
     after_literals = initial_candidates(indexes, instance, None)
     counts_literals = {node: len(pool) for node, pool in after_literals.items()}
     propagated, removed = propagate(graph, instance, after_literals)

@@ -1,0 +1,58 @@
+"""``repro.obs`` — the unified observability layer.
+
+One registry per run collects every work counter the efficiency
+experiments argue with (matcher backtrack calls, verifier cache traffic,
+per-generator generated/verified/pruned), plus gauges, histograms and
+trace spans for humans. Exporters render JSON (``--metrics out.json``,
+regression baselines) and a Prometheus-style text format.
+
+Metric namespace:
+
+* ``matcher.*``    — SubgraphMatcher (match calls, backtrack calls, AC removals);
+* ``evaluator.*``  — IncrementalVerifier + InstanceEvaluator (cache traffic);
+* ``lattice.*``    — spawner work (children spawned, balls built, edges fixed);
+* ``gen.<algo>.*`` — per-generator run counters (generated/verified/pruned/...);
+* ``span.*``       — trace-span duration histograms.
+"""
+
+from repro.obs.baselines import (
+    BaselineMismatch,
+    ComparisonReport,
+    compare_counters,
+    load_baseline,
+    save_baseline,
+    within_tolerance,
+)
+from repro.obs.export import load_snapshot, to_prometheus, write_json, write_prometheus
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    counters_matching,
+)
+from repro.obs.tracing import collecting, current_registry, default_registry, trace
+
+__all__ = [
+    "BaselineMismatch",
+    "ComparisonReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "collecting",
+    "compare_counters",
+    "counters_matching",
+    "current_registry",
+    "default_registry",
+    "load_baseline",
+    "load_snapshot",
+    "save_baseline",
+    "to_prometheus",
+    "trace",
+    "within_tolerance",
+    "write_json",
+    "write_prometheus",
+]

@@ -1,0 +1,130 @@
+"""Counter baselines for the deterministic perf-regression suite.
+
+The efficiency claims of the paper (Fig. 10: BiQGen prunes ~60% and
+RfQGen ~40% of EnumQGen's instances) are *work-count* claims, so the
+regression suite snapshots work counters on seeded inputs and compares
+them against checked-in baselines with an explicit tolerance — wall-clock
+never enters the comparison, which keeps CI free of timing flakiness.
+
+A baseline file is JSON of the form::
+
+    {
+      "tolerance": 0.05,
+      "counters": {"gen.biqgen.generated": 123, ...}
+    }
+
+``compare_counters`` is pure and unit-tested: the suite proves both that
+current counters match and that a perturbed baseline *fails*.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+__all__ = [
+    "BaselineMismatch",
+    "ComparisonReport",
+    "compare_counters",
+    "load_baseline",
+    "save_baseline",
+]
+
+#: Default relative tolerance. Counters are deterministic on one Python
+#: version; the slack absorbs hash-order drift across interpreter
+#: versions without letting a real pruning regression (tens of percent)
+#: slip through.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class BaselineMismatch:
+    """One counter outside tolerance (or missing entirely)."""
+
+    name: str
+    expected: int
+    actual: int
+    tolerance: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: expected {self.expected} ±{self.tolerance:.0%}, "
+            f"got {self.actual}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing actual counters against a baseline."""
+
+    mismatches: List[BaselineMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return "all counters within tolerance"
+        return "; ".join(m.describe() for m in self.mismatches)
+
+
+def within_tolerance(expected: int, actual: int, tolerance: float) -> bool:
+    """Relative comparison with an absolute floor of ±1 for tiny counters."""
+    allowed = max(1.0, abs(expected) * tolerance)
+    return abs(actual - expected) <= allowed
+
+
+def compare_counters(
+    actual: Mapping[str, int],
+    baseline: Mapping[str, int],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ComparisonReport:
+    """Compare every baseline counter against the actual values.
+
+    Counters present in ``actual`` but absent from the baseline are
+    ignored (new instrumentation must not break old baselines); baseline
+    counters missing from ``actual`` are mismatches (a deleted counter is
+    a regression in observability itself).
+    """
+    report = ComparisonReport()
+    for name in sorted(baseline):
+        expected = int(baseline[name])
+        value = actual.get(name)
+        if value is None:
+            report.mismatches.append(
+                BaselineMismatch(name, expected, -1, tolerance)
+            )
+            continue
+        if not within_tolerance(expected, int(value), tolerance):
+            report.mismatches.append(
+                BaselineMismatch(name, expected, int(value), tolerance)
+            )
+    return report
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a baseline file; returns ``{"tolerance": float, "counters": {...}}``."""
+    data = json.loads(Path(path).read_text())
+    return {
+        "tolerance": float(data.get("tolerance", DEFAULT_TOLERANCE)),
+        "counters": {str(k): int(v) for k, v in data.get("counters", {}).items()},
+    }
+
+
+def save_baseline(
+    path: Union[str, Path],
+    counters: Mapping[str, int],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Path:
+    """Write a baseline file (the ``--update-baselines`` pytest flag)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "tolerance": tolerance,
+        "counters": {name: int(counters[name]) for name in sorted(counters)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,82 @@
+"""Exporters: JSON snapshots and a Prometheus-style text format.
+
+JSON is the machine interface (``fairsqg ... --metrics out.json``, the
+regression baselines, the bench runner); the Prometheus text format
+exists so a scraper sidecar can serve a run's metrics without any new
+dependency. Only the text *format* is implemented — there is no HTTP
+server here.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "load_snapshot",
+    "to_prometheus",
+    "write_json",
+    "write_prometheus",
+]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    sanitized = _INVALID.sub("_", name.replace(".", "_"))
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"fairsqg_{sanitized}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix per convention; histograms export
+    ``_count`` / ``_sum`` plus quantile gauges (summary style).
+    """
+    snapshot = registry.snapshot()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {value}")
+    for name, value in snapshot["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, summary in snapshot["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for q in ("p50", "p90", "p99"):
+            quantile = q[1:] if q != "p50" else "50"
+            lines.append(
+                f'{prom}{{quantile="0.{quantile}"}} {summary[q]}'
+            )
+        lines.append(f"{prom}_sum {summary['sum']}")
+        lines.append(f"{prom}_count {summary['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_json(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the registry's JSON snapshot; returns the path."""
+    path = Path(path)
+    path.write_text(registry.to_json() + "\n")
+    return path
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the Prometheus text rendering; returns the path."""
+    path = Path(path)
+    path.write_text(to_prometheus(registry))
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    """Read back a snapshot written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,335 @@
+"""The metrics registry: counters, gauges, histograms and timers.
+
+Work counters — not wall-clock — are the paper's efficiency currency
+(# verified instances, # pruned instances, backtrack calls), so the
+registry is built around deterministic integer counters that CI can gate
+on. Timers and spans exist for humans profiling a run; they use an
+*injectable clock* so tests can drive them deterministically.
+
+The registry is dependency-free and cheap enough to leave permanently
+enabled: a counter increment is one dict lookup plus an integer add.
+Every hot-path component (matcher, verifier, evaluator, lattice,
+generators) accepts an optional registry and creates a private one when
+none is given, so instrumentation never changes control flow — a property
+the metamorphic tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+]
+
+Clock = Callable[[], float]
+
+#: Spans kept per registry before the oldest are dropped (long online
+#: streams must not grow memory unboundedly through tracing).
+MAX_SPANS = 10_000
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time float metric (cache sizes, final ε, elapsed time)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution metric retaining its observations.
+
+    Runs in this repo are small enough to keep every observation, which
+    makes quantiles exact and the JSON export reproducible. A hard cap
+    protects pathological streams: past ``max_samples`` only the running
+    aggregates (count / sum / min / max) stay exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "max_samples", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile (nearest-rank) over the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate rendering used by the exporters."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed trace span (durations come from the registry clock)."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+
+
+class MetricsRegistry:
+    """Namespaced metric store shared by one run's components.
+
+    Metric names are dot-namespaced (``matcher.backtrack_calls``,
+    ``evaluator.cache_hits``, ``gen.biqgen.pruned``); the exporters group
+    on the first segment.
+
+    Args:
+        clock: Zero-argument callable returning seconds; timers and spans
+            measure with it. Defaults to :func:`time.perf_counter`;
+            inject a fake for deterministic tests.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock or time.perf_counter
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: List[Span] = []
+        self._span_depth = 0
+        self._dropped_spans = 0
+
+    # ------------------------------------------------------------------ #
+    # Metric accessors (create on first touch)
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # Convenience one-liners used on the hot paths. ---------------------- #
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if it was never touched)."""
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Timing and tracing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Observe the block's duration into histogram ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self._clock() - start)
+
+    @contextmanager
+    def trace(self, name: str) -> Iterator[None]:
+        """Record a :class:`Span` plus a ``span.<name>`` duration histogram."""
+        start = self._clock()
+        self._span_depth += 1
+        depth = self._span_depth
+        try:
+            yield
+        finally:
+            self._span_depth -= 1
+            duration = self._clock() - start
+            if len(self._spans) < MAX_SPANS:
+                self._spans.append(Span(name, start, duration, depth))
+            else:
+                self._dropped_spans += 1
+            self.observe(f"span.{name}", duration)
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Zero counters/gauges and drop histograms and spans.
+
+        ``prefix`` limits the reset to one namespace (e.g.
+        ``"evaluator."``) — the verifier's ``clear()`` uses that so a
+        between-repetition reset does not erase matcher totals.
+        """
+        if prefix is None:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self._dropped_spans = 0
+            return
+        for store in (self._counters, self._gauges, self._histograms):
+            for name in [n for n in store if n.startswith(prefix)]:
+                del store[name]
+        self._spans = [s for s in self._spans if not s.name.startswith(prefix)]
+
+    def absorb(self, other: "MetricsRegistry") -> None:
+        """Merge another registry's totals into this one.
+
+        Counters and histogram observations add; gauges take the other
+        registry's latest value. Generators use this to publish their
+        per-run registry into a long-lived session/CLI registry.
+        """
+        if other is self:
+            return
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name)
+            for sample in histogram._samples:
+                mine.observe(sample)
+            # Aggregates beyond the retained samples stay exact.
+            extra = histogram.count - len(histogram._samples)
+            if extra > 0:
+                mine.count += extra
+                mine.total += histogram.total - sum(histogram._samples)
+                mine.min = min(mine.min, histogram.min)
+                mine.max = max(mine.max, histogram.max)
+        for span in other._spans:
+            if len(self._spans) < MAX_SPANS:
+                self._spans.append(span)
+            else:
+                self._dropped_spans += 1
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> Dict[str, int]:
+        """Plain name → value mapping of every counter, sorted by name."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of every metric."""
+        return {
+            "counters": self.counters(),
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+            "spans": [
+                {
+                    "name": s.name,
+                    "start": s.start,
+                    "duration": s.duration,
+                    "depth": s.depth,
+                }
+                for s in self._spans
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def counters_matching(
+    counters: Mapping[str, int], prefix: str
+) -> Dict[str, int]:
+    """Subset of a counter mapping under one namespace prefix."""
+    return {name: value for name, value in counters.items() if name.startswith(prefix)}

@@ -1,0 +1,64 @@
+"""Ambient registry and module-level ``trace``.
+
+Components deep in the call stack (and one-off scripts) should not have
+to thread a registry argument through every layer just to time a block.
+``collecting(registry)`` installs a registry as the *ambient* collector
+for the dynamic extent of a ``with`` block; :func:`trace` and
+:func:`current_registry` read it. Generators additionally publish their
+per-run registries into the ambient one, which is how the CLI's
+``--metrics`` flag and the bench runner harvest counters without touching
+experiment signatures.
+
+When no ambient registry is installed, :func:`trace` records into a
+process-wide default registry, so ad-hoc profiling in a REPL still works.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["collecting", "current_registry", "default_registry", "trace"]
+
+_ambient: List[MetricsRegistry] = []
+_default: Optional[MetricsRegistry] = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide fallback registry (created lazily)."""
+    global _default
+    if _default is None:
+        _default = MetricsRegistry()
+    return _default
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The innermost ambient registry, or None outside any ``collecting``."""
+    return _ambient[-1] if _ambient else None
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` (or a fresh one) as the ambient collector."""
+    registry = registry or MetricsRegistry()
+    _ambient.append(registry)
+    try:
+        yield registry
+    finally:
+        _ambient.pop()
+
+
+@contextmanager
+def trace(name: str) -> Iterator[None]:
+    """Span-trace a block into the ambient (or default) registry.
+
+    Usage::
+
+        with trace("biqgen.verify"):
+            evaluator.evaluate(instance)
+    """
+    registry = current_registry() or default_registry()
+    with registry.trace(name):
+        yield

@@ -1,0 +1,106 @@
+"""Property-based tests for the metrics registry.
+
+The registry is the foundation the regression gates stand on, so its own
+accounting must be beyond suspicion: counters are exact sums, histogram
+quantiles stay inside the observed range, and the JSON export round-trips
+the snapshot losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@SETTINGS
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+def test_counter_is_exact_sum(amounts):
+    registry = MetricsRegistry()
+    for amount in amounts:
+        registry.inc("c", amount)
+    assert registry.value("c") == sum(amounts)
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 100)),
+        max_size=60,
+    )
+)
+def test_counters_are_independent_and_monotone(events):
+    registry = MetricsRegistry()
+    shadow = {"a": 0, "b": 0, "c": 0}
+    for name, amount in events:
+        before = registry.value(name)
+        registry.inc(name, amount)
+        assert registry.value(name) >= before  # monotone
+        shadow[name] += amount
+    for name, expected in shadow.items():
+        assert registry.value(name) == expected
+
+
+@SETTINGS
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_histogram_quantiles_bounded_by_observations(samples):
+    registry = MetricsRegistry()
+    for sample in samples:
+        registry.observe("h", sample)
+    histogram = registry.histogram("h")
+    assert histogram.count == len(samples)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        value = histogram.quantile(q)
+        assert min(samples) <= value <= max(samples)
+    assert histogram.quantile(0.0) == min(samples)
+    assert histogram.quantile(1.0) == max(samples)
+    summary = histogram.summary()
+    assert summary["min"] <= summary["p50"] <= summary["p90"] <= summary["max"]
+
+
+@SETTINGS
+@given(
+    st.dictionaries(
+        st.text(st.characters(categories=["Ll"]), min_size=1, max_size=8),
+        st.integers(0, 10_000),
+        max_size=20,
+    ),
+    st.lists(finite_floats, max_size=30),
+)
+def test_json_roundtrips_snapshot(counters, samples):
+    registry = MetricsRegistry()
+    for name, value in counters.items():
+        registry.inc(name, value)
+    for sample in samples:
+        registry.observe("durations", sample)
+    assert json.loads(registry.to_json()) == json.loads(
+        json.dumps(registry.snapshot())
+    )
+    assert json.loads(registry.to_json())["counters"] == counters
+
+
+@SETTINGS
+@given(
+    st.lists(st.tuples(st.sampled_from(["x", "y"]), st.integers(0, 50)), max_size=40),
+    st.lists(st.tuples(st.sampled_from(["x", "z"]), st.integers(0, 50)), max_size=40),
+)
+def test_absorb_adds_counters(left_events, right_events):
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    for name, amount in left_events:
+        left.inc(name, amount)
+    for name, amount in right_events:
+        right.inc(name, amount)
+    expected = dict(left.counters())
+    for name, value in right.counters().items():
+        expected[name] = expected.get(name, 0) + value
+    left.absorb(right)
+    assert left.counters() == {k: expected[k] for k in sorted(expected)}

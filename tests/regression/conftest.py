@@ -1,0 +1,28 @@
+"""Regression-suite plumbing: the ``--update-baselines`` refresh flag.
+
+The option is registered here (not in the repo-root conftest) so it only
+exists when the regression directory is part of the initial command line,
+e.g. ``pytest tests/regression --update-baselines``. The fixture degrades
+gracefully when the option was never registered (plain ``pytest`` runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-baselines",
+        action="store_true",
+        default=False,
+        help="Rewrite tests/regression/baselines/*.json from the current run",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_baselines(request) -> bool:
+    try:
+        return bool(request.config.getoption("--update-baselines"))
+    except ValueError:
+        return False

@@ -1,0 +1,103 @@
+"""Algebraic invariants the work counters must satisfy on every run.
+
+Baselines pin absolute numbers; these invariants pin the *accounting*: the
+per-algorithm counters must partition the generated instances exactly, and
+the evaluator/verifier counters must reconcile. An invariant violation
+means an instrumentation bug (double count, missed branch) even when the
+totals happen to match a baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CBM, BiQGen, EnumQGen, Kungs, OnlineQGen, RfQGen
+from repro.workload import random_instance_stream
+
+
+def _counters(algo):
+    return dict(algo.metrics.counters())
+
+
+def _run(algo_cls, config):
+    algo = algo_cls(config)
+    algo.run()
+    return _counters(algo)
+
+
+def test_exhaustive_generators_verify_everything(talent_config):
+    for algo_cls in (EnumQGen, Kungs, CBM):
+        c = _run(algo_cls, talent_config)
+        ns = f"gen.{algo_cls.name.lower()}"
+        assert c[f"{ns}.verified"] == c[f"{ns}.generated"]
+        assert c[f"{ns}.pruned"] == 0
+        assert c[f"{ns}.feasible"] <= c[f"{ns}.generated"]
+
+
+def test_rfqgen_partition(talent_config):
+    c = _run(RfQGen, talent_config)
+    ns = "gen.rfqgen"
+    # Every generated instance is popped exactly once and lands in exactly
+    # one bucket: duplicate, infeasible-pruned, or feasible.
+    assert c[f"{ns}.generated"] == (
+        c[f"{ns}.dedup_skipped"] + c[f"{ns}.pruned"] + c[f"{ns}.feasible"]
+    )
+    assert c[f"{ns}.pruned"] == c[f"{ns}.pruned_infeasible"]
+    assert c[f"{ns}.archive_offers"] == c[f"{ns}.feasible"]
+    assert c[f"{ns}.archive_updates"] <= c[f"{ns}.archive_offers"]
+
+
+def test_biqgen_partition(talent_config):
+    c = _run(BiQGen, talent_config)
+    ns = "gen.biqgen"
+    # Forward/backward pops partition into: duplicate, sandwich-pruned,
+    # witness-pruned, infeasible (verified or subtree-pruned), feasible.
+    assert c[f"{ns}.generated"] == (
+        c[f"{ns}.dedup_skipped"]
+        + c[f"{ns}.pruned_sandwich"]
+        + c[f"{ns}.pruned_witness"]
+        + c[f"{ns}.pruned_infeasible"]
+        + c[f"{ns}.feasible"]
+    )
+    # Legacy `pruned` counts unverified skips only (sandwich + witness +
+    # forward subtree prunes), so it is bounded by the sub-counters.
+    assert c[f"{ns}.pruned"] <= (
+        c[f"{ns}.pruned_sandwich"]
+        + c[f"{ns}.pruned_witness"]
+        + c[f"{ns}.pruned_infeasible"]
+    )
+    assert c[f"{ns}.archive_offers"] == c[f"{ns}.feasible"]
+
+
+@pytest.mark.parametrize("algo_cls", [EnumQGen, RfQGen, BiQGen])
+def test_verifier_accounting_reconciles(algo_cls, talent_config):
+    algo = algo_cls(talent_config)
+    algo.run()
+    c = _counters(algo)
+    ns = f"gen.{algo_cls.name.lower()}"
+    # Verified instances are exactly the evaluator cache misses (the view
+    # relationship RunStats is built on).
+    assert c[f"{ns}.verified"] == c["evaluator.cache_misses"]
+    assert c["evaluator.verify_calls"] == (
+        c["evaluator.cache_hits"] + c["evaluator.cache_misses"]
+    )
+    assert c["evaluator.incremental"] <= c["evaluator.cache_misses"]
+    assert c["evaluator.eval_calls"] == (
+        c["evaluator.memo_hits"] + c["evaluator.verify_calls"]
+    )
+
+
+def test_online_accounting(talent_config):
+    algo = OnlineQGen(talent_config, k=4, window=12)
+    domains = talent_config.build_domains()
+    algo.run(random_instance_stream(talent_config.template, domains, 40, seed=0))
+    c = _counters(algo)
+    ns = "gen.onlineqgen"
+    assert c[f"{ns}.generated"] == 40
+    # One evaluator call per stream instance.
+    assert c["evaluator.eval_calls"] == c[f"{ns}.generated"]
+    assert c["evaluator.verify_calls"] == (
+        c["evaluator.cache_hits"] + c["evaluator.cache_misses"]
+    )
+    assert c[f"{ns}.feasible"] <= c[f"{ns}.generated"]
+    assert c[f"{ns}.cached"] <= c[f"{ns}.feasible"]

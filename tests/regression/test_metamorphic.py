@@ -1,0 +1,56 @@
+"""Metamorphic guarantee: observability must never change results.
+
+Attaching a metrics registry (via ``config.metrics`` and/or an ambient
+``collecting`` block) is pure observation — the generated archives must be
+bit-identical to an unobserved run. If instrumentation ever leaks into
+control flow (e.g. a counter guard short-circuiting a prune), these tests
+catch it without needing to know *which* counter went wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CBM, BiQGen, EnumQGen, Kungs, RfQGen
+from repro.obs import MetricsRegistry, collecting
+
+
+def _fingerprint(result):
+    """Order-sensitive, exact fingerprint of a GenerationResult archive."""
+    return [
+        (e.instance.instantiation.key, frozenset(e.matches), e.delta, e.coverage)
+        for e in result.instances
+    ]
+
+
+@pytest.mark.parametrize("algo_cls", [EnumQGen, Kungs, CBM, RfQGen, BiQGen])
+def test_observed_run_is_bit_identical(algo_cls, talent_config):
+    plain = algo_cls(talent_config).run()
+
+    attached = MetricsRegistry()
+    talent_config.metrics = attached
+    try:
+        with collecting() as ambient:
+            observed = algo_cls(talent_config).run()
+    finally:
+        talent_config.metrics = None
+
+    assert _fingerprint(observed) == _fingerprint(plain)
+    assert observed.epsilon == plain.epsilon
+    # The observation side-channel actually carried data.
+    ns = f"gen.{algo_cls.name.lower()}"
+    assert attached.value(f"{ns}.generated") > 0
+    assert ambient.value(f"{ns}.generated") == attached.value(f"{ns}.generated")
+
+
+@pytest.mark.parametrize("algo_cls", [RfQGen, BiQGen])
+def test_stats_unchanged_by_observation(algo_cls, talent_config):
+    """Legacy RunStats (now a registry view) must report the same work."""
+    plain = algo_cls(talent_config).run()
+    talent_config.metrics = MetricsRegistry()
+    try:
+        observed = algo_cls(talent_config).run()
+    finally:
+        talent_config.metrics = None
+    for attr in ("generated", "verified", "incremental", "pruned", "feasible"):
+        assert getattr(observed.stats, attr) == getattr(plain.stats, attr)

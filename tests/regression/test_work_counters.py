@@ -1,0 +1,124 @@
+"""Deterministic work-counter regression gates (the flagship obs consumer).
+
+Each generator runs on the toy talent configuration — a hand-checkable
+graph, so any counter drift means the *algorithm* changed, not the data —
+and its per-run metrics registry is compared against a checked-in baseline
+with an explicit relative tolerance. Wall-clock never enters the
+comparison; only counted work does, which is stable across machines.
+
+Refresh after an intentional algorithmic change with::
+
+    PYTHONPATH=src python -m pytest tests/regression --update-baselines
+
+and review the baseline diff like any other code change: the deltas *are*
+the perf claim (e.g. BiQGen's sandwich pruning showing up as a lower
+``gen.biqgen.verified`` relative to ``gen.enumqgen.verified``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import CBM, BiQGen, EnumQGen, Kungs, OnlineQGen, RfQGen
+from repro.obs.baselines import compare_counters, load_baseline, save_baseline
+from repro.workload import random_instance_stream
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+# OnlineQGen inputs: a seeded random stream keeps the run bit-reproducible.
+STREAM_COUNT = 40
+STREAM_SEED = 0
+
+
+def _run_offline(algo_cls, config):
+    algo = algo_cls(config)
+    algo.run()
+    return dict(algo.metrics.counters())
+
+
+def _run_online(config):
+    algo = OnlineQGen(config, k=4, window=12)
+    domains = config.build_domains()
+    algo.run(
+        random_instance_stream(
+            config.template, domains, STREAM_COUNT, seed=STREAM_SEED
+        )
+    )
+    return dict(algo.metrics.counters())
+
+
+RUNNERS = {
+    "enumqgen": lambda cfg: _run_offline(EnumQGen, cfg),
+    "kungs": lambda cfg: _run_offline(Kungs, cfg),
+    "cbm": lambda cfg: _run_offline(CBM, cfg),
+    "rfqgen": lambda cfg: _run_offline(RfQGen, cfg),
+    "biqgen": lambda cfg: _run_offline(BiQGen, cfg),
+    "onlineqgen": _run_online,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_work_counters_match_baseline(name, talent_config, update_baselines):
+    counters = RUNNERS[name](talent_config)
+    path = BASELINE_DIR / f"{name}.json"
+    if update_baselines:
+        save_baseline(path, counters)
+        pytest.skip(f"baseline rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing baseline {path}; "
+        "run: pytest tests/regression --update-baselines"
+    )
+    baseline = load_baseline(path)
+    report = compare_counters(
+        counters, baseline["counters"], baseline["tolerance"]
+    )
+    assert report.ok, report.describe()
+
+
+def test_baselines_cover_headline_counters():
+    """Every baseline must pin the counters the paper's claims rest on."""
+    for name in ("enumqgen", "rfqgen", "biqgen"):
+        baseline = load_baseline(BASELINE_DIR / f"{name}.json")
+        counters = baseline["counters"]
+        for suffix in ("generated", "verified", "pruned", "feasible"):
+            assert f"gen.{name}.{suffix}" in counters
+        assert "evaluator.cache_misses" in counters
+        assert "matcher.match_calls" in counters
+
+
+def test_pruning_hierarchy_in_baselines():
+    """The checked-in numbers must themselves reproduce Fig. 10's ordering:
+    both pruning algorithms verify strictly less than exhaustive EnumQGen."""
+    verified = {
+        name: load_baseline(BASELINE_DIR / f"{name}.json")["counters"][
+            f"gen.{name}.verified"
+        ]
+        for name in ("enumqgen", "rfqgen", "biqgen")
+    }
+    assert verified["rfqgen"] < verified["enumqgen"]
+    assert verified["biqgen"] < verified["enumqgen"]
+
+
+def test_perturbed_baseline_fails(talent_config):
+    """The gate must actually gate: drift beyond tolerance is a failure."""
+    counters = RUNNERS["rfqgen"](talent_config)
+    baseline = load_baseline(BASELINE_DIR / "rfqgen.json")
+    perturbed = dict(baseline["counters"])
+    key = "gen.rfqgen.generated"
+    assert key in perturbed
+    perturbed[key] = perturbed[key] * 2 + 10
+    report = compare_counters(counters, perturbed, baseline["tolerance"])
+    assert not report.ok
+    assert any(m.name == key for m in report.mismatches)
+
+
+def test_missing_counter_is_a_mismatch(talent_config):
+    """Deleting instrumentation silently would defeat the suite."""
+    counters = RUNNERS["rfqgen"](talent_config)
+    baseline = load_baseline(BASELINE_DIR / "rfqgen.json")
+    augmented = dict(baseline["counters"])
+    augmented["gen.rfqgen.nonexistent_counter"] = 7
+    report = compare_counters(counters, augmented, baseline["tolerance"])
+    assert any(m.name == "gen.rfqgen.nonexistent_counter" for m in report.mismatches)

@@ -1,0 +1,212 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.matching import IncrementalVerifier, SubgraphMatcher
+from repro.obs import (
+    MetricsRegistry,
+    collecting,
+    compare_counters,
+    counters_matching,
+    current_registry,
+    load_baseline,
+    load_snapshot,
+    save_baseline,
+    to_prometheus,
+    trace,
+    within_tolerance,
+    write_json,
+    write_prometheus,
+)
+from repro.query import Instantiation, QueryInstance
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+class TestRegistry:
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("c", -1)
+
+    def test_value_of_untouched_counter_is_zero(self):
+        assert MetricsRegistry().value("never") == 0
+
+    def test_timer_uses_injected_clock(self):
+        registry = MetricsRegistry(clock=FakeClock(step=2.5))
+        with registry.timer("op"):
+            pass
+        histogram = registry.histogram("op")
+        assert histogram.count == 1
+        assert histogram.summary()["max"] == 2.5
+
+    def test_trace_records_spans_with_depth(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with registry.trace("outer"):
+            with registry.trace("inner"):
+                pass
+        names = [(s.name, s.depth) for s in registry.spans]
+        assert names == [("inner", 2), ("outer", 1)]
+        assert "span.outer" in registry.snapshot()["histograms"]
+
+    def test_reset_prefix_is_scoped(self):
+        registry = MetricsRegistry()
+        registry.inc("evaluator.cache_hits", 3)
+        registry.inc("matcher.backtrack_calls", 7)
+        registry.reset("evaluator.")
+        assert "evaluator.cache_hits" not in registry.counters()
+        assert registry.value("matcher.backtrack_calls") == 7
+
+    def test_counters_matching(self):
+        registry = MetricsRegistry()
+        registry.inc("gen.biqgen.pruned", 2)
+        registry.inc("matcher.match_calls", 1)
+        subset = counters_matching(registry.counters(), "gen.")
+        assert subset == {"gen.biqgen.pruned": 2}
+
+
+class TestAmbient:
+    def test_collecting_nests_and_restores(self):
+        assert current_registry() is None
+        outer = MetricsRegistry()
+        with collecting(outer):
+            assert current_registry() is outer
+            with collecting() as inner:
+                assert current_registry() is inner
+            assert current_registry() is outer
+        assert current_registry() is None
+
+    def test_module_trace_targets_ambient(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            with trace("unit.block"):
+                pass
+        assert "span.unit.block" in registry.snapshot()["histograms"]
+
+
+class TestExporters:
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.inc("matcher.backtrack_calls", 4)
+        registry.set("gen.biqgen.final_epsilon", 0.25)
+        registry.observe("pool.size", 10.0)
+        text = to_prometheus(registry)
+        assert "fairsqg_matcher_backtrack_calls_total 4" in text
+        assert "fairsqg_gen_biqgen_final_epsilon 0.25" in text
+        assert 'fairsqg_pool_size{quantile="0.50"} 10.0' in text
+        assert "fairsqg_pool_size_count 1" in text
+
+    def test_json_write_and_load(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 5)
+        path = write_json(registry, tmp_path / "snap.json")
+        snapshot = load_snapshot(path)
+        assert snapshot["counters"] == {"a.b": 5}
+
+    def test_prometheus_write(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 5)
+        path = write_prometheus(registry, tmp_path / "snap.prom")
+        assert "fairsqg_a_b_total 5" in path.read_text()
+
+
+class TestBaselines:
+    def test_within_tolerance_relative_and_floor(self):
+        assert within_tolerance(100, 105, 0.05)
+        assert not within_tolerance(100, 106, 0.05)
+        # Tiny counters get an absolute ±1 floor.
+        assert within_tolerance(2, 3, 0.05)
+        assert not within_tolerance(2, 4, 0.05)
+
+    def test_compare_flags_missing_and_drifted(self):
+        baseline = {"kept": 10, "drifted": 100, "missing": 5}
+        actual = {"kept": 10, "drifted": 150}
+        report = compare_counters(actual, baseline, tolerance=0.05)
+        assert not report.ok
+        assert {m.name for m in report.mismatches} == {"drifted", "missing"}
+        assert "drifted" in report.describe()
+
+    def test_extra_actual_counters_ignored(self):
+        report = compare_counters({"a": 1, "new": 99}, {"a": 1})
+        assert report.ok
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = save_baseline(tmp_path / "b.json", {"x": 3}, tolerance=0.1)
+        loaded = load_baseline(path)
+        assert loaded["tolerance"] == 0.1
+        assert loaded["counters"] == {"x": 3}
+        # The on-disk form is the documented shape.
+        raw = json.loads(path.read_text())
+        assert set(raw) == {"tolerance", "counters"}
+
+
+def _make(template, **bindings):
+    return QueryInstance(Instantiation(template, bindings))
+
+
+class TestVerifierLRUBound:
+    def test_eviction_and_counter(self, talent_graph, talent_template):
+        registry = MetricsRegistry()
+        verifier = IncrementalVerifier(
+            SubgraphMatcher(talent_graph), metrics=registry, max_entries=2
+        )
+        q1 = _make(talent_template, xl1=5, xl2=100, xe1=0)
+        q2 = _make(talent_template, xl1=12, xl2=100, xe1=0)
+        q3 = _make(talent_template, xl1=5, xl2=1000, xe1=0)
+        verifier.verify(q1)
+        verifier.verify(q2)
+        assert len(verifier) == 2
+        verifier.verify(q3)  # Evicts q1 (least recently used).
+        assert len(verifier) == 2
+        assert verifier.evictions == 1
+        assert registry.value("evaluator.evictions") == 1
+        assert verifier.peek(q1) is None
+        assert verifier.peek(q2) is not None
+
+    def test_hit_refreshes_recency(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(
+            SubgraphMatcher(talent_graph), max_entries=2
+        )
+        q1 = _make(talent_template, xl1=5, xl2=100, xe1=0)
+        q2 = _make(talent_template, xl1=12, xl2=100, xe1=0)
+        q3 = _make(talent_template, xl1=5, xl2=1000, xe1=0)
+        verifier.verify(q1)
+        verifier.verify(q2)
+        verifier.verify(q1)  # Touch q1 so q2 becomes the LRU entry.
+        verifier.verify(q3)
+        assert verifier.peek(q1) is not None
+        assert verifier.peek(q2) is None
+
+    def test_results_unchanged_by_bound(self, talent_graph, talent_template):
+        bounded = IncrementalVerifier(SubgraphMatcher(talent_graph), max_entries=1)
+        unbounded = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        instances = [
+            _make(talent_template, xl1=xl1, xl2=xl2, xe1=xe1)
+            for xl1 in (5, 12)
+            for xl2 in (100, 1000)
+            for xe1 in (0, 1)
+        ]
+        for q in instances:
+            assert bounded.verify(q).matches == unbounded.verify(q).matches
+
+    def test_unbounded_never_evicts(self, talent_graph, talent_template):
+        verifier = IncrementalVerifier(SubgraphMatcher(talent_graph))
+        for xl1 in (5, 12):
+            verifier.verify(_make(talent_template, xl1=xl1, xl2=100, xe1=0))
+        assert verifier.evictions == 0
+        assert len(verifier) == 2
