@@ -36,3 +36,10 @@ def test_full_match(benchmark, ctx, settings):
     matcher = SubgraphMatcher(config.graph)
     result = benchmark(lambda: matcher.match(root))
     assert result.matches
+
+
+def test_full_match_bitset(benchmark, ctx, settings):
+    config, root = _root_instance(ctx, settings)
+    matcher = SubgraphMatcher(config.graph, engine="bitset")
+    result = benchmark(lambda: matcher.match(root))
+    assert result.matches

@@ -1,0 +1,25 @@
+"""Pytest wrapper around the standalone engine-comparison benchmark.
+
+Runs the smoke-mode sweep (same dense ≥1k-node graph, reduced instance
+count) and enforces the engine-comparison acceptance bar: the bitset
+engine must be ≥2× faster than the set engine and the literal-pool cache
+must be doing real work. The JSON artifact lands in ``benchmarks/results``
+next to the figure tables; the canonical ``BENCH_matching.json`` at the
+repo root is written by running the script directly (as CI does).
+"""
+
+import json
+
+from engine_comparison import run
+
+
+def test_engine_comparison_smoke(results_dir):
+    report = run(smoke=True)
+    (results_dir / "engine_comparison.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    assert report["graph"]["nodes"] >= 1000
+    assert report["speedup_bitset_over_set"] >= 2.0
+    bitset = report["engines"]["bitset"]
+    assert bitset["literal_pool_hits"] > 0
+    assert bitset["literal_pool_hit_rate"] > 0.5

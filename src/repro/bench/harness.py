@@ -31,6 +31,7 @@ def make_config(
     **overrides,
 ) -> GenerationConfig:
     """A GenerationConfig from a bundle + settings with targeted overrides."""
+    overrides.setdefault("matcher_engine", settings.matcher_engine)
     return GenerationConfig(
         graph=bundle.graph,
         template=template or bundle.template,

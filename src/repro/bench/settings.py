@@ -10,7 +10,9 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_SCALE`` — graph scale multiplier (default 0.15);
 * ``REPRO_BENCH_C`` — total coverage constraint C (default 16);
 * ``REPRO_BENCH_DOMAIN`` — per-variable active-domain cap (default 5);
-* ``REPRO_BENCH_EPSILON`` — default ε (default 0.01, as in the paper).
+* ``REPRO_BENCH_EPSILON`` — default ε (default 0.01, as in the paper);
+* ``REPRO_BENCH_ENGINE`` — matcher engine, ``set`` (default) or
+  ``bitset`` (runs every experiment through the bitset matching engine).
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ class BenchSettings:
     coverage_total: int
     max_domain_values: int
     epsilon: float
+    matcher_engine: str = "set"
 
     @property
     def paper_mapping(self) -> str:
@@ -44,7 +47,8 @@ class BenchSettings:
         return (
             f"[scaled: graph scale={self.scale}, C={self.coverage_total} "
             f"(paper C=200 on 1M-4.9M-node graphs), domain cap="
-            f"{self.max_domain_values}, eps={self.epsilon}]"
+            f"{self.max_domain_values}, eps={self.epsilon}, "
+            f"engine={self.matcher_engine}]"
         )
 
 
@@ -55,4 +59,5 @@ def bench_settings() -> BenchSettings:
         coverage_total=_env_int("REPRO_BENCH_C", 16),
         max_domain_values=_env_int("REPRO_BENCH_DOMAIN", 5),
         epsilon=_env_float("REPRO_BENCH_EPSILON", 0.01),
+        matcher_engine=os.environ.get("REPRO_BENCH_ENGINE", "set"),
     )

@@ -79,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--coverage", type=int, default=16)
     generate.add_argument("--groups", type=int, default=2)
     generate.add_argument("--domain-cap", type=int, default=5)
+    generate.add_argument("--engine", choices=("set", "bitset"), default="set",
+                          help="matching engine verifying instances "
+                          "(bitset = mask pools + literal-pool caching)")
     generate.add_argument("--show-queries", action="store_true")
     generate.add_argument("--report", action="store_true",
                           help="print the full run report")
@@ -94,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--epsilon", type=float, default=0.05)
     online.add_argument("--scale", type=float, default=0.15)
     online.add_argument("--coverage", type=int, default=16)
+    online.add_argument("--engine", choices=("set", "bitset"), default="set",
+                        help="matching engine verifying instances")
     online.add_argument("--seed", type=int, default=0)
     online.add_argument("--metrics", default=None, metavar="PATH",
                         help="write the work-counter snapshot here")
@@ -194,6 +199,7 @@ def _cmd_generate(args) -> int:
         epsilon=args.epsilon,
         max_domain_values=args.domain_cap,
         metrics=registry,
+        matcher_engine=args.engine,
     )
     algorithm = ALGORITHMS[args.algorithm](config)
     result = algorithm.run()
@@ -234,6 +240,7 @@ def _cmd_online(args) -> int:
         BenchSettings(args.scale, args.coverage, 5, args.epsilon),
         epsilon=args.epsilon,
         metrics=registry,
+        matcher_engine=args.engine,
     )
     online = OnlineQGen(config, k=args.k, window=args.window)
     stream = random_instance_stream(

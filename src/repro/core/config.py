@@ -41,6 +41,11 @@ class GenerationConfig:
         use_template_refinement: Enable Spawn's d-hop domain restriction
             and edge-variable fixing (Section IV optimization).
         injective: Use isomorphism-style (injective) match semantics.
+        matcher_engine: ``"set"`` (default) or ``"bitset"`` — which
+            matching pipeline verifies instances. Both return identical
+            answers; the bitset engine trades per-instance set algebra for
+            integer bitmask operations plus a run-level literal-pool
+            cache, which pays off on dense graphs and large lattices.
         verifier_max_entries: Optional LRU bound on the verification memo
             table (None = unbounded; set for long online streams).
         metrics: Optional shared :class:`~repro.obs.registry.MetricsRegistry`
@@ -61,6 +66,7 @@ class GenerationConfig:
     use_incremental: bool = True
     use_template_refinement: bool = True
     injective: bool = False
+    matcher_engine: str = "set"
     verifier_max_entries: Optional[int] = None
     metrics: Optional[MetricsRegistry] = None
 
@@ -69,6 +75,11 @@ class GenerationConfig:
             raise ConfigurationError("epsilon must be positive")
         if not 0.0 <= self.lam <= 1.0:
             raise ConfigurationError("lambda must lie in [0, 1]")
+        if self.matcher_engine not in ("set", "bitset"):
+            raise ConfigurationError(
+                f"unknown matcher engine {self.matcher_engine!r} "
+                "(expected 'set' or 'bitset')"
+            )
         output_label = self.template.node(self.template.output_node).label
         if self.graph.count_label(output_label) == 0:
             raise ConfigurationError(

@@ -79,6 +79,7 @@ class InstanceEvaluator:
             config.build_indexes(),
             injective=config.injective,
             metrics=self.metrics,
+            engine=config.matcher_engine,
         )
         self.verifier = IncrementalVerifier(
             self.matcher,

@@ -75,6 +75,7 @@ class DiversityMeasure:
         self.distance = distance or GowerTupleDistance(graph, output_label)
         self.mode = mode
         self._label_count = graph.count_label(output_label)
+        self._relevance_cache: Dict[int, float] = {}
         self._gower = isinstance(self.distance, GowerTupleDistance)
         if mode == "decomposed" and not self._gower:
             raise ConfigurationError("decomposed mode requires the Gower kernel")
@@ -91,10 +92,22 @@ class DiversityMeasure:
         nodes = sorted(set(matches))
         if not nodes:
             return 0.0
-        relevance_sum = sum(self.relevance(v) for v in nodes)
+        relevance_sum = sum(self._relevance_of(v) for v in nodes)
         pair_sum = self._pair_sum(nodes)
         normalizer = max(1, self._label_count - 1)
         return (1.0 - self.lam) * relevance_sum + (2.0 * self.lam / normalizer) * pair_sum
+
+    def _relevance_of(self, node_id: int) -> float:
+        """Memoized ``r(u_o, v)``.
+
+        Answer sets of one run overlap heavily (hundreds of sibling
+        instances share most matches), and scorers are pure per node, so
+        each node's score is computed once per measure lifetime.
+        """
+        cached = self._relevance_cache.get(node_id)
+        if cached is None:
+            cached = self._relevance_cache[node_id] = float(self.relevance(node_id))
+        return cached
 
     # ------------------------------------------------------------------ #
     # Pair-sum strategies

@@ -39,8 +39,16 @@ def _init_worker(config: GenerationConfig) -> None:
     _WORKER_TEMPLATE = config.template
 
 
-def _verify_batch(bindings_batch: Sequence[dict]) -> List[tuple]:
-    """Verify a batch of instantiations; returns compact result tuples."""
+def _verify_batch(bindings_batch: Sequence[dict]) -> Tuple[List[tuple], dict]:
+    """Verify a batch of instantiations in a worker process.
+
+    Returns the compact result tuples plus the batch's *counter delta* —
+    the worker-side work (matcher/evaluator counters) this batch added to
+    the worker's private registry. The parent sums the deltas into its own
+    registry, so ``--metrics`` snapshots of parallel runs carry the same
+    counter set as sequential ones regardless of worker interleaving.
+    """
+    before = _WORKER_EVALUATOR.metrics.counters()
     results = []
     for bindings in bindings_batch:
         instance = QueryInstance(Instantiation(_WORKER_TEMPLATE, bindings))
@@ -54,7 +62,9 @@ def _verify_batch(bindings_batch: Sequence[dict]) -> List[tuple]:
                 evaluated.feasible,
             )
         )
-    return results
+    after = _WORKER_EVALUATOR.metrics.counters()
+    delta = {name: value - before.get(name, 0) for name, value in after.items()}
+    return results, delta
 
 
 class ParallelQGen(QGenAlgorithm):
@@ -79,20 +89,22 @@ class ParallelQGen(QGenAlgorithm):
         self.batch_size = max(1, batch_size)
 
     def run(self) -> GenerationResult:
+        self._begin_run()
         stats = self._base_stats()
         archive = EpsilonParetoArchive(self.config.epsilon)
         with timed(stats):
-            instances = self.lattice.enumerate_instances()
-            stats.generated = len(instances)
-            if self.workers <= 1 or not _fork_available():
-                evaluated = self._verify_serial(instances)
-            else:
-                evaluated = self._verify_parallel(instances)
-            stats.verified = len(evaluated)
-            for point in evaluated:
-                if point.feasible:
-                    stats.feasible += 1
-                    archive.offer(point)
+            with self.metrics.trace("parallel.run"):
+                instances = self.lattice.enumerate_instances()
+                self._inc("generated", len(instances))
+                if self.workers <= 1 or not _fork_available():
+                    evaluated = self._verify_serial(instances)
+                else:
+                    evaluated = self._verify_parallel(instances)
+                for point in evaluated:
+                    if point.feasible:
+                        self._inc("feasible")
+                        self._offer(archive, point)
+        stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
             instances=archive.instances(),
@@ -122,7 +134,13 @@ class ParallelQGen(QGenAlgorithm):
             initializer=_init_worker,
             initargs=(self.config,),
         ) as pool:
-            for batch_results in pool.imap_unordered(_verify_batch, batches):
+            for batch_results, counter_delta in pool.imap_unordered(
+                _verify_batch, batches
+            ):
+                # Fold the worker-side work into the parent registry before
+                # stats are finalized; summed deltas are interleaving-proof.
+                for name, value in counter_delta.items():
+                    self.metrics.inc(name, value)
                 for raw_bindings, matches, delta, coverage, feasible in batch_results:
                     instance = QueryInstance(
                         Instantiation(self.config.template, raw_bindings)

@@ -4,12 +4,20 @@ The matching engine evaluates literal predicates ``u.A op c`` over all nodes
 with a given label; a naive scan is O(|V(label)|) per evaluation. The
 :class:`AttributeIndex` keeps, per (label, attribute), node ids sorted by
 attribute value, so a range predicate resolves with two binary searches.
+
+The :class:`BitsetIndex` additionally owns, per node label, a *dense
+enumeration* of the label's nodes (bit position ↔ node id) plus lazily
+materialized adjacency rows — one Python integer per
+``(data node, edge label, direction, neighbor label)`` — which is the
+substrate of the bitset matching engine
+(:mod:`repro.matching.bitset`): candidate pools become integer bitmasks
+and support checks become single AND operations.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph, _sort_key
 from repro.query.predicates import Op
@@ -118,6 +126,104 @@ class AttributeIndex:
         return out
 
 
+class BitsetIndex:
+    """Per-label node enumerations and adjacency-row bitmasks.
+
+    Each label gets a stable enumeration — node ids sorted ascending, bit
+    ``i`` of a mask standing for the i-th id — so every candidate pool of
+    a query node with that label is one arbitrary-precision integer.
+    Adjacency rows answer "which nodes of label ``L`` are successors
+    (resp. predecessors) of data node ``v`` under edge label ``l``" as a
+    mask over ``L``'s enumeration; rows are built on first touch and
+    cached for the lifetime of the index, which one generation run shares
+    across thousands of lattice siblings.
+    """
+
+    def __init__(self, graph: AttributedGraph) -> None:
+        self._graph = graph
+        self._order: Dict[str, Tuple[int, ...]] = {}
+        self._position: Dict[str, Dict[int, int]] = {}
+        self._full: Dict[str, int] = {}
+        self._rows: Dict[Tuple[int, str, bool, str], int] = {}
+
+    # -- Enumeration ----------------------------------------------------- #
+
+    def order(self, label: str) -> Tuple[int, ...]:
+        """Node ids of ``label`` in bit-position order (ascending ids)."""
+        cached = self._order.get(label)
+        if cached is None:
+            cached = tuple(sorted(self._graph.nodes_with_label(label)))
+            self._order[label] = cached
+        return cached
+
+    def positions(self, label: str) -> Dict[int, int]:
+        """Inverse enumeration: node id → bit position."""
+        cached = self._position.get(label)
+        if cached is None:
+            cached = {v: i for i, v in enumerate(self.order(label))}
+            self._position[label] = cached
+        return cached
+
+    def full_mask(self, label: str) -> int:
+        """Mask with one bit set per node of ``label`` (the label pool)."""
+        cached = self._full.get(label)
+        if cached is None:
+            cached = (1 << len(self.order(label))) - 1
+            self._full[label] = cached
+        return cached
+
+    def mask_of(self, label: str, nodes: Iterable[int]) -> int:
+        """Mask over ``label``'s enumeration for an id collection.
+
+        Ids not carrying ``label`` are ignored (a restrict set may be an
+        arbitrary superset bound).
+        """
+        positions = self.positions(label)
+        mask = 0
+        for v in nodes:
+            position = positions.get(v)
+            if position is not None:
+                mask |= 1 << position
+        return mask
+
+    def to_ids(self, label: str, mask: int) -> Set[int]:
+        """Materialize a mask back into a node-id set."""
+        order = self.order(label)
+        out: Set[int] = set()
+        while mask:
+            low = mask & -mask
+            out.add(order[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    # -- Adjacency rows --------------------------------------------------- #
+
+    def adjacency_row(
+        self, node_id: int, edge_label: str, outgoing: bool, neighbor_label: str
+    ) -> int:
+        """Mask of ``neighbor_label`` nodes adjacent to ``node_id``.
+
+        ``outgoing=True`` reads successors (edges ``node_id → ·``),
+        ``False`` predecessors.
+        """
+        key = (node_id, edge_label, outgoing, neighbor_label)
+        row = self._rows.get(key)
+        if row is None:
+            neighbors = (
+                self._graph.successors(node_id, edge_label)
+                if outgoing
+                else self._graph.predecessors(node_id, edge_label)
+            )
+            row = self.mask_of(neighbor_label, neighbors)
+            self._rows[key] = row
+        return row
+
+    @property
+    def cached_rows(self) -> int:
+        """Number of adjacency rows materialized so far (observability)."""
+        return len(self._rows)
+
+
 class GraphIndexes:
     """Bundle of all per-graph indexes, built lazily and shared.
 
@@ -130,6 +236,7 @@ class GraphIndexes:
         self.graph = graph
         self.labels = LabelIndex(graph)
         self.attributes = AttributeIndex(graph)
+        self.bitsets = BitsetIndex(graph)
 
     def candidate_pool(self, label: str) -> FrozenSet[int]:
         """Initial candidate set for a query node: all nodes with its label."""

@@ -11,10 +11,17 @@ propagation over query edges → backtracking existence checks for the output
 node's candidates. Incremental verification (the paper's ``incVerify``)
 seeds a child instance's candidates with its verified parent's, valid by
 Lemma 2 (refinement shrinks match sets).
+
+Two interchangeable engines implement the pipeline: the original set-based
+one (default) and the bitset engine (:mod:`repro.matching.bitset`), which
+represents pools as integer bitmasks and caches literal pools across a
+whole run — select with ``SubgraphMatcher(..., engine="bitset")`` or
+``GenerationConfig.matcher_engine``.
 """
 
 from repro.matching.candidates import CandidateMap, initial_candidates, propagate
 from repro.matching.matcher import MatchResult, SubgraphMatcher
+from repro.matching.bitset import BitsetEngine, LiteralPoolCache, MaskMap
 from repro.matching.incremental import IncrementalVerifier
 from repro.matching.reference import naive_match_set, nx_monomorphism_match_set
 from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
@@ -22,9 +29,12 @@ from repro.matching.profiling import InstanceProfile, profile_instance
 
 __all__ = [
     "CandidateMap",
+    "MaskMap",
     "initial_candidates",
     "propagate",
     "SubgraphMatcher",
+    "BitsetEngine",
+    "LiteralPoolCache",
     "MatchResult",
     "IncrementalVerifier",
     "naive_match_set",

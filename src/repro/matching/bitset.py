@@ -1,0 +1,460 @@
+"""Bitset matching engine with run-level literal-pool caching.
+
+A drop-in alternative to the set-based pipeline in
+:mod:`repro.matching.candidates` / :mod:`repro.matching.matcher`: candidate
+pools are arbitrary-precision Python integers over the per-label node
+enumerations owned by :class:`~repro.graph.indexes.BitsetIndex`, so the
+three hot loops of instance verification become bit-parallel:
+
+* **literal filtering** — every ``(label, attribute, op, constant)``
+  literal resolves to a cached mask (:class:`LiteralPoolCache`), and a
+  query node's initial pool is the AND of its label pool with those masks.
+  Lattice siblings differ in a single range-variable binding, so across a
+  generation run almost every literal mask is a cache hit and a sibling's
+  pools cost one intersection each;
+* **arc-consistency support checks** — ``adjacency_row(v) & pool != 0``
+  replaces the per-neighbor set probing of AC-3;
+* **backtracking extension** — the candidates of the next query node are
+  the AND of its pool with the already-assigned neighbors' adjacency rows,
+  which also subsumes the per-edge consistency re-check.
+
+The engine publishes its work under ``matcher.bitset.*`` (literal-pool
+hits/misses, mask intersections) on top of the shared ``matcher.*``
+counters, and returns :class:`~repro.matching.matcher.MatchResult` objects
+carrying the raw candidate *masks* alongside the materialized sets, so the
+incremental verifier can seed a child's pools from its parent without a
+set→mask round trip.
+
+Selected via ``GenerationConfig.matcher_engine = "bitset"`` (CLI:
+``--engine bitset``); the default remains the set engine, which keeps the
+counter-regression baselines bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import MatchingError
+from repro.graph.indexes import GraphIndexes
+from repro.obs.registry import MetricsRegistry
+from repro.query.instance import QueryInstance
+from repro.query.predicates import Literal
+
+#: Per-query-node candidate masks (the bitset analogue of ``CandidateMap``).
+MaskMap = Dict[str, int]
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class LiteralPoolCache:
+    """Run-level memo ``(label, attribute, op, constant) → candidate mask``.
+
+    The instance lattice enumerates thousands of siblings that share all
+    but one literal; this cache turns their repeated index lookups into
+    dictionary hits, so a sibling's initial pools resolve with one AND per
+    literal. Entries live as long as the engine (one generation run); the
+    key space is bounded by the template's variables × their active
+    domains, so no eviction is needed.
+    """
+
+    def __init__(self, indexes: GraphIndexes, metrics: MetricsRegistry) -> None:
+        self._indexes = indexes
+        self._metrics = metrics
+        self._masks: Dict[Tuple, int] = {}
+        metrics.counter("matcher.bitset.literal_pool_hits")
+        metrics.counter("matcher.bitset.literal_pool_misses")
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def mask(self, label: str, literal: Literal) -> int:
+        """The mask of ``label`` nodes satisfying ``literal``."""
+        try:
+            key = (label, literal.attribute, literal.op, literal.constant)
+            cached = self._masks.get(key)
+        except TypeError:  # unhashable constant: compute without caching
+            self._metrics.inc("matcher.bitset.literal_pool_misses")
+            return self._compute(label, literal)
+        if cached is None:
+            self._metrics.inc("matcher.bitset.literal_pool_misses")
+            cached = self._compute(label, literal)
+            self._masks[key] = cached
+        else:
+            self._metrics.inc("matcher.bitset.literal_pool_hits")
+        return cached
+
+    def _compute(self, label: str, literal: Literal) -> int:
+        matching = self._indexes.attributes.matching_nodes(
+            label, literal.attribute, literal.op, literal.constant
+        )
+        return self._indexes.bitsets.mask_of(label, matching)
+
+
+class _Work:
+    """Mutable per-call work tally, folded into counters once per match."""
+
+    __slots__ = ("backtracks", "intersections")
+
+    def __init__(self) -> None:
+        self.backtracks = 0
+        self.intersections = 0
+
+
+class BitsetEngine:
+    """The bitset verification pipeline behind ``SubgraphMatcher``.
+
+    Mirrors the set engine's observable behaviour — identical ``matches``
+    and identical AC-pruned candidate maps (the differential suite pins
+    this) — while counting its own work under ``matcher.bitset.*``.
+
+    Args:
+        indexes: Shared graph indexes (owns the bitset enumerations).
+        injective: Subgraph-isomorphism semantics switch.
+        metrics: Registry receiving ``matcher.*`` and ``matcher.bitset.*``.
+    """
+
+    def __init__(
+        self,
+        indexes: GraphIndexes,
+        injective: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.indexes = indexes
+        self.graph = indexes.graph
+        self.bitsets = indexes.bitsets
+        self.injective = injective
+        self.metrics = metrics or MetricsRegistry()
+        self.literal_pools = LiteralPoolCache(indexes, self.metrics)
+        for name in (
+            "matcher.match_calls",
+            "matcher.backtrack_calls",
+            "matcher.ac_removed",
+            "matcher.empty_pool_short_circuits",
+            "matcher.acyclic_fast_paths",
+            "matcher.bitset.mask_intersections",
+        ):
+            self.metrics.counter(name)
+
+    # ------------------------------------------------------------------ #
+    # Public API (same shape as SubgraphMatcher's internals expect)
+    # ------------------------------------------------------------------ #
+
+    def match(
+        self,
+        instance: QueryInstance,
+        restrict: Optional[Mapping[str, Set[int]]] = None,
+        restrict_masks: Optional[Mapping[str, int]] = None,
+        first_only: bool = False,
+    ):
+        """Compute ``q(G)`` plus candidate sets/masks for ``instance``.
+
+        ``restrict_masks`` is the mask-native incremental-verification
+        hook (a verified parent's candidate masks); ``restrict`` accepts
+        plain sets for API compatibility. ``first_only`` stops after the
+        first confirmed output match (the ``exists()`` fast path).
+        """
+        from repro.matching.matcher import MatchResult
+
+        metrics = self.metrics
+        metrics.inc("matcher.match_calls")
+        work = _Work()
+        masks, labels = self._initial_masks(instance, restrict, restrict_masks, work)
+        metrics.observe(
+            "matcher.initial_pool_size",
+            sum(mask.bit_count() for mask in masks.values()),
+        )
+        if any(not mask for mask in masks.values()):
+            metrics.inc("matcher.empty_pool_short_circuits")
+            self._publish(work)
+            return MatchResult(
+                frozenset(),
+                {k: set() for k in masks},
+                candidate_masks={k: 0 for k in masks},
+            )
+        masks, pruned = self._propagate(instance, masks, labels, work)
+        metrics.inc("matcher.ac_removed", pruned)
+        output = instance.output_node
+        metrics.observe("matcher.output_pool_size", masks[output].bit_count())
+        if not masks[output]:
+            metrics.inc("matcher.empty_pool_short_circuits")
+            self._publish(work)
+            return MatchResult(
+                frozenset(),
+                self._materialize(masks, labels),
+                pruned_candidates=pruned,
+                candidate_masks=dict(masks),
+            )
+
+        matches = self._solve(instance, masks, labels, output, work, first_only)
+        metrics.inc("matcher.backtrack_calls", work.backtracks)
+        self._publish(work)
+        return MatchResult(
+            frozenset(matches),
+            self._materialize(masks, labels),
+            backtrack_calls=work.backtracks,
+            pruned_candidates=pruned,
+            candidate_masks=dict(masks),
+        )
+
+    def match_outputs(
+        self,
+        instance: QueryInstance,
+        outputs: Sequence[str],
+        restrict: Optional[Mapping[str, Set[int]]] = None,
+    ) -> Dict[str, frozenset]:
+        """Exact match sets for several query nodes at once (paper §VI)."""
+        for output in outputs:
+            if output not in instance.active_nodes:
+                raise MatchingError(f"output node {output!r} not active in instance")
+        metrics = self.metrics
+        metrics.inc("matcher.match_outputs_calls")
+        work = _Work()
+        masks, labels = self._initial_masks(instance, restrict, None, work)
+        if any(not mask for mask in masks.values()):
+            metrics.inc("matcher.empty_pool_short_circuits")
+            self._publish(work)
+            return {output: frozenset() for output in outputs}
+        masks, pruned = self._propagate(instance, masks, labels, work)
+        metrics.inc("matcher.ac_removed", pruned)
+        if (
+            len(instance.active_nodes) == 1
+            or (self._is_acyclic(instance) and not self.injective)
+        ):
+            self._publish(work)
+            return {
+                output: frozenset(self.bitsets.to_ids(labels[output], masks[output]))
+                for output in outputs
+            }
+        adjacency = instance.adjacency()
+        results: Dict[str, frozenset] = {}
+        for output in outputs:
+            order = self._search_order(instance, masks, output)
+            matched: Set[int] = set()
+            out_order = self.bitsets.order(labels[output])
+            for position in iter_bits(masks[output]):
+                v = out_order[position]
+                if self._extendable(
+                    adjacency, masks, labels, order, {output: v}, 1, work
+                ):
+                    matched.add(v)
+            results[output] = frozenset(matched)
+        metrics.inc("matcher.backtrack_calls", work.backtracks)
+        self._publish(work)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+
+    def _initial_masks(
+        self,
+        instance: QueryInstance,
+        restrict: Optional[Mapping[str, Set[int]]],
+        restrict_masks: Optional[Mapping[str, int]],
+        work: _Work,
+    ) -> Tuple[MaskMap, Dict[str, str]]:
+        """Label pools ∩ literal masks, bounded by any restrict map."""
+        bitsets = self.bitsets
+        pools = self.literal_pools
+        masks: MaskMap = {}
+        labels: Dict[str, str] = {}
+        for node_id in instance.active_nodes:
+            label = instance.node_label(node_id)
+            labels[node_id] = label
+            if restrict_masks is not None and node_id in restrict_masks:
+                mask = restrict_masks[node_id]
+            elif restrict is not None and node_id in restrict:
+                mask = bitsets.mask_of(label, restrict[node_id])
+            else:
+                mask = bitsets.full_mask(label)
+            for literal in instance.literals_on(node_id):
+                mask &= pools.mask(label, literal)
+                work.intersections += 1
+                if not mask:
+                    break
+            masks[node_id] = mask
+        return masks, labels
+
+    def _propagate(
+        self,
+        instance: QueryInstance,
+        masks: MaskMap,
+        labels: Dict[str, str],
+        work: _Work,
+    ) -> Tuple[MaskMap, int]:
+        """AC-3 fixpoint over masks; returns the pruned map and removals.
+
+        Mirrors :func:`repro.matching.candidates.propagate` (sorted
+        worklist, whole-node re-examination, global zeroing on an empty
+        pool) so both engines report identical removal counts.
+        """
+        constraints: Dict[str, List[Tuple[str, str, bool, str]]] = {
+            n: [] for n in instance.active_nodes
+        }
+        for source, target, label in instance.edges:
+            constraints[source].append((target, label, True, labels[target]))
+            constraints[target].append((source, label, False, labels[source]))
+
+        bitsets = self.bitsets
+        removed = 0
+        queue = deque(sorted(instance.active_nodes))
+        queued = set(queue)
+        while queue:
+            node_id = queue.popleft()
+            queued.discard(node_id)
+            pool = masks[node_id]
+            node_constraints = constraints[node_id]
+            order = bitsets.order(labels[node_id])
+            survivors = 0
+            remaining = pool
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                v = order[low.bit_length() - 1]
+                for other, edge_label, outgoing, other_label in node_constraints:
+                    row = bitsets.adjacency_row(v, edge_label, outgoing, other_label)
+                    work.intersections += 1
+                    if not row & masks[other]:
+                        break
+                else:
+                    survivors |= low
+            if survivors != pool:
+                removed += (pool & ~survivors).bit_count()
+                masks[node_id] = survivors
+                for other, _, _, _ in node_constraints:
+                    if other not in queued:
+                        queue.append(other)
+                        queued.add(other)
+                if not survivors:
+                    for key in masks:
+                        masks[key] = 0
+                    return masks, removed
+        return masks, removed
+
+    def _solve(
+        self,
+        instance: QueryInstance,
+        masks: MaskMap,
+        labels: Dict[str, str],
+        output: str,
+        work: _Work,
+        first_only: bool,
+    ) -> Set[int]:
+        """Fast paths + backtracking sweep over the output pool."""
+        metrics = self.metrics
+        matches: Set[int] = set()
+        out_order = self.bitsets.order(labels[output])
+        if len(instance.active_nodes) == 1 or (
+            self._is_acyclic(instance) and not self.injective
+        ):
+            metrics.inc("matcher.acyclic_fast_paths")
+            matches = self.bitsets.to_ids(labels[output], masks[output])
+            return matches
+        order = self._search_order(instance, masks, output)
+        adjacency = instance.adjacency()
+        for position in iter_bits(masks[output]):
+            v = out_order[position]
+            if self._extendable(
+                adjacency, masks, labels, order, {output: v}, 1, work
+            ):
+                matches.add(v)
+                if first_only:
+                    break
+        return matches
+
+    def _extendable(
+        self,
+        adjacency: Dict[str, List[Tuple[str, str, bool]]],
+        masks: MaskMap,
+        labels: Dict[str, str],
+        order: List[str],
+        assignment: Dict[str, int],
+        depth: int,
+        work: _Work,
+    ) -> bool:
+        """Depth-first existence check; extension pools are single ANDs.
+
+        Intersecting the node's pool with *every* assigned neighbor's
+        adjacency row both shrinks the pool and enforces edge consistency,
+        so no per-candidate edge re-check remains.
+        """
+        work.backtracks += 1
+        if depth == len(order):
+            return True
+        node_id = order[depth]
+        label = labels[node_id]
+        bitsets = self.bitsets
+        pool = masks[node_id]
+        for neighbor, edge_label, outgoing in adjacency[node_id]:
+            anchor = assignment.get(neighbor)
+            if anchor is None:
+                continue
+            # outgoing=True means the query edge runs node_id → neighbor,
+            # so candidates must be predecessors of the anchor (and vice
+            # versa) — hence the flipped direction on the anchor's row.
+            pool &= bitsets.adjacency_row(anchor, edge_label, not outgoing, label)
+            work.intersections += 1
+            if not pool:
+                return False
+        node_order = bitsets.order(label)
+        for position in iter_bits(pool):
+            v = node_order[position]
+            if self.injective and v in assignment.values():
+                continue
+            assignment[node_id] = v
+            if self._extendable(
+                adjacency, masks, labels, order, assignment, depth + 1, work
+            ):
+                del assignment[node_id]
+                return True
+            del assignment[node_id]
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _search_order(
+        self, instance: QueryInstance, masks: MaskMap, root: str
+    ) -> List[str]:
+        """Connected fail-first order (smallest pool first) from ``root``."""
+        adjacency = instance.adjacency()
+        order = [root]
+        visited = {root}
+        while len(order) < len(instance.active_nodes):
+            frontier = {
+                neighbor
+                for node in visited
+                for neighbor, _, _ in adjacency[node]
+                if neighbor not in visited
+            }
+            best = min(frontier, key=lambda n: (masks[n].bit_count(), n))
+            order.append(best)
+            visited.add(best)
+        return order
+
+    @staticmethod
+    def _is_acyclic(instance: QueryInstance) -> bool:
+        from repro.matching.matcher import SubgraphMatcher
+
+        return SubgraphMatcher._is_acyclic(instance)
+
+    def _materialize(
+        self, masks: MaskMap, labels: Dict[str, str]
+    ) -> Dict[str, Set[int]]:
+        """Mask map → plain candidate sets (the public MatchResult view)."""
+        return {
+            node_id: self.bitsets.to_ids(labels[node_id], mask)
+            for node_id, mask in masks.items()
+        }
+
+    def _publish(self, work: _Work) -> None:
+        if work.intersections:
+            self.metrics.inc("matcher.bitset.mask_intersections", work.intersections)

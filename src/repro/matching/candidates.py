@@ -48,13 +48,15 @@ def initial_candidates(
         pool: Set[int]
         if restrict is not None and node_id in restrict:
             pool = set(restrict[node_id])
+            graph = indexes.graph
             for literal in literals:
-                graph = indexes.graph
                 pool = {
                     v
                     for v in pool
                     if literal.holds_for(graph.attribute(v, literal.attribute))
                 }
+                if not pool:
+                    break
         else:
             pool = set(indexes.candidate_pool(label))
             for literal in literals:

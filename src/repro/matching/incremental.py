@@ -116,12 +116,20 @@ class IncrementalVerifier:
             return cached
 
         restrict = None
+        restrict_masks = None
         if self.use_incremental and parent is not None:
             parent_result = self._cache.get(parent.instantiation.key)
             if parent_result is not None and parent_result.candidates:
-                restrict = parent_result.candidates
+                # Bitset-engine parents carry their candidate masks; seeding
+                # from those skips the per-node set→mask conversion.
+                if parent_result.candidate_masks is not None:
+                    restrict_masks = parent_result.candidate_masks
+                else:
+                    restrict = parent_result.candidates
                 metrics.inc("evaluator.incremental")
-        result = self.matcher.match(instance, restrict=restrict)
+        result = self.matcher.match(
+            instance, restrict=restrict, restrict_masks=restrict_masks
+        )
         self._cache[key] = result
         metrics.inc("evaluator.cache_misses")
         if self.max_entries is not None and len(self._cache) > self.max_entries:

@@ -32,12 +32,16 @@ class MatchResult:
         backtrack_calls: Number of recursive extension calls performed
             (work counter for the efficiency experiments).
         pruned_candidates: Candidates removed by arc consistency.
+        candidate_masks: The same candidate map as per-label bitmasks,
+            present only when the bitset engine produced the result —
+            children seeded from this result skip the set→mask round trip.
     """
 
     matches: FrozenSet[int]
     candidates: CandidateMap
     backtrack_calls: int = 0
     pruned_candidates: int = 0
+    candidate_masks: Optional[Dict[str, int]] = None
 
     @property
     def cardinality(self) -> int:
@@ -62,7 +66,13 @@ class SubgraphMatcher:
         metrics: Registry receiving the ``matcher.*`` work counters
             (a private one is created when omitted). Instrumentation
             never affects match results.
+        engine: ``"set"`` (the original per-instance set pipeline) or
+            ``"bitset"`` (:class:`~repro.matching.bitset.BitsetEngine`,
+            mask pools + run-level literal-pool caching). Both produce
+            identical matches and candidate maps.
     """
+
+    ENGINES = ("set", "bitset")
 
     def __init__(
         self,
@@ -70,11 +80,24 @@ class SubgraphMatcher:
         indexes: Optional[GraphIndexes] = None,
         injective: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        engine: str = "set",
     ) -> None:
+        if engine not in self.ENGINES:
+            raise MatchingError(
+                f"unknown matcher engine {engine!r} (expected one of {self.ENGINES})"
+            )
         self.graph = graph
         self.indexes = indexes or GraphIndexes(graph)
         self.injective = injective
         self.metrics = metrics or MetricsRegistry()
+        self.engine = engine
+        self._bitset = None
+        if engine == "bitset":
+            from repro.matching.bitset import BitsetEngine
+
+            self._bitset = BitsetEngine(
+                self.indexes, injective=injective, metrics=self.metrics
+            )
         # Pre-register the headline counters so exports always carry them,
         # even for runs that never hit the corresponding path.
         for name in (
@@ -94,13 +117,33 @@ class SubgraphMatcher:
         self,
         instance: QueryInstance,
         restrict: Optional[Mapping[str, Set[int]]] = None,
+        restrict_masks: Optional[Mapping[str, int]] = None,
+        first_only: bool = False,
     ) -> MatchResult:
         """Compute ``q(G)`` (and per-node candidate sets) for ``instance``.
 
         ``restrict`` bounds each query node's initial candidates — the
         incremental-verification hook (see
-        :class:`~repro.matching.incremental.IncrementalVerifier`).
+        :class:`~repro.matching.incremental.IncrementalVerifier`);
+        ``restrict_masks`` is its mask-native variant (bitset engine
+        results carry one). ``first_only`` stops after the first confirmed
+        output match — the ``exists()`` fast path; the returned ``matches``
+        is then a (possibly partial) witness set, candidates stay complete.
         """
+        if self._bitset is not None:
+            return self._bitset.match(
+                instance,
+                restrict=restrict,
+                restrict_masks=restrict_masks,
+                first_only=first_only,
+            )
+        if restrict is None and restrict_masks is not None:
+            bitsets = self.indexes.bitsets
+            restrict = {
+                node_id: bitsets.to_ids(instance.node_label(node_id), mask)
+                for node_id, mask in restrict_masks.items()
+                if node_id in instance.active_nodes
+            }
         metrics = self.metrics
         metrics.inc("matcher.match_calls")
         candidates = initial_candidates(self.indexes, instance, restrict)
@@ -137,6 +180,8 @@ class SubgraphMatcher:
                     instance, adjacency, candidates, order, {output: v}, 1, counter
                 ):
                     matches.add(v)
+                    if first_only:
+                        break
             metrics.inc("matcher.backtrack_calls", counter.calls)
         return MatchResult(
             frozenset(matches),
@@ -146,8 +191,14 @@ class SubgraphMatcher:
         )
 
     def exists(self, instance: QueryInstance) -> bool:
-        """True iff ``q(G)`` is non-empty (cheaper early-exit path)."""
-        return bool(self.match(instance).matches)
+        """True iff ``q(G)`` is non-empty (cheaper early-exit path).
+
+        Short-circuits the backtracking sweep after the first extendable
+        output candidate instead of computing the full match set; the
+        candidate-pruning stages (where infeasible instances already die)
+        run unchanged.
+        """
+        return bool(self.match(instance, first_only=True).matches)
 
     def match_outputs(
         self,
@@ -165,6 +216,8 @@ class SubgraphMatcher:
         for output in outputs:
             if output not in instance.active_nodes:
                 raise MatchingError(f"output node {output!r} not active in instance")
+        if self._bitset is not None:
+            return self._bitset.match_outputs(instance, outputs, restrict=restrict)
         self.metrics.inc("matcher.match_outputs_calls")
         candidates = initial_candidates(self.indexes, instance, restrict)
         if any(not pool for pool in candidates.values()):

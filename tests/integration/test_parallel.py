@@ -39,3 +39,42 @@ class TestParallelQGen:
         assert result.stats.generated > 0
         assert result.stats.verified == result.stats.generated
         assert result.stats.feasible > 0
+
+    def test_serial_run_publishes_counters(self, talent_config):
+        algo = ParallelQGen(talent_config, workers=1)
+        algo.run()
+        counters = algo.metrics.counters()
+        assert counters.get("gen.parallelqgen.generated", 0) > 0
+        assert counters.get("gen.parallelqgen.feasible", 0) > 0
+        assert counters.get("matcher.match_calls", 0) > 0
+        assert algo.metrics.spans, "parallel.run trace span missing"
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+    def test_parallel_run_aggregates_worker_counters(self, talent_config):
+        """Worker-side matcher/evaluator work must land in the parent
+        registry, matching the serial fallback's counter values."""
+        serial = ParallelQGen(talent_config, workers=1)
+        serial.run()
+        forked = ParallelQGen(talent_config, workers=2, batch_size=4)
+        forked.run()
+        serial_counters = serial.metrics.counters()
+        forked_counters = forked.metrics.counters()
+        for name in (
+            "matcher.match_calls",
+            "matcher.backtrack_calls",
+            "matcher.ac_removed",
+            "evaluator.cache_misses",
+        ):
+            assert forked_counters.get(name) == serial_counters.get(name), name
+        assert forked_counters.get("gen.parallelqgen.verified") == serial_counters.get(
+            "gen.parallelqgen.verified"
+        )
+
+    @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+    def test_parallel_bitset_engine_matches_enum(self, talent_config):
+        from dataclasses import replace
+
+        config = replace(talent_config, matcher_engine="bitset")
+        enum = EnumQGen(talent_config).run()
+        parallel = ParallelQGen(config, workers=2, batch_size=4).run()
+        assert objective_set(parallel) == objective_set(enum)

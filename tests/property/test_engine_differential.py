@@ -1,0 +1,197 @@
+"""Differential testing: the bitset engine against the set engine and oracle.
+
+Both engines implement the same contract (initial candidates → AC-3 →
+backtracking) over different data representations, so on every random draw
+they must return identical match sets *and* identical candidate maps — the
+bitset engine's masks are just another encoding of the same pools. The
+exponential oracle in ``matching/reference.py`` anchors both to the
+semantics. The suite also covers the incremental parent-seeded path (mask
+restriction must equal set restriction) and ``injective=True``.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.matching import SubgraphMatcher, naive_match_set
+from repro.matching.incremental import IncrementalVerifier
+from repro.query import Instantiation, Op, QueryInstance, QueryTemplate
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw):
+    """A random graph with ≤7 nodes, labels a/b, attribute x ∈ [0, 5]."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    graph = AttributedGraph("random")
+    for i in range(n):
+        label = draw(st.sampled_from(["a", "b"]))
+        x = draw(st.integers(min_value=0, max_value=5))
+        graph.add_node(i, label, {"x": x})
+    possible = [(i, j) for i in range(n) for j in range(n) if i != j]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=min(14, len(possible)), unique=True)
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target, "e")
+    return graph.freeze()
+
+
+def path_template():
+    return (
+        QueryTemplate.builder("path")
+        .node("u0", "a")
+        .node("u1", "b")
+        .fixed_edge("u1", "u0", "e")
+        .range_var("xl", "u1", "x", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+def star_template():
+    return (
+        QueryTemplate.builder("star")
+        .node("u0", "a")
+        .node("u1", "b")
+        .node("u2", "b")
+        .fixed_edge("u1", "u0", "e")
+        .edge_var("xe", "u2", "u0", "e")
+        .range_var("xl", "u0", "x", Op.LE)
+        .output("u0")
+        .build()
+    )
+
+
+def triangle_template():
+    return (
+        QueryTemplate.builder("triangle")
+        .node("u0", "a")
+        .node("u1", "a")
+        .node("u2", "a")
+        .fixed_edge("u0", "u1", "e")
+        .fixed_edge("u1", "u2", "e")
+        .edge_var("xe", "u2", "u0", "e")
+        .output("u0")
+        .build()
+    )
+
+
+TEMPLATES = [path_template(), star_template(), triangle_template()]
+
+
+def build_instance(template, bound, edge_bit):
+    bindings = {}
+    if "xl" in template.variable_names():
+        bindings["xl"] = bound
+    if "xe" in template.variable_names():
+        bindings["xe"] = edge_bit
+    return QueryInstance(Instantiation(template, bindings))
+
+
+def assert_results_equal(by_set, by_bit, graph=None, instance=None):
+    assert by_set.matches == by_bit.matches
+    assert by_set.candidates == by_bit.candidates
+    assert by_set.pruned_candidates == by_bit.pruned_candidates
+    if graph is not None:
+        assert by_bit.matches == naive_match_set(graph, instance)
+
+
+class TestEngineAgreement:
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        template_index=st.integers(min_value=0, max_value=2),
+        bound=st.integers(min_value=0, max_value=5),
+        edge_bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_match_and_candidates_identical(
+        self, graph, template_index, bound, edge_bit
+    ):
+        instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
+        by_set = SubgraphMatcher(graph).match(instance)
+        by_bit = SubgraphMatcher(graph, engine="bitset").match(instance)
+        assert_results_equal(by_set, by_bit, graph, instance)
+
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        template_index=st.integers(min_value=0, max_value=2),
+        bound=st.integers(min_value=0, max_value=5),
+        edge_bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_injective_engines_agree(self, graph, template_index, bound, edge_bit):
+        instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
+        by_set = SubgraphMatcher(graph, injective=True).match(instance)
+        by_bit = SubgraphMatcher(graph, injective=True, engine="bitset").match(instance)
+        assert by_set.matches == by_bit.matches
+        assert by_set.candidates == by_bit.candidates
+        assert by_bit.matches == naive_match_set(graph, instance, injective=True)
+
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        template_index=st.integers(min_value=0, max_value=2),
+        bound=st.integers(min_value=0, max_value=5),
+        edge_bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_exists_agrees(self, graph, template_index, bound, edge_bit):
+        instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
+        by_set = SubgraphMatcher(graph).exists(instance)
+        by_bit = SubgraphMatcher(graph, engine="bitset").exists(instance)
+        assert by_set == by_bit == bool(naive_match_set(graph, instance))
+
+
+class TestIncrementalParentSeeding:
+    @SETTINGS
+    @given(
+        graph=random_graphs(),
+        parent_bound=st.integers(min_value=0, max_value=3),
+        child_extra=st.integers(min_value=0, max_value=2),
+    )
+    def test_mask_seeding_equals_set_seeding(self, graph, parent_bound, child_extra):
+        """A child verified from a bitset parent (mask restriction) must
+        equal the same child verified from a set parent (set restriction)
+        and a from-scratch match."""
+        template = path_template()
+        parent = QueryInstance(Instantiation(template, {"xl": parent_bound}))
+        child = QueryInstance(
+            Instantiation(template, {"xl": parent_bound + child_extra})
+        )
+
+        set_matcher = SubgraphMatcher(graph)
+        bit_matcher = SubgraphMatcher(graph, engine="bitset")
+        parent_set = set_matcher.match(parent)
+        parent_bit = bit_matcher.match(parent)
+        assert parent_bit.candidate_masks is not None
+
+        seeded_set = set_matcher.match(child, restrict=parent_set.candidates)
+        seeded_bit = bit_matcher.match(
+            child, restrict_masks=parent_bit.candidate_masks
+        )
+        fresh = SubgraphMatcher(graph).match(child)
+        assert seeded_bit.matches == seeded_set.matches == fresh.matches
+        assert seeded_bit.candidates == seeded_set.candidates
+
+    @SETTINGS
+    @given(graph=random_graphs(), parent_bound=st.integers(min_value=0, max_value=3))
+    def test_incremental_verifier_engines_agree(self, graph, parent_bound):
+        """IncrementalVerifier takes the mask-native path on bitset parents
+        and the set path otherwise; both must produce the from-scratch
+        match set for the child."""
+        template = path_template()
+        parent = QueryInstance(Instantiation(template, {"xl": parent_bound}))
+        child = QueryInstance(Instantiation(template, {"xl": parent_bound + 1}))
+        outcomes = {}
+        for engine in ("set", "bitset"):
+            matcher = SubgraphMatcher(graph, engine=engine)
+            verifier = IncrementalVerifier(matcher)
+            verifier.verify(parent)
+            result = verifier.verify(child, parent=parent)
+            outcomes[engine] = result.matches
+        assert outcomes["set"] == outcomes["bitset"]
+        assert outcomes["bitset"] == naive_match_set(graph, child)

@@ -1,0 +1,227 @@
+"""Unit tests for the bitset matching engine and its index substrate."""
+
+import pytest
+
+from repro.core.config import GenerationConfig
+from repro.core.evaluator import InstanceEvaluator
+from repro.errors import ConfigurationError, MatchingError
+from repro.graph.indexes import GraphIndexes
+from repro.matching import LiteralPoolCache, SubgraphMatcher
+from repro.matching.bitset import iter_bits
+from repro.obs import MetricsRegistry
+from repro.query import Instantiation, Literal, Op, QueryInstance
+
+
+def talent_instance(template, **bindings):
+    return QueryInstance(Instantiation(template, bindings))
+
+
+class TestBitsetIndex:
+    def test_enumeration_is_sorted_and_stable(self, talent_graph):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        order = bitsets.order("person")
+        assert list(order) == sorted(order)
+        assert bitsets.order("person") is order  # cached
+        positions = bitsets.positions("person")
+        assert all(order[i] == v for v, i in positions.items())
+
+    def test_full_mask_covers_label(self, talent_graph):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        assert bitsets.full_mask("person").bit_count() == talent_graph.count_label(
+            "person"
+        )
+        assert bitsets.full_mask("org").bit_count() == 2
+        assert bitsets.full_mask("no-such-label") == 0
+
+    def test_mask_roundtrip(self, talent_graph, talent_ids):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        nodes = {talent_ids["d1"], talent_ids["r2"]}
+        mask = bitsets.mask_of("person", nodes)
+        assert bitsets.to_ids("person", mask) == nodes
+
+    def test_mask_of_ignores_foreign_ids(self, talent_graph, talent_ids):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        mask = bitsets.mask_of("org", {talent_ids["o_big"], talent_ids["d1"], 999})
+        assert bitsets.to_ids("org", mask) == {talent_ids["o_big"]}
+
+    def test_adjacency_row_directions(self, talent_graph, talent_ids):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        r1 = talent_ids["r1"]
+        out = bitsets.to_ids(
+            "person", bitsets.adjacency_row(r1, "recommend", True, "person")
+        )
+        assert out == {talent_ids["d1"], talent_ids["d2"], talent_ids["d4"]}
+        preds = bitsets.to_ids(
+            "person",
+            bitsets.adjacency_row(talent_ids["d2"], "recommend", False, "person"),
+        )
+        assert preds == {r1, talent_ids["r2"]}
+
+    def test_adjacency_rows_cached(self, talent_graph, talent_ids):
+        bitsets = GraphIndexes(talent_graph).bitsets
+        assert bitsets.cached_rows == 0
+        bitsets.adjacency_row(talent_ids["r1"], "recommend", True, "person")
+        bitsets.adjacency_row(talent_ids["r1"], "recommend", True, "person")
+        assert bitsets.cached_rows == 1
+
+
+class TestIterBits:
+    def test_yields_positions_low_first(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_bits(0)) == []
+
+
+class TestLiteralPoolCache:
+    def test_hit_miss_counters(self, talent_graph):
+        metrics = MetricsRegistry()
+        cache = LiteralPoolCache(GraphIndexes(talent_graph), metrics)
+        literal = Literal("yearsOfExp", Op.GE, 12)
+        first = cache.mask("person", literal)
+        second = cache.mask("person", literal)
+        assert first == second
+        assert metrics.value("matcher.bitset.literal_pool_misses") == 1
+        assert metrics.value("matcher.bitset.literal_pool_hits") == 1
+        assert len(cache) == 1
+
+    def test_distinct_constants_are_distinct_entries(self, talent_graph):
+        metrics = MetricsRegistry()
+        cache = LiteralPoolCache(GraphIndexes(talent_graph), metrics)
+        cache.mask("person", Literal("yearsOfExp", Op.GE, 5))
+        cache.mask("person", Literal("yearsOfExp", Op.GE, 12))
+        assert metrics.value("matcher.bitset.literal_pool_misses") == 2
+        assert len(cache) == 2
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self, talent_graph):
+        with pytest.raises(MatchingError):
+            SubgraphMatcher(talent_graph, engine="vectorized")
+
+    def test_config_validates_engine(self, talent_graph, talent_template, talent_groups):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(
+                talent_graph,
+                talent_template,
+                talent_groups,
+                epsilon=0.3,
+                matcher_engine="simd",
+            )
+
+    def test_evaluator_threads_engine(self, talent_config):
+        from dataclasses import replace
+
+        config = replace(talent_config, matcher_engine="bitset")
+        evaluator = InstanceEvaluator(config)
+        assert evaluator.matcher.engine == "bitset"
+        assert evaluator.matcher._bitset is not None
+
+
+class TestBitsetMatcher:
+    def test_agrees_with_set_engine(self, talent_graph, talent_template):
+        set_matcher = SubgraphMatcher(talent_graph)
+        bit_matcher = SubgraphMatcher(talent_graph, engine="bitset")
+        for xl1, xl2, xe1 in [(5, 100, 0), (12, 100, 1), (5, 1000, 0), (20, 100, 1)]:
+            q = talent_instance(talent_template, xl1=xl1, xl2=xl2, xe1=xe1)
+            a, b = set_matcher.match(q), bit_matcher.match(q)
+            assert a.matches == b.matches
+            assert a.candidates == b.candidates
+            assert a.pruned_candidates == b.pruned_candidates
+
+    def test_candidate_masks_mirror_candidates(self, talent_graph, talent_template):
+        matcher = SubgraphMatcher(talent_graph, engine="bitset")
+        q = talent_instance(talent_template, xl1=5, xl2=100, xe1=0)
+        result = matcher.match(q)
+        assert result.candidate_masks is not None
+        bitsets = matcher.indexes.bitsets
+        for node_id, mask in result.candidate_masks.items():
+            label = q.node_label(node_id)
+            assert bitsets.to_ids(label, mask) == result.candidates[node_id]
+
+    def test_set_engine_has_no_masks(self, talent_graph, talent_template):
+        result = SubgraphMatcher(talent_graph).match(
+            talent_instance(talent_template, xl1=5, xl2=100, xe1=0)
+        )
+        assert result.candidate_masks is None
+
+    def test_restrict_sets_accepted(self, talent_graph, talent_template, talent_ids):
+        matcher = SubgraphMatcher(talent_graph, engine="bitset")
+        q = talent_instance(talent_template, xl1=5, xl2=100, xe1=0)
+        full = matcher.match(q)
+        restricted = matcher.match(q, restrict={"u0": {talent_ids["d2"]}})
+        assert restricted.matches <= full.matches
+        assert restricted.matches == {talent_ids["d2"]} & full.matches
+
+    def test_restrict_masks_accepted(self, talent_graph, talent_template):
+        matcher = SubgraphMatcher(talent_graph, engine="bitset")
+        q = talent_instance(talent_template, xl1=5, xl2=100, xe1=0)
+        parent = matcher.match(q)
+        child = talent_instance(talent_template, xl1=12, xl2=100, xe1=0)
+        seeded = matcher.match(child, restrict_masks=parent.candidate_masks)
+        fresh = matcher.match(child)
+        assert seeded.matches == fresh.matches
+        assert seeded.candidates == fresh.candidates
+
+    def test_literal_pool_hits_across_siblings(self, talent_graph, talent_template):
+        matcher = SubgraphMatcher(talent_graph, engine="bitset")
+        # Siblings share xl2/xe1 literals and vary xl1 — the shared
+        # literal masks must be cache hits after the first instance.
+        for xl1 in (5, 8, 12, 15):
+            matcher.match(talent_instance(talent_template, xl1=xl1, xl2=100, xe1=0))
+        assert matcher.metrics.value("matcher.bitset.literal_pool_hits") > 0
+        assert matcher.metrics.value("matcher.bitset.mask_intersections") > 0
+
+    def test_match_outputs_agrees(self, talent_graph, talent_template):
+        q = talent_instance(talent_template, xl1=5, xl2=100, xe1=1)
+        outputs = sorted(q.active_nodes)
+        by_set = SubgraphMatcher(talent_graph).match_outputs(q, outputs)
+        by_bit = SubgraphMatcher(talent_graph, engine="bitset").match_outputs(
+            q, outputs
+        )
+        assert by_set == by_bit
+
+    def test_match_outputs_validates(self, talent_graph, talent_template):
+        q = talent_instance(talent_template, xl1=5, xl2=100, xe1=0)
+        with pytest.raises(MatchingError):
+            SubgraphMatcher(talent_graph, engine="bitset").match_outputs(q, ["zz"])
+
+
+class TestExistsEarlyExit:
+    def test_exists_agrees_with_match(self, triangle_graph):
+        from repro.query import QueryTemplate
+
+        template = (
+            QueryTemplate.builder("tri")
+            .node("u0", "a")
+            .node("u1", "a")
+            .node("u2", "a")
+            .fixed_edge("u0", "u1", "e")
+            .fixed_edge("u1", "u2", "e")
+            .fixed_edge("u2", "u0", "e")
+            .output("u0")
+            .build()
+        )
+        q = QueryInstance(Instantiation(template, {}))
+        for engine in ("set", "bitset"):
+            matcher = SubgraphMatcher(triangle_graph, engine=engine)
+            assert matcher.exists(q) == bool(matcher.match(q).matches)
+
+    def test_exists_does_less_backtracking(self, triangle_graph):
+        from repro.query import QueryTemplate
+
+        template = (
+            QueryTemplate.builder("tri")
+            .node("u0", "a")
+            .node("u1", "a")
+            .node("u2", "a")
+            .fixed_edge("u0", "u1", "e")
+            .fixed_edge("u1", "u2", "e")
+            .fixed_edge("u2", "u0", "e")
+            .output("u0")
+            .build()
+        )
+        q = QueryInstance(Instantiation(template, {}))
+        full = SubgraphMatcher(triangle_graph).match(q)
+        assert len(full.matches) > 1  # several witnesses to skip
+        early = SubgraphMatcher(triangle_graph).match(q, first_only=True)
+        assert len(early.matches) == 1
+        assert early.backtrack_calls < full.backtrack_calls
