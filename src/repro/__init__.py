@@ -45,6 +45,14 @@ from repro.datasets import dataset_bundle, dataset_names
 from repro.graph import AttributedGraph, GraphBuilder
 from repro.groups import GroupSet, NodeGroup
 from repro.query import Instantiation, Literal, Op, QueryInstance, QueryTemplate
+from repro.runtime import (
+    Budget,
+    CancellationToken,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    TruncationReason,
+)
 from repro.session import FairSQGSession
 from repro.workload import TemplateGenerator, TemplateSpec
 
@@ -77,6 +85,12 @@ __all__ = [
     "normalized_epsilon_indicator",
     "r_indicator",
     "ParallelQGen",
+    "Budget",
+    "CancellationToken",
+    "TruncationReason",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultKind",
     "MultiOutputQGen",
     "PageRankRelevance",
     "pagerank",

@@ -11,6 +11,12 @@ Subcommands:
 ``generate``, ``online`` and ``experiment`` accept ``--metrics PATH`` to
 write the run's full work-counter snapshot (the ``repro.obs`` registry)
 as JSON; a ``.prom`` suffix selects the Prometheus text format instead.
+
+``generate`` and ``online`` accept execution-budget flags
+(``--deadline`` / ``--max-instances`` / ``--max-backtracks``); on
+exhaustion the run stops at the next checkpoint and prints its current
+ε-Pareto set as a flagged partial result (exit code stays 0 — a
+truncated anytime result is a valid result).
 """
 
 from __future__ import annotations
@@ -88,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--metrics", default=None, metavar="PATH",
                           help="write the work-counter snapshot here "
                           "(JSON; use a .prom suffix for Prometheus text)")
+    _add_budget_flags(generate)
 
     online = sub.add_parser("online", help="run OnlineQGen over a stream")
     online.add_argument("--dataset", choices=dataset_names(), default="lki")
@@ -102,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--seed", type=int, default=0)
     online.add_argument("--metrics", default=None, metavar="PATH",
                         help="write the work-counter snapshot here")
+    _add_budget_flags(online)
 
     experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
     experiment.add_argument(
@@ -152,6 +160,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    budget = parser.add_argument_group("execution budget")
+    budget.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget; on expiry the run returns "
+                        "its current ε-Pareto set as a partial result")
+    budget.add_argument("--max-instances", type=int, default=None, metavar="N",
+                        help="stop after N verified instances")
+    budget.add_argument("--max-backtracks", type=int, default=None, metavar="N",
+                        help="stop after N matcher backtrack calls")
+
+
+def _budget_from_args(args):
+    """A Budget built from the CLI flags, or None when all are unset."""
+    deadline = getattr(args, "deadline", None)
+    max_instances = getattr(args, "max_instances", None)
+    max_backtracks = getattr(args, "max_backtracks", None)
+    if deadline is None and max_instances is None and max_backtracks is None:
+        return None
+    from repro.runtime import Budget
+
+    return Budget(
+        deadline_seconds=deadline,
+        max_instances=max_instances,
+        max_backtracks=max_backtracks,
+    )
+
+
+def _print_truncation_notice(result) -> None:
+    if result.truncated:
+        print(
+            f"NOTE: run truncated ({result.stats.truncation_reason}); "
+            "the printed set is a valid ε-Pareto front of the verified prefix."
+        )
+
+
 def _metrics_registry(args):
     """A fresh registry when ``--metrics`` was given, else None."""
     if getattr(args, "metrics", None):
@@ -200,9 +243,11 @@ def _cmd_generate(args) -> int:
         max_domain_values=args.domain_cap,
         metrics=registry,
         matcher_engine=args.engine,
+        budget=_budget_from_args(args),
     )
     algorithm = ALGORITHMS[args.algorithm](config)
     result = algorithm.run()
+    _print_truncation_notice(result)
     if registry is not None:
         _write_metrics(registry, args.metrics)
     if getattr(args, "report", False):
@@ -241,12 +286,14 @@ def _cmd_online(args) -> int:
         epsilon=args.epsilon,
         metrics=registry,
         matcher_engine=args.engine,
+        budget=_budget_from_args(args),
     )
     online = OnlineQGen(config, k=args.k, window=args.window)
     stream = random_instance_stream(
         config.template, online.lattice.domains, args.count, seed=args.seed
     )
     result = online.run(stream)
+    _print_truncation_notice(result)
     if registry is not None:
         _write_metrics(registry, args.metrics)
     rows = [

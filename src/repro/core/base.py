@@ -28,6 +28,7 @@ from repro.core.result import GenerationResult, RunStats
 from repro.core.update import EpsilonParetoArchive, UpdateCase
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import current_registry
+from repro.runtime.budget import ExecutionGuard
 
 
 class QGenAlgorithm:
@@ -47,7 +48,16 @@ class QGenAlgorithm:
         # One registry per algorithm instance: counters stay per-run even
         # when many algorithms share a config (parameter sweeps).
         self.metrics = MetricsRegistry()
-        self.evaluator = InstanceEvaluator(config, metrics=self.metrics)
+        # The run's budget/cancellation enforcement point, shared with the
+        # evaluator and matcher so every layer probes the same guard.
+        # Inert (no counters, no-op checkpoints) when the config carries
+        # neither a budget nor a token.
+        self.runtime = ExecutionGuard(
+            config.budget, config.cancellation, metrics=self.metrics
+        )
+        self.evaluator = InstanceEvaluator(
+            config, metrics=self.metrics, guard=self.runtime
+        )
         self.lattice = InstanceLattice(config, metrics=self.metrics)
         self._trace: List[tuple] = []
 
@@ -89,11 +99,17 @@ class QGenAlgorithm:
             "archive_updates",
         ):
             self.metrics.counter(f"{namespace}.{suffix}")
+        self.runtime.arm()
 
     def _offer(
         self, archive: EpsilonParetoArchive, evaluated: EvaluatedInstance
     ) -> UpdateCase:
-        """Offer to the archive, counting offers and accepted updates."""
+        """Offer to the archive, counting offers and accepted updates.
+
+        The budget checkpoint runs *before* the archive mutation, so a
+        truncated run never leaves a half-applied Update case behind.
+        """
+        self.runtime.checkpoint()
         case = archive.offer(evaluated)
         self._inc("archive_offers")
         if case is not UpdateCase.REJECTED:
@@ -113,6 +129,9 @@ class QGenAlgorithm:
         elapsed = stats.elapsed_seconds
         stats.fill_from_registry(self.metrics, namespace)
         stats.elapsed_seconds = elapsed
+        if self.runtime.tripped is not None:
+            stats.truncated = True
+            stats.truncation_reason = self.runtime.tripped.value
         verified_counter = self.metrics.counter(f"{namespace}.verified")
         verified_counter.inc(stats.verified - verified_counter.value)
         self.metrics.set(f"{namespace}.elapsed_seconds", stats.elapsed_seconds)

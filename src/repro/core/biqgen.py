@@ -26,6 +26,7 @@ from repro.core.result import GenerationResult, timed
 from repro.core.update import EpsilonParetoArchive
 from repro.query.instance import QueryInstance
 from repro.query.refinement import refines, strictly_refines
+from repro.runtime.budget import ExecutionInterrupt
 
 
 class _SandwichBounds:
@@ -93,17 +94,23 @@ class BiQGen(QGenAlgorithm):
             backward.append(self.lattice.bottom())
             self._inc("generated", 2)
 
-            while forward or backward:
-                if forward:
-                    self._forward_step(
-                        forward, visited, bounds, archive, stats,
-                        forward_feasible, backward_feasible, epsilon,
-                    )
-                if backward:
-                    self._backward_step(
-                        backward, visited, bounds, archive, stats,
-                        forward_feasible, backward_feasible, epsilon,
-                    )
+            try:
+                while forward or backward:
+                    self.runtime.checkpoint()
+                    if forward:
+                        self._forward_step(
+                            forward, visited, bounds, archive, stats,
+                            forward_feasible, backward_feasible, epsilon,
+                        )
+                    if backward:
+                        self._backward_step(
+                            backward, visited, bounds, archive, stats,
+                            forward_feasible, backward_feasible, epsilon,
+                        )
+            except ExecutionInterrupt:
+                # Both frontiers halt; the shared archive is a valid
+                # ε-Pareto set of everything verified so far.
+                pass
             self.metrics.set("gen.biqgen.sandwich_bounds", len(bounds))
 
         stats = self._finalize_stats(stats)

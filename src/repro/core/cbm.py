@@ -19,6 +19,7 @@ from repro.core.config import GenerationConfig
 from repro.core.evaluator import EvaluatedInstance
 from repro.core.pareto import pareto_front
 from repro.core.result import GenerationResult, timed
+from repro.runtime.budget import ExecutionInterrupt
 
 
 class CBM(QGenAlgorithm):
@@ -41,14 +42,20 @@ class CBM(QGenAlgorithm):
         stats = self._base_stats()
         solutions: List[EvaluatedInstance] = []
         with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
-            instances = self.lattice.enumerate_instances()
-            self._inc("generated", len(instances))
             feasible: List[EvaluatedInstance] = []
-            for instance in instances:
-                evaluated = self.evaluator.evaluate(instance)
-                if evaluated.feasible:
-                    self._inc("feasible")
-                    feasible.append(evaluated)
+            try:
+                instances = self.lattice.enumerate_instances()
+                self._inc("generated", len(instances))
+                for instance in instances:
+                    self.runtime.checkpoint()
+                    evaluated = self.evaluator.evaluate(instance)
+                    if evaluated.feasible:
+                        self._inc("feasible")
+                        feasible.append(evaluated)
+            except ExecutionInterrupt:
+                # Truncated: sweep whatever was verified — the anchors and
+                # thresholds are simply those of the prefix.
+                pass
             if feasible:
                 solutions = self._sweep(feasible)
         stats = self._finalize_stats(stats)

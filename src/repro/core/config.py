@@ -20,6 +20,7 @@ from repro.graph.indexes import GraphIndexes
 from repro.groups.groups import GroupSet
 from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
+from repro.runtime.budget import Budget, CancellationToken
 
 
 @dataclass
@@ -52,6 +53,14 @@ class GenerationConfig:
             into which generators publish their per-run work counters
             (``fairsqg ... --metrics`` plugs in here). Never changes
             results — only observability.
+        budget: Optional :class:`~repro.runtime.budget.Budget` bounding
+            the run (deadline / max instances / max backtracks). On
+            exhaustion the generator returns its current ε-Pareto archive
+            as a valid partial result with ``RunStats.truncated`` set.
+        cancellation: Optional cooperative
+            :class:`~repro.runtime.budget.CancellationToken`; cancelling
+            it truncates the run at the next checkpoint, same contract
+            as budget exhaustion.
     """
 
     graph: AttributedGraph
@@ -69,6 +78,8 @@ class GenerationConfig:
     matcher_engine: str = "set"
     verifier_max_entries: Optional[int] = None
     metrics: Optional[MetricsRegistry] = None
+    budget: Optional[Budget] = None
+    cancellation: Optional[CancellationToken] = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -123,3 +134,7 @@ class GenerationConfig:
     def with_template(self, template: QueryTemplate) -> "GenerationConfig":
         """Copy with a different template."""
         return replace(self, template=template)
+
+    def with_budget(self, budget: Optional[Budget]) -> "GenerationConfig":
+        """Copy with a different execution budget (None removes it)."""
+        return replace(self, budget=budget)

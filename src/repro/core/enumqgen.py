@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.base import QGenAlgorithm
 from repro.core.result import GenerationResult, timed
 from repro.core.update import EpsilonParetoArchive
+from repro.runtime.budget import ExecutionInterrupt
 
 
 class EnumQGen(QGenAlgorithm):
@@ -24,14 +25,20 @@ class EnumQGen(QGenAlgorithm):
         stats = self._base_stats()
         archive = EpsilonParetoArchive(self.config.epsilon)
         with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
-            instances = self.lattice.enumerate_instances()
-            self._inc("generated", len(instances))
-            for instance in instances:
-                evaluated = self.evaluator.evaluate(instance)
-                if evaluated.feasible:
-                    self._inc("feasible")
-                    self._offer(archive, evaluated)
-                self._maybe_trace(archive.instances())
+            try:
+                instances = self.lattice.enumerate_instances()
+                self._inc("generated", len(instances))
+                for instance in instances:
+                    self.runtime.checkpoint()
+                    evaluated = self.evaluator.evaluate(instance)
+                    if evaluated.feasible:
+                        self._inc("feasible")
+                        self._offer(archive, evaluated)
+                    self._maybe_trace(archive.instances())
+            except ExecutionInterrupt:
+                # Budget exhausted / cancelled: the archive is a valid
+                # ε-Pareto set of everything verified so far — return it.
+                pass
         stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,

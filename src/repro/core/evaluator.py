@@ -18,6 +18,7 @@ from repro.matching.incremental import IncrementalVerifier
 from repro.matching.matcher import SubgraphMatcher
 from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
+from repro.runtime.budget import NULL_GUARD, ExecutionGuard
 
 
 @dataclass(frozen=True)
@@ -67,19 +68,29 @@ class InstanceEvaluator:
             omitted, ``config.metrics`` is used if set, else a private
             registry — so standalone evaluators stay self-contained and
             generator-owned evaluators share the run's registry.
+        guard: The run's :class:`~repro.runtime.budget.ExecutionGuard`,
+            probed at every evaluation and shared with the matcher.
+            Standalone evaluators default to the inert guard (no budget
+            enforcement); generator-owned evaluators receive the
+            algorithm's guard.
     """
 
     def __init__(
-        self, config: GenerationConfig, metrics: Optional[MetricsRegistry] = None
+        self,
+        config: GenerationConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        guard: Optional[ExecutionGuard] = None,
     ) -> None:
         self.config = config
         self.metrics = metrics or config.metrics or MetricsRegistry()
+        self.guard = guard if guard is not None else NULL_GUARD
         self.matcher = SubgraphMatcher(
             config.graph,
             config.build_indexes(),
             injective=config.injective,
             metrics=self.metrics,
             engine=config.matcher_engine,
+            guard=self.guard,
         )
         self.verifier = IncrementalVerifier(
             self.matcher,
@@ -105,6 +116,9 @@ class InstanceEvaluator:
         its per-node candidate sets bound the child's (Lemma 2), cutting the
         verification cost.
         """
+        # Budget probe before any work (and before the memo store below,
+        # so an interrupted evaluation never caches a partial result).
+        self.guard.checkpoint()
         self.metrics.inc("evaluator.eval_calls")
         key = instance.instantiation.key
         cached = self._evaluated.get(key)

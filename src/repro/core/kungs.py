@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.base import QGenAlgorithm
 from repro.core.kung import kung_front
 from repro.core.result import GenerationResult, timed
+from repro.runtime.budget import ExecutionInterrupt
 
 
 class Kungs(QGenAlgorithm):
@@ -23,13 +24,19 @@ class Kungs(QGenAlgorithm):
         stats = self._base_stats()
         feasible = []
         with timed(stats), self.metrics.trace(f"{self.metrics_namespace}.run"):
-            instances = self.lattice.enumerate_instances()
-            self._inc("generated", len(instances))
-            for instance in instances:
-                evaluated = self.evaluator.evaluate(instance)
-                if evaluated.feasible:
-                    self._inc("feasible")
-                    feasible.append(evaluated)
+            try:
+                instances = self.lattice.enumerate_instances()
+                self._inc("generated", len(instances))
+                for instance in instances:
+                    self.runtime.checkpoint()
+                    evaluated = self.evaluator.evaluate(instance)
+                    if evaluated.feasible:
+                        self._inc("feasible")
+                        feasible.append(evaluated)
+            except ExecutionInterrupt:
+                # Truncated: Kung's front of the verified prefix is still
+                # an exact non-dominated set of what was seen.
+                pass
             front = kung_front(feasible)
         stats = self._finalize_stats(stats)
         front = sorted(front, key=lambda p: (-p.delta, -p.coverage))

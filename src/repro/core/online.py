@@ -32,6 +32,7 @@ from repro.core.evaluator import EvaluatedInstance
 from repro.core.result import GenerationResult, RunStats
 from repro.core.update import EpsilonParetoArchive, UpdateCase
 from repro.query.instance import QueryInstance
+from repro.runtime.budget import ExecutionInterrupt
 
 
 @dataclass
@@ -112,23 +113,29 @@ class OnlineQGen(QGenAlgorithm):
         t = 0
         start = time.perf_counter()
         with self.metrics.trace(f"{self.metrics_namespace}.run"):
-            for instance in stream:
-                tick = time.perf_counter()
-                t += 1
-                self._inc("generated")
-                evaluated = self.evaluator.evaluate(instance)
-                # Expire cached instances older than the window.
-                while cache and cache[0][0] < t - self.window + 1:
-                    cache.popleft()
-                    self._inc("window_expired")
-                if evaluated.feasible:
-                    self._inc("feasible")
-                    epsilon = self._maintain(evaluated, archive, cache, t, epsilon)
-                stats.delays.append(time.perf_counter() - tick)
-                if self.snapshot_every and t % self.snapshot_every == 0:
-                    self.snapshots.append(
-                        OnlineSnapshot(t, epsilon, archive.instances(), stats.delays[-1])
-                    )
+            try:
+                for instance in stream:
+                    self.runtime.checkpoint()
+                    tick = time.perf_counter()
+                    t += 1
+                    self._inc("generated")
+                    evaluated = self.evaluator.evaluate(instance)
+                    # Expire cached instances older than the window.
+                    while cache and cache[0][0] < t - self.window + 1:
+                        cache.popleft()
+                        self._inc("window_expired")
+                    if evaluated.feasible:
+                        self._inc("feasible")
+                        epsilon = self._maintain(evaluated, archive, cache, t, epsilon)
+                    stats.delays.append(time.perf_counter() - tick)
+                    if self.snapshot_every and t % self.snapshot_every == 0:
+                        self.snapshots.append(
+                            OnlineSnapshot(t, epsilon, archive.instances(), stats.delays[-1])
+                        )
+            except ExecutionInterrupt:
+                # Stream truncated: the maintained archive stays a valid
+                # size-≤k ε-Pareto set of the consumed prefix.
+                pass
         stats.elapsed_seconds = time.perf_counter() - start
         self.metrics.set(f"{self.metrics_namespace}.final_epsilon", epsilon)
         stats = self._finalize_stats(stats)
@@ -153,6 +160,9 @@ class OnlineQGen(QGenAlgorithm):
         epsilon: float,
     ) -> float:
         """Incrementalized Update; returns the possibly-enlarged ε."""
+        # Budget probe before any archive mutation: maintenance is atomic
+        # per instance, so a trip here leaves the archive untouched.
+        self.runtime.checkpoint()
         if len(archive) < self.k:
             case = self._offer(archive, evaluated)
             if case is UpdateCase.REJECTED:

@@ -12,13 +12,28 @@ Workers are forked (POSIX), so the graph and indexes are shared
 copy-on-write and never pickled; on platforms without ``fork`` (or with
 ``workers <= 1``) the implementation degrades to the sequential EnumQGen
 path with identical results.
+
+Fault tolerance: the scheduler tracks every batch individually
+(``apply_async`` instead of ``imap``), detects stuck or lost batches via a
+per-batch timeout (a ``multiprocessing.Pool`` silently drops the task of a
+worker that dies mid-batch — the pool respawns the *process* but never the
+*task*), and reschedules failed batches with bounded exponential backoff.
+A batch that exhausts its retries is evaluated in the parent as a last
+resort, so a run always completes with results identical to sequential
+EnumQGen. Recovery work is counted under ``runtime.worker_retries`` /
+``runtime.worker_timeouts`` / ``runtime.worker_failures`` /
+``runtime.parent_fallbacks`` / ``runtime.dead_workers_detected``; a
+seeded :class:`~repro.runtime.faults.FaultInjector` can deterministically
+kill workers, stall batches, or raise mid-evaluation to exercise all of
+these paths (``tests/integration/test_fault_tolerance.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.base import QGenAlgorithm
 from repro.core.config import GenerationConfig
@@ -27,30 +42,51 @@ from repro.core.result import GenerationResult, timed
 from repro.core.update import EpsilonParetoArchive
 from repro.query.instance import QueryInstance
 from repro.query.instantiation import Instantiation
+from repro.runtime.budget import ExecutionInterrupt
+from repro.runtime.faults import FaultInjector
 
 # Worker-side globals installed by the fork initializer.
 _WORKER_EVALUATOR: Optional[InstanceEvaluator] = None
 _WORKER_TEMPLATE = None
+_WORKER_FAULTS: Optional[FaultInjector] = None
 
 
-def _init_worker(config: GenerationConfig) -> None:
-    global _WORKER_EVALUATOR, _WORKER_TEMPLATE
+def _init_worker(
+    config: GenerationConfig, faults: Optional[FaultInjector] = None
+) -> None:
+    global _WORKER_EVALUATOR, _WORKER_TEMPLATE, _WORKER_FAULTS
     _WORKER_EVALUATOR = InstanceEvaluator(config)
     _WORKER_TEMPLATE = config.template
+    _WORKER_FAULTS = faults
 
 
-def _verify_batch(bindings_batch: Sequence[dict]) -> Tuple[List[tuple], dict]:
+def _verify_batch(
+    batch_index: int, attempt: int, bindings_batch: Sequence[dict]
+) -> Tuple[int, int, List[tuple], dict]:
     """Verify a batch of instantiations in a worker process.
 
-    Returns the compact result tuples plus the batch's *counter delta* —
-    the worker-side work (matcher/evaluator counters) this batch added to
-    the worker's private registry. The parent sums the deltas into its own
-    registry, so ``--metrics`` snapshots of parallel runs carry the same
-    counter set as sequential ones regardless of worker interleaving.
+    Returns ``(batch_index, attempt, results, counter_delta)``. The delta
+    is the worker-side work (matcher/evaluator counters) this batch added
+    to the worker's private registry; the parent folds exactly one delta
+    per batch index into its own registry, so ``--metrics`` snapshots of
+    parallel runs carry the same counter set as sequential ones regardless
+    of worker interleaving or retries.
+
+    ``batch_index``/``attempt`` identify the task for the fault injector
+    (faults key on them, so an injected failure does not recur on retry)
+    and let the parent discard stale completions of rescheduled batches.
     """
+    # Start every attempt from a clean memo: a failed attempt's partial
+    # work must not be silently reused by its retry, or the retry's
+    # counter delta under-reports and parallel/serial counter parity
+    # breaks. Across *successful* batches the memo never hits anyway
+    # (enumerated instances are distinct), so this costs nothing.
+    _WORKER_EVALUATOR.reset_counters()
     before = _WORKER_EVALUATOR.metrics.counters()
     results = []
-    for bindings in bindings_batch:
+    for call, bindings in enumerate(bindings_batch):
+        if _WORKER_FAULTS is not None:
+            _WORKER_FAULTS.maybe_fire(batch_index, attempt, call)
         instance = QueryInstance(Instantiation(_WORKER_TEMPLATE, bindings))
         evaluated = _WORKER_EVALUATOR.evaluate(instance)
         results.append(
@@ -64,7 +100,19 @@ def _verify_batch(bindings_batch: Sequence[dict]) -> Tuple[List[tuple], dict]:
         )
     after = _WORKER_EVALUATOR.metrics.counters()
     delta = {name: value - before.get(name, 0) for name, value in after.items()}
-    return results, delta
+    return batch_index, attempt, results, delta
+
+
+class _PendingBatch:
+    """Book-keeping for one in-flight batch (latest attempt only)."""
+
+    __slots__ = ("result", "batch", "attempt", "submitted_at")
+
+    def __init__(self, result, batch: Sequence[dict], attempt: int, submitted_at: float) -> None:
+        self.result = result
+        self.batch = batch
+        self.attempt = attempt
+        self.submitted_at = submitted_at
 
 
 class ParallelQGen(QGenAlgorithm):
@@ -74,6 +122,18 @@ class ParallelQGen(QGenAlgorithm):
         config: Generation configuration.
         workers: Process count (default: ``os.cpu_count()``, capped at 8).
         batch_size: Instances per worker task (larger batches amortize IPC).
+        batch_timeout: Seconds before an unfinished batch is declared lost
+            and rescheduled. This is also the dead-worker recovery latency:
+            a pool silently drops the task of a crashed worker, so the
+            timeout is what brings the batch back.
+        max_retries: Reschedule attempts per batch before the parent
+            evaluates it inline (the last-resort fallback).
+        retry_backoff: Base of the exponential backoff slept before a
+            reschedule (``retry_backoff * 2**attempt`` seconds).
+        poll_interval: Scheduler poll cadence in seconds.
+        fault_injector: Optional deterministic
+            :class:`~repro.runtime.faults.FaultInjector` shipped to the
+            workers (testing / chaos runs only).
     """
 
     name = "ParallelQGen"
@@ -83,10 +143,20 @@ class ParallelQGen(QGenAlgorithm):
         config: GenerationConfig,
         workers: Optional[int] = None,
         batch_size: int = 64,
+        batch_timeout: float = 30.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        poll_interval: float = 0.005,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__(config)
         self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
         self.batch_size = max(1, batch_size)
+        self.batch_timeout = batch_timeout
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self.poll_interval = poll_interval
+        self.fault_injector = fault_injector
 
     def run(self) -> GenerationResult:
         self._begin_run()
@@ -94,16 +164,17 @@ class ParallelQGen(QGenAlgorithm):
         archive = EpsilonParetoArchive(self.config.epsilon)
         with timed(stats):
             with self.metrics.trace("parallel.run"):
-                instances = self.lattice.enumerate_instances()
-                self._inc("generated", len(instances))
-                if self.workers <= 1 or not _fork_available():
-                    evaluated = self._verify_serial(instances)
-                else:
-                    evaluated = self._verify_parallel(instances)
-                for point in evaluated:
-                    if point.feasible:
-                        self._inc("feasible")
-                        self._offer(archive, point)
+                try:
+                    instances = self.lattice.enumerate_instances()
+                    self._inc("generated", len(instances))
+                    if self.workers <= 1 or not _fork_available():
+                        self._run_serial(instances, archive)
+                    else:
+                        self._run_parallel(instances, archive)
+                except ExecutionInterrupt:
+                    # Budget exhausted / cancelled: batches merged so far
+                    # already sit in the archive — a valid partial result.
+                    pass
         stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,
@@ -114,47 +185,171 @@ class ParallelQGen(QGenAlgorithm):
 
     # ------------------------------------------------------------------ #
 
-    def _verify_serial(
-        self, instances: Sequence[QueryInstance]
-    ) -> List[EvaluatedInstance]:
-        return [self.evaluator.evaluate(instance) for instance in instances]
+    def _offer_point(
+        self, point: EvaluatedInstance, archive: EpsilonParetoArchive
+    ) -> None:
+        if point.feasible:
+            self._inc("feasible")
+            self._offer(archive, point)
 
-    def _verify_parallel(
-        self, instances: Sequence[QueryInstance]
-    ) -> List[EvaluatedInstance]:
+    def _run_serial(
+        self, instances: Sequence[QueryInstance], archive: EpsilonParetoArchive
+    ) -> None:
+        for instance in instances:
+            self.runtime.checkpoint()
+            self._offer_point(self.evaluator.evaluate(instance), archive)
+
+    def _run_parallel(
+        self, instances: Sequence[QueryInstance], archive: EpsilonParetoArchive
+    ) -> None:
+        for name in (
+            "runtime.worker_retries",
+            "runtime.worker_timeouts",
+            "runtime.worker_failures",
+            "runtime.parent_fallbacks",
+            "runtime.dead_workers_detected",
+        ):
+            self.metrics.counter(name)
         bindings = [dict(i.instantiation) for i in instances]
         batches = [
             bindings[i : i + self.batch_size]
             for i in range(0, len(bindings), self.batch_size)
         ]
         context = multiprocessing.get_context("fork")
-        evaluated: List[EvaluatedInstance] = []
+        self._dead_pids: Set[int] = set()
+        self._live_pids: Set[int] = set()
         with context.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.config,),
+            initargs=(self.config, self.fault_injector),
         ) as pool:
-            for batch_results, counter_delta in pool.imap_unordered(
-                _verify_batch, batches
-            ):
-                # Fold the worker-side work into the parent registry before
-                # stats are finalized; summed deltas are interleaving-proof.
-                for name, value in counter_delta.items():
-                    self.metrics.inc(name, value)
-                for raw_bindings, matches, delta, coverage, feasible in batch_results:
-                    instance = QueryInstance(
-                        Instantiation(self.config.template, raw_bindings)
-                    )
-                    evaluated.append(
-                        EvaluatedInstance(
-                            instance=instance,
-                            matches=frozenset(matches),
-                            delta=delta,
-                            coverage=coverage,
-                            feasible=feasible,
-                        )
-                    )
-        return evaluated
+            # Baseline the worker pids before any batch is in flight, so a
+            # worker the pool reaps and replaces is noticed by its absence.
+            self._reap_dead_workers(pool)
+            pending: Dict[int, _PendingBatch] = {}
+            for index, batch in enumerate(batches):
+                pending[index] = self._submit(pool, index, batch, attempt=0)
+            while pending:
+                self.runtime.checkpoint()
+                self._reap_dead_workers(pool)
+                now = time.monotonic()
+                progressed = False
+                for index in sorted(pending):
+                    entry = pending[index]
+                    if entry.result.ready():
+                        progressed = True
+                        self._collect(pool, pending, index, archive)
+                    elif now - entry.submitted_at > self.batch_timeout:
+                        # Lost batch: either a stall or a worker death (the
+                        # pool respawns the process but drops its task).
+                        progressed = True
+                        self.metrics.inc("runtime.worker_timeouts")
+                        self._handle_failure(pool, pending, index, archive)
+                if pending and not progressed:
+                    time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------ #
+    # Scheduler internals
+    # ------------------------------------------------------------------ #
+
+    def _submit(
+        self, pool, index: int, batch: Sequence[dict], attempt: int
+    ) -> _PendingBatch:
+        result = pool.apply_async(_verify_batch, (index, attempt, batch))
+        return _PendingBatch(result, batch, attempt, time.monotonic())
+
+    def _collect(
+        self,
+        pool,
+        pending: Dict[int, _PendingBatch],
+        index: int,
+        archive: EpsilonParetoArchive,
+    ) -> None:
+        """Harvest a finished batch: merge on success, reschedule on error."""
+        entry = pending[index]
+        try:
+            returned_index, attempt, results, counter_delta = entry.result.get()
+        except Exception:
+            self.metrics.inc("runtime.worker_failures")
+            self._handle_failure(pool, pending, index, archive)
+            return
+        if returned_index != index or attempt != entry.attempt:
+            # Stale completion of an attempt we already rescheduled; the
+            # tracked attempt is still in flight — ignore this one so the
+            # batch's counters and offers land exactly once.
+            return
+        del pending[index]
+        # Fold the worker-side work into the parent registry before stats
+        # are finalized; one delta per batch index is interleaving-proof.
+        for name, value in counter_delta.items():
+            self.metrics.inc(name, value)
+        for raw_bindings, matches, delta, coverage, feasible in results:
+            instance = QueryInstance(
+                Instantiation(self.config.template, raw_bindings)
+            )
+            self._offer_point(
+                EvaluatedInstance(
+                    instance=instance,
+                    matches=frozenset(matches),
+                    delta=delta,
+                    coverage=coverage,
+                    feasible=feasible,
+                ),
+                archive,
+            )
+
+    def _handle_failure(
+        self,
+        pool,
+        pending: Dict[int, _PendingBatch],
+        index: int,
+        archive: EpsilonParetoArchive,
+    ) -> None:
+        """Reschedule a failed/lost batch, or fall back to the parent."""
+        entry = pending.pop(index)
+        if entry.attempt >= self.max_retries:
+            # Retries exhausted: evaluate inline. The parent evaluator
+            # counts into the run registry directly, so counter parity
+            # with the sequential path is preserved.
+            self.metrics.inc("runtime.parent_fallbacks")
+            for bindings in entry.batch:
+                self.runtime.checkpoint()
+                instance = QueryInstance(
+                    Instantiation(self.config.template, bindings)
+                )
+                self._offer_point(self.evaluator.evaluate(instance), archive)
+            return
+        self.metrics.inc("runtime.worker_retries")
+        backoff = self.retry_backoff * (2 ** entry.attempt)
+        if backoff > 0:
+            time.sleep(backoff)
+        pending[index] = self._submit(pool, index, entry.batch, entry.attempt + 1)
+
+    def _reap_dead_workers(self, pool) -> None:
+        """Best-effort count of worker processes that died abnormally.
+
+        The pool's maintenance thread respawns dead workers on its own;
+        this only observes exit codes for the ``runtime.*`` counters (and
+        works off private pool state, hence the broad guard).
+        """
+        try:
+            procs = list(pool._pool)
+        except Exception:  # pragma: no cover - pool internals shifted
+            return
+        current: Set[int] = set()
+        for proc in procs:
+            current.add(proc.pid)
+            code = proc.exitcode
+            if code not in (None, 0) and proc.pid not in self._dead_pids:
+                self._dead_pids.add(proc.pid)
+                self.metrics.inc("runtime.dead_workers_detected")
+        # A pid that vanished from the pool was reaped by the maintenance
+        # thread before we ever saw its exit code — still a dead worker.
+        for pid in self._live_pids - current:
+            if pid not in self._dead_pids:
+                self._dead_pids.add(pid)
+                self.metrics.inc("runtime.dead_workers_detected")
+        self._live_pids = current
 
 
 def _fork_available() -> bool:

@@ -29,6 +29,12 @@ class RunStats:
             pruning without verification.
         feasible: Verified instances that met all coverage constraints.
         elapsed_seconds: Wall-clock duration of the run.
+        truncated: True iff the run stopped early (execution budget
+            exhausted or cancellation requested). The returned instance
+            set is then a valid ε-Pareto set of the verified prefix.
+        truncation_reason: Why the run stopped early — one of
+            ``"deadline"``, ``"max_instances"``, ``"max_backtracks"``,
+            ``"cancelled"`` — or None for a complete run.
     """
 
     generated: int = 0
@@ -37,6 +43,8 @@ class RunStats:
     pruned: int = 0
     feasible: int = 0
     elapsed_seconds: float = 0.0
+    truncated: bool = False
+    truncation_reason: Optional[str] = None
 
     def as_row(self) -> Dict[str, object]:
         """Row-dict rendering for table printers."""
@@ -106,6 +114,11 @@ class GenerationResult:
     def objectives(self) -> List[tuple]:
         """The (δ, f) coordinates of the returned set."""
         return [p.objectives for p in self.instances]
+
+    @property
+    def truncated(self) -> bool:
+        """True iff this is a budget-truncated partial result."""
+        return self.stats.truncated
 
 
 @contextmanager

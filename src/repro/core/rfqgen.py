@@ -21,6 +21,7 @@ from repro.core.base import QGenAlgorithm
 from repro.core.result import GenerationResult, timed
 from repro.core.update import EpsilonParetoArchive
 from repro.query.instance import QueryInstance
+from repro.runtime.budget import ExecutionInterrupt
 
 
 class RfQGen(QGenAlgorithm):
@@ -39,29 +40,35 @@ class RfQGen(QGenAlgorithm):
             # Explicit stack (instance, parent) — recursion depth equals the
             # lattice height, which can exceed Python's default limit.
             stack: List[Tuple[QueryInstance, Optional[QueryInstance]]] = [(root, None)]
-            while stack:
-                instance, parent = stack.pop()
-                key = instance.instantiation.key
-                if key in visited:
-                    self._inc("dedup_skipped")
-                    continue
-                visited.add(key)
-                evaluated = self.evaluator.evaluate(instance, parent)
-                if not evaluated.feasible:
-                    # Lemma 2: every refinement is also infeasible — prune
-                    # the whole subtree by not spawning.
-                    self._inc("pruned")
-                    self._inc("pruned_infeasible")
+            try:
+                while stack:
+                    self.runtime.checkpoint()
+                    instance, parent = stack.pop()
+                    key = instance.instantiation.key
+                    if key in visited:
+                        self._inc("dedup_skipped")
+                        continue
+                    visited.add(key)
+                    evaluated = self.evaluator.evaluate(instance, parent)
+                    if not evaluated.feasible:
+                        # Lemma 2: every refinement is also infeasible — prune
+                        # the whole subtree by not spawning.
+                        self._inc("pruned")
+                        self._inc("pruned_infeasible")
+                        self._maybe_trace(archive.instances())
+                        continue
+                    self._inc("feasible")
+                    self._offer(archive, evaluated)
                     self._maybe_trace(archive.instances())
-                    continue
-                self._inc("feasible")
-                self._offer(archive, evaluated)
-                self._maybe_trace(archive.instances())
-                children = self.lattice.refine_children(instance, evaluated)
-                for _, child in children:
-                    if child.instantiation.key not in visited:
-                        self._inc("generated")
-                        stack.append((child, instance))
+                    children = self.lattice.refine_children(instance, evaluated)
+                    for _, child in children:
+                        if child.instantiation.key not in visited:
+                            self._inc("generated")
+                            stack.append((child, instance))
+            except ExecutionInterrupt:
+                # Budget exhausted / cancelled mid-exploration: the archive
+                # holds a valid ε-Pareto set of the visited prefix.
+                pass
         stats = self._finalize_stats(stats)
         return GenerationResult(
             algorithm=self.name,

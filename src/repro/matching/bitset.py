@@ -40,6 +40,7 @@ from repro.graph.indexes import GraphIndexes
 from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 from repro.query.predicates import Literal
+from repro.runtime.budget import NULL_GUARD, ExecutionGuard
 
 #: Per-query-node candidate masks (the bitset analogue of ``CandidateMap``).
 MaskMap = Dict[str, int]
@@ -118,6 +119,9 @@ class BitsetEngine:
         indexes: Shared graph indexes (owns the bitset enumerations).
         injective: Subgraph-isomorphism semantics switch.
         metrics: Registry receiving ``matcher.*`` and ``matcher.bitset.*``.
+        guard: The run's :class:`~repro.runtime.budget.ExecutionGuard`,
+            probed at the backtracking-sweep loop heads. Defaults to the
+            inert guard.
     """
 
     def __init__(
@@ -125,12 +129,14 @@ class BitsetEngine:
         indexes: GraphIndexes,
         injective: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        guard: Optional[ExecutionGuard] = None,
     ) -> None:
         self.indexes = indexes
         self.graph = indexes.graph
         self.bitsets = indexes.bitsets
         self.injective = injective
         self.metrics = metrics or MetricsRegistry()
+        self.guard = guard if guard is not None else NULL_GUARD
         self.literal_pools = LiteralPoolCache(indexes, self.metrics)
         for name in (
             "matcher.match_calls",
@@ -239,6 +245,7 @@ class BitsetEngine:
             matched: Set[int] = set()
             out_order = self.bitsets.order(labels[output])
             for position in iter_bits(masks[output]):
+                self.guard.checkpoint(extra_backtracks=work.backtracks)
                 v = out_order[position]
                 if self._extendable(
                     adjacency, masks, labels, order, {output: v}, 1, work
@@ -359,7 +366,11 @@ class BitsetEngine:
             return matches
         order = self._search_order(instance, masks, output)
         adjacency = instance.adjacency()
+        guard = self.guard
         for position in iter_bits(masks[output]):
+            # Loop-head budget probe; in-flight backtracks ride along since
+            # they are only folded into the registry after the sweep.
+            guard.checkpoint(extra_backtracks=work.backtracks)
             v = out_order[position]
             if self._extendable(
                 adjacency, masks, labels, order, {output: v}, 1, work

@@ -18,6 +18,7 @@ from repro.graph.indexes import GraphIndexes
 from repro.matching.candidates import CandidateMap, initial_candidates, propagate
 from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
+from repro.runtime.budget import NULL_GUARD, ExecutionGuard
 
 
 @dataclass
@@ -70,6 +71,10 @@ class SubgraphMatcher:
             ``"bitset"`` (:class:`~repro.matching.bitset.BitsetEngine`,
             mask pools + run-level literal-pool caching). Both produce
             identical matches and candidate maps.
+        guard: The run's :class:`~repro.runtime.budget.ExecutionGuard`,
+            probed at the backtracking-sweep loop heads so a
+            ``max_backtracks`` or deadline budget can stop matching
+            mid-sweep. Defaults to the inert guard.
     """
 
     ENGINES = ("set", "bitset")
@@ -81,6 +86,7 @@ class SubgraphMatcher:
         injective: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         engine: str = "set",
+        guard: Optional[ExecutionGuard] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise MatchingError(
@@ -91,12 +97,16 @@ class SubgraphMatcher:
         self.injective = injective
         self.metrics = metrics or MetricsRegistry()
         self.engine = engine
+        self.guard = guard if guard is not None else NULL_GUARD
         self._bitset = None
         if engine == "bitset":
             from repro.matching.bitset import BitsetEngine
 
             self._bitset = BitsetEngine(
-                self.indexes, injective=injective, metrics=self.metrics
+                self.indexes,
+                injective=injective,
+                metrics=self.metrics,
+                guard=self.guard,
             )
         # Pre-register the headline counters so exports always carry them,
         # even for runs that never hit the corresponding path.
@@ -175,7 +185,11 @@ class SubgraphMatcher:
             matches = set(candidates[output])
             metrics.inc("matcher.acyclic_fast_paths")
         else:
+            guard = self.guard
             for v in candidates[output]:
+                # Loop-head budget probe. The per-call tally is not yet in
+                # the registry, so it rides along as extra work.
+                guard.checkpoint(extra_backtracks=counter.calls)
                 if self._extendable(
                     instance, adjacency, candidates, order, {output: v}, 1, counter
                 ):
@@ -238,6 +252,7 @@ class SubgraphMatcher:
             order = self._search_order_from(instance, candidates, output)
             matched: Set[int] = set()
             for v in candidates[output]:
+                self.guard.checkpoint(extra_backtracks=counter.calls)
                 if self._extendable(
                     instance, adjacency, candidates, order, {output: v}, 1, counter
                 ):

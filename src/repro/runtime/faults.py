@@ -1,0 +1,163 @@
+"""Deterministic fault injection for the parallel worker pool.
+
+``ParallelQGen``'s fault tolerance (per-batch timeouts, bounded
+retry-with-backoff, parent-side fallback) is only trustworthy if it is
+*tested against real failure modes*, so this module gives the test
+suites a seeded, reproducible way to make workers misbehave:
+
+* **CRASH** — the worker process ``os._exit``\\ s mid-batch (a dead
+  worker; the parent detects it via the batch timeout and reassigns);
+* **SLOW** — the batch sleeps past the configured timeout (a straggler;
+  the parent reassigns and ignores the late duplicate);
+* **ERROR** — the evaluator raises at the Nth call of the batch (a
+  poisoned instance / transient bug; the error propagates through the
+  pool and triggers a retry).
+
+Faults are keyed by ``(batch_index, attempt, call)`` — the parent passes
+the attempt number with every (re)submission — so the schedule is a pure
+function of the retry history: no shared state, no clocks, identical
+behaviour on every run. A spec fires on attempts ``0 .. times-1`` and
+passes afterwards, which is exactly the shape retry logic must survive.
+
+The injector is installed in the worker initializer (inherited over
+``fork``) and does nothing in the parent process.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+]
+
+
+class FaultKind(enum.Enum):
+    """The failure mode a :class:`FaultSpec` injects."""
+
+    CRASH = "crash"  # os._exit mid-batch: a dead worker process.
+    SLOW = "slow"  # sleep past the batch timeout: a straggler.
+    ERROR = "error"  # raise from the evaluator call: a poisoned batch.
+
+
+class FaultInjectionError(RuntimeError):
+    """The exception an ERROR fault raises inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: What goes wrong.
+        batch_index: Which batch triggers it.
+        call_index: Which evaluation call within the batch fires it
+            (0 = at batch start; "evaluator exception at the Nth call").
+        times: How many attempts fire — attempts ``>= times`` pass, so
+            ``times=1`` tests a single transient fault and a large value
+            tests retry exhaustion / parent fallback.
+        delay_seconds: Sleep length for SLOW faults.
+    """
+
+    kind: FaultKind
+    batch_index: int
+    call_index: int = 0
+    times: int = 1
+    delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.batch_index < 0:
+            raise ValueError("batch_index must be non-negative")
+        if self.call_index < 0:
+            raise ValueError("call_index must be non-negative")
+        if self.times <= 0:
+            raise ValueError("times must be positive")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+
+class FaultInjector:
+    """A deterministic fault schedule shared with every worker.
+
+    Args:
+        faults: The fault specs to honor.
+        seed: Recorded provenance for schedules built via :meth:`random`.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self.seed = seed
+
+    @classmethod
+    def random(
+        cls,
+        num_batches: int,
+        rate: float = 0.25,
+        seed: int = 0,
+        kinds: Sequence[FaultKind] = (FaultKind.CRASH, FaultKind.ERROR),
+    ) -> "FaultInjector":
+        """A seeded random schedule: each batch faults with ``rate``.
+
+        Deterministic for a given ``(num_batches, rate, seed, kinds)``,
+        so property-style tests can sweep seeds and still reproduce any
+        failure exactly.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        rng = random.Random(seed)
+        faults = [
+            FaultSpec(kind=rng.choice(list(kinds)), batch_index=index)
+            for index in range(num_batches)
+            if rng.random() < rate
+        ]
+        return cls(faults, seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def expected_failures(self, num_batches: int, max_retries: int) -> int:
+        """How many failed attempts this schedule will cause.
+
+        Each spec on an existing batch fails attempts ``0..times-1`` but
+        the parent only retries up to ``max_retries`` times, so the
+        observable failure count per spec is ``min(times, max_retries+1)``
+        — tests compare ``runtime.worker_retries`` +
+        ``runtime.parent_fallbacks`` against this.
+        """
+        total = 0
+        for spec in self.faults:
+            if spec.batch_index < num_batches:
+                total += min(spec.times, max_retries + 1)
+        return total
+
+    def maybe_fire(self, batch_index: int, attempt: int, call: int) -> None:
+        """Fire any fault scheduled for this (batch, attempt, call).
+
+        Called from ``_verify_batch`` inside the worker process — once at
+        batch start (``call=0`` before the first evaluation) and once per
+        evaluation call.
+        """
+        for spec in self.faults:
+            if spec.batch_index != batch_index or spec.call_index != call:
+                continue
+            if attempt >= spec.times:
+                continue
+            if spec.kind is FaultKind.CRASH:
+                # A hard worker death: no exception, no cleanup, exactly
+                # what a segfaulting or OOM-killed worker looks like.
+                os._exit(17)
+            elif spec.kind is FaultKind.SLOW:
+                time.sleep(spec.delay_seconds)
+            else:
+                raise FaultInjectionError(
+                    f"injected evaluator fault: batch {batch_index}, "
+                    f"call {call}, attempt {attempt}"
+                )

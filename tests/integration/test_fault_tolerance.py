@@ -1,0 +1,210 @@
+"""Fault-injection integration tests for the parallel scheduler.
+
+Every test runs ``ParallelQGen`` against a deterministic
+:class:`~repro.runtime.faults.FaultInjector` schedule and demands the
+fault-tolerance contract: the run completes, the results are identical
+to sequential ``EnumQGen``, and the recovery work is visible in the
+``runtime.*`` counters (retries match the injected failures exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EnumQGen
+from repro.core.parallel import ParallelQGen, _fork_available
+from repro.runtime import Budget, FaultInjector, FaultKind, FaultSpec
+
+pytestmark = pytest.mark.skipif(
+    not _fork_available(), reason="requires fork start method"
+)
+
+WORKERS = 3
+BATCH_SIZE = 8  # talent config: 24 instances -> 3 batches (0, 1, 2)
+CRASH_TIMEOUT = 2.0  # crash recovery latency = batch timeout
+
+
+def objective_set(result):
+    return sorted((round(p.delta, 9), round(p.coverage, 9)) for p in result.instances)
+
+
+def faulty_parallel(config, injector, **kwargs):
+    kwargs.setdefault("workers", WORKERS)
+    kwargs.setdefault("batch_size", BATCH_SIZE)
+    kwargs.setdefault("batch_timeout", CRASH_TIMEOUT)
+    kwargs.setdefault("retry_backoff", 0.01)
+    return ParallelQGen(config, fault_injector=injector, **kwargs)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_batch_is_reassigned(self, talent_config):
+        """Kill the worker holding batch 1 mid-run; the run must still
+        complete with results equal to sequential EnumQGen."""
+        injector = FaultInjector([FaultSpec(FaultKind.CRASH, batch_index=1)])
+        algo = faulty_parallel(talent_config, injector)
+        result = algo.run()
+        enum = EnumQGen(talent_config).run()
+        assert objective_set(result) == objective_set(enum)
+        assert not result.truncated
+        # The crash surfaces as a lost batch (timeout), one retry, and a
+        # dead worker observation.
+        assert algo.metrics.value("runtime.worker_retries") == 1
+        assert algo.metrics.value("runtime.worker_timeouts") == 1
+        assert algo.metrics.value("runtime.dead_workers_detected") >= 1
+
+    def test_crash_mid_batch(self, talent_config):
+        """A crash after some evaluations (call_index > 0) loses the whole
+        batch; the retry must re-verify it from scratch."""
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.CRASH, batch_index=0, call_index=3)]
+        )
+        algo = faulty_parallel(talent_config, injector)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        assert algo.metrics.value("runtime.worker_retries") == 1
+
+
+class TestEvaluatorError:
+    def test_poisoned_batch_is_retried(self, talent_config):
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.ERROR, batch_index=2, call_index=1)]
+        )
+        algo = faulty_parallel(talent_config, injector)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        assert algo.metrics.value("runtime.worker_failures") == 1
+        assert algo.metrics.value("runtime.worker_retries") == 1
+        assert algo.metrics.value("runtime.parent_fallbacks") == 0
+
+    def test_retry_counter_matches_injected_faults(self, talent_config):
+        """``runtime.worker_retries`` must equal the schedule's expected
+        failure count exactly — over several faulted batches at once."""
+        injector = FaultInjector(
+            [
+                FaultSpec(FaultKind.ERROR, batch_index=0),
+                FaultSpec(FaultKind.ERROR, batch_index=1, times=2),
+                FaultSpec(FaultKind.ERROR, batch_index=2, call_index=4),
+            ]
+        )
+        algo = faulty_parallel(talent_config, injector, max_retries=3)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        expected = injector.expected_failures(num_batches=3, max_retries=3)
+        assert expected == 4
+        assert algo.metrics.value("runtime.worker_retries") == expected
+        assert algo.metrics.value("runtime.worker_failures") == expected
+
+    def test_retry_exhaustion_falls_back_to_parent(self, talent_config):
+        """A batch failing beyond max_retries is evaluated in the parent;
+        the run still completes with full results."""
+        injector = FaultInjector(
+            [FaultSpec(FaultKind.ERROR, batch_index=1, times=10)]
+        )
+        algo = faulty_parallel(talent_config, injector, max_retries=1)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        assert algo.metrics.value("runtime.worker_retries") == 1
+        assert algo.metrics.value("runtime.parent_fallbacks") == 1
+
+
+class TestSlowWorker:
+    def test_straggler_batch_is_reassigned(self, talent_config):
+        """A batch sleeping past the timeout is reassigned; the stale
+        completion of the first attempt must not double-merge."""
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    FaultKind.SLOW, batch_index=0, delay_seconds=0.8, times=1
+                )
+            ]
+        )
+        algo = faulty_parallel(talent_config, injector, batch_timeout=0.25)
+        result = algo.run()
+        enum = EnumQGen(talent_config).run()
+        assert objective_set(result) == objective_set(enum)
+        assert algo.metrics.value("runtime.worker_timeouts") >= 1
+        # Exactly-once merge: the verified count must not be inflated by
+        # the straggler's late duplicate.
+        assert result.stats.verified == enum.stats.verified
+        assert algo.metrics.value("gen.parallelqgen.feasible") == enum.stats.feasible
+
+
+class TestMixedFaults:
+    def test_crash_error_and_slow_together(self, talent_config):
+        injector = FaultInjector(
+            [
+                FaultSpec(FaultKind.CRASH, batch_index=0),
+                FaultSpec(FaultKind.ERROR, batch_index=1, call_index=2),
+                FaultSpec(FaultKind.SLOW, batch_index=2, delay_seconds=0.8),
+            ]
+        )
+        algo = faulty_parallel(talent_config, injector, batch_timeout=0.4)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        assert algo.metrics.value("runtime.worker_retries") == 3
+
+    def test_seeded_random_schedule_completes(self, talent_config):
+        """A seeded random fault schedule (the chaos-mode entry point)
+        still converges to the sequential result."""
+        injector = FaultInjector.random(
+            num_batches=3, rate=0.5, seed=3, kinds=(FaultKind.ERROR,)
+        )
+        algo = faulty_parallel(talent_config, injector, max_retries=3)
+        result = algo.run()
+        assert objective_set(result) == objective_set(EnumQGen(talent_config).run())
+        assert algo.metrics.value(
+            "runtime.worker_retries"
+        ) == injector.expected_failures(num_batches=3, max_retries=3)
+
+
+class TestFaultFreeInvariants:
+    def test_no_injector_means_no_recovery_counters(self, talent_config):
+        algo = ParallelQGen(
+            talent_config, workers=WORKERS, batch_size=BATCH_SIZE
+        )
+        algo.run()
+        for name in (
+            "runtime.worker_retries",
+            "runtime.worker_timeouts",
+            "runtime.worker_failures",
+            "runtime.parent_fallbacks",
+            "runtime.dead_workers_detected",
+        ):
+            assert algo.metrics.value(name) == 0, name
+
+    def test_counter_parity_survives_faults(self, talent_config):
+        """Worker counter deltas are folded exactly once per batch even
+        across retries, so faulted-run counters equal serial counters."""
+        serial = ParallelQGen(talent_config, workers=1)
+        serial.run()
+        injector = FaultInjector(
+            [
+                FaultSpec(FaultKind.ERROR, batch_index=0, call_index=5),
+                FaultSpec(FaultKind.CRASH, batch_index=2),
+            ]
+        )
+        faulted = faulty_parallel(talent_config, injector)
+        faulted.run()
+        for name in (
+            "matcher.match_calls",
+            "matcher.backtrack_calls",
+            "matcher.ac_removed",
+            "evaluator.cache_misses",
+            "gen.parallelqgen.verified",
+            "gen.parallelqgen.feasible",
+        ):
+            assert faulted.metrics.counters().get(name) == serial.metrics.counters().get(
+                name
+            ), name
+
+
+class TestBudgetedParallel:
+    def test_budget_truncates_parallel_run(self, talent_config):
+        """The parent merge loop checkpoints the budget: a tiny instance
+        budget truncates the run cleanly mid-merge."""
+        config = talent_config.with_budget(Budget(max_instances=4))
+        algo = ParallelQGen(config, workers=WORKERS, batch_size=2)
+        result = algo.run()
+        assert result.truncated
+        assert result.stats.truncation_reason == "max_instances"
+        assert algo.metrics.value("runtime.budget.trips") == 1

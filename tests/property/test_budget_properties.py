@@ -1,0 +1,186 @@
+"""Property tests of the truncation contract (``repro.runtime``).
+
+For any configuration and any budget, a truncated run must return a
+*valid partial result*: every returned instance was actually verified
+(it appears, with identical objectives, in the unbudgeted run's verified
+set) and the returned set is internally consistent as an ε-Pareto
+archive — distinct boxes, no box dominance, no plain dominance between
+members. Exhaustion must never raise and never corrupt the archive.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import BiQGen, EnumQGen, GenerationConfig, GroupSet, NodeGroup, RfQGen
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.lattice import InstanceLattice
+from repro.core.pareto import box_of, dominates
+from repro.graph.attributed_graph import AttributedGraph
+from repro.query import Literal, Op, QueryTemplate
+from repro.runtime import Budget, CancellationToken, TickingClock
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+ALGORITHMS = [EnumQGen, RfQGen, BiQGen]
+
+
+def fixed_template():
+    """Recommendation template over the random graphs below."""
+    return (
+        QueryTemplate.builder("budget-prop")
+        .node("u0", "person", Literal("kind", Op.EQ, "target"))
+        .node("u1", "person")
+        .fixed_edge("u1", "u0", "rec")
+        .edge_var("xe", "u1", "u1x", "rec")
+        .node("u1x", "person")
+        .range_var("xl", "u1", "score", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+@st.composite
+def configurations(draw):
+    n_targets = draw(st.integers(min_value=4, max_value=8))
+    n_recommenders = draw(st.integers(min_value=2, max_value=4))
+    graph = AttributedGraph("budget-prop")
+    targets = []
+    for i in range(n_targets):
+        graph.add_node(
+            i,
+            "person",
+            {
+                "kind": "target",
+                "score": draw(st.integers(min_value=0, max_value=5)),
+                "group": draw(st.sampled_from(["a", "b"])),
+            },
+        )
+        targets.append(i)
+    recommenders = []
+    for i in range(n_targets, n_targets + n_recommenders):
+        graph.add_node(
+            i,
+            "person",
+            {"kind": "rec", "score": draw(st.integers(min_value=0, max_value=5))},
+        )
+        recommenders.append(i)
+    for r in recommenders:
+        chosen = draw(
+            st.sets(st.sampled_from(targets), min_size=1, max_size=n_targets)
+        )
+        for t in chosen:
+            graph.add_edge(r, t, "rec")
+        if draw(st.booleans()) and len(recommenders) > 1:
+            other = draw(st.sampled_from([x for x in recommenders if x != r]))
+            graph.add_edge(r, other, "rec")
+    graph.freeze()
+
+    group_a = frozenset(t for t in targets if graph.attribute(t, "group") == "a")
+    group_b = frozenset(t for t in targets if graph.attribute(t, "group") == "b")
+    if not group_a or not group_b:
+        group_a, group_b = frozenset({targets[0]}), frozenset({targets[-1]})
+    groups = GroupSet(
+        [
+            NodeGroup("a", group_a, min(1, len(group_a))),
+            NodeGroup("b", group_b, min(1, len(group_b))),
+        ]
+    )
+    epsilon = draw(st.sampled_from([0.05, 0.2, 0.5, 1.0]))
+    return GenerationConfig(
+        graph, fixed_template(), groups, epsilon=epsilon, max_domain_values=4
+    )
+
+
+def verified_universe(config):
+    """Objectives of every instance in ``I(Q)``, keyed by instantiation."""
+    evaluator = InstanceEvaluator(config)
+    lattice = InstanceLattice(config)
+    return {
+        e.instance.instantiation.key: e.objectives
+        for e in (evaluator.evaluate(i) for i in lattice.enumerate_instances())
+    }
+
+
+def assert_internally_consistent(result, epsilon):
+    """The archive invariants: unique boxes, no box or plain dominance."""
+    points = result.instances
+    boxes = [box_of(p, epsilon) for p in points]
+    assert len(set(boxes)) == len(boxes), "two archive members share a box"
+    for i, a in enumerate(points):
+        for j, b in enumerate(points):
+            if i == j:
+                continue
+            assert not boxes[i].dominates(boxes[j]), "box dominance inside archive"
+            assert not dominates(a, b), "plain dominance inside archive"
+
+
+class TestTruncatedArchiveValidity:
+    @SETTINGS
+    @given(
+        config=configurations(),
+        algo_index=st.integers(min_value=0, max_value=len(ALGORITHMS) - 1),
+        max_instances=st.integers(min_value=1, max_value=12),
+    )
+    def test_truncated_result_is_subset_of_verified_universe(
+        self, config, algo_index, max_instances
+    ):
+        universe = verified_universe(config)
+        algo_cls = ALGORITHMS[algo_index]
+        result = algo_cls(
+            config.with_budget(Budget(max_instances=max_instances))
+        ).run()
+        assert result.stats.verified <= max_instances
+        for point in result.instances:
+            key = point.instance.instantiation.key
+            assert key in universe, "returned an instance outside I(Q)"
+            assert point.objectives == universe[key], (
+                "returned objectives disagree with a fresh verification"
+            )
+        assert_internally_consistent(result, result.epsilon)
+        if result.truncated:
+            assert result.stats.truncation_reason == "max_instances"
+        else:
+            # Budget generous enough: must match the unbudgeted run.
+            baseline = algo_cls(config).run()
+            assert sorted(p.objectives for p in result.instances) == sorted(
+                p.objectives for p in baseline.instances
+            )
+
+    @SETTINGS
+    @given(
+        config=configurations(),
+        tick=st.sampled_from([0.005, 0.02, 0.1]),
+        deadline=st.sampled_from([0.05, 0.3, 1.0]),
+    )
+    def test_ticking_deadline_never_corrupts_archive(self, config, tick, deadline):
+        budget = Budget(deadline_seconds=deadline, clock=TickingClock(tick=tick))
+        result = EnumQGen(config.with_budget(budget)).run()
+        universe = verified_universe(config)
+        for point in result.instances:
+            assert point.instance.instantiation.key in universe
+        assert_internally_consistent(result, result.epsilon)
+
+    @SETTINGS
+    @given(config=configurations())
+    def test_no_budget_means_no_truncation(self, config):
+        result = EnumQGen(config).run()
+        assert not result.truncated
+        assert result.stats.truncation_reason is None
+
+    @SETTINGS
+    @given(config=configurations())
+    def test_precancelled_run_returns_empty_valid_result(self, config):
+        from dataclasses import replace
+
+        token = CancellationToken()
+        token.cancel()
+        result = RfQGen(replace(config, cancellation=token)).run()
+        assert result.truncated
+        assert result.stats.truncation_reason == "cancelled"
+        assert result.instances == []
+        assert result.stats.verified == 0

@@ -1,0 +1,120 @@
+"""Deterministic truncation regression gates.
+
+Budget-truncated runs must be *reproducible*: with an injectable
+:class:`~repro.runtime.budget.TickingClock` (time = pure function of
+checkpoint count) or an instance cap, the same budget trips at the same
+checkpoint on every run, so the partial archive and the work counters
+are as pinnable as any unbudgeted run's. These tests pin both:
+
+* two identical budgeted runs produce byte-identical archives/counters;
+* the counters of canonical truncated runs match checked-in baselines
+  (refresh with ``pytest tests/regression --update-baselines``);
+* the unbudgeted counter baselines in ``test_work_counters.py`` stay
+  free of any ``runtime.*`` counters — the inert-guard guarantee.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import BiQGen, EnumQGen, RfQGen
+from repro.obs.baselines import compare_counters, load_baseline, save_baseline
+from repro.runtime import Budget, TickingClock
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+# Canonical budgets over the toy talent configuration: small enough to
+# truncate (the unbudgeted runs verify ~24 instances), deterministic by
+# construction.
+TRUNCATION_RUNS = {
+    "truncation_biqgen_deadline": lambda cfg: BiQGen(
+        cfg.with_budget(Budget(deadline_seconds=0.05, clock=TickingClock(tick=0.002)))
+    ),
+    "truncation_enumqgen_instances": lambda cfg: EnumQGen(
+        cfg.with_budget(Budget(max_instances=8))
+    ),
+    "truncation_rfqgen_instances": lambda cfg: RfQGen(
+        cfg.with_budget(Budget(max_instances=6))
+    ),
+}
+
+
+def _run(name, config):
+    algo = TRUNCATION_RUNS[name](config)
+    result = algo.run()
+    return algo, result
+
+
+@pytest.mark.parametrize("name", sorted(TRUNCATION_RUNS))
+def test_truncated_counters_match_baseline(name, talent_config, update_baselines):
+    algo, result = _run(name, talent_config)
+    assert result.truncated, "budget was expected to trip on the toy config"
+    counters = dict(algo.metrics.counters())
+    path = BASELINE_DIR / f"{name}.json"
+    if update_baselines:
+        save_baseline(path, counters)
+        pytest.skip(f"baseline rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing baseline {path}; "
+        "run: pytest tests/regression --update-baselines"
+    )
+    baseline = load_baseline(path)
+    report = compare_counters(counters, baseline["counters"], baseline["tolerance"])
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("name", sorted(TRUNCATION_RUNS))
+def test_truncated_runs_are_reproducible(name, talent_config):
+    """Same budget, same config → identical archive and identical counters."""
+    algo_a, result_a = _run(name, talent_config)
+    algo_b, result_b = _run(name, talent_config)
+    assert [p.objectives for p in result_a.instances] == [
+        p.objectives for p in result_b.instances
+    ]
+    assert result_a.stats.truncation_reason == result_b.stats.truncation_reason
+    assert dict(algo_a.metrics.counters()) == dict(algo_b.metrics.counters())
+
+
+def test_truncated_baselines_carry_runtime_counters():
+    """The pinned truncated runs must show the budget machinery at work."""
+    for name in TRUNCATION_RUNS:
+        baseline = load_baseline(BASELINE_DIR / f"{name}.json")
+        counters = baseline["counters"]
+        assert counters.get("runtime.budget.trips") == 1, name
+        assert counters.get("runtime.budget.checks", 0) > 0, name
+
+
+def test_truncated_work_bounded_by_unbudgeted_baselines():
+    """A truncated run can never do more verification work than the
+    unbudgeted baseline of the same algorithm."""
+    pairs = {
+        "truncation_biqgen_deadline": "biqgen",
+        "truncation_enumqgen_instances": "enumqgen",
+        "truncation_rfqgen_instances": "rfqgen",
+    }
+    for truncated_name, full_name in pairs.items():
+        truncated = load_baseline(BASELINE_DIR / f"{truncated_name}.json")["counters"]
+        full = load_baseline(BASELINE_DIR / f"{full_name}.json")["counters"]
+        assert (
+            truncated["evaluator.cache_misses"] <= full["evaluator.cache_misses"]
+        ), truncated_name
+
+
+def test_unbudgeted_baselines_have_no_runtime_counters():
+    """The inert-guard guarantee, pinned: adding the budget layer must not
+    have touched the unbudgeted counter baselines."""
+    for name in ("enumqgen", "kungs", "cbm", "rfqgen", "biqgen", "onlineqgen"):
+        baseline = load_baseline(BASELINE_DIR / f"{name}.json")
+        runtime_counters = [
+            n for n in baseline["counters"] if n.startswith("runtime.")
+        ]
+        assert not runtime_counters, (name, runtime_counters)
+
+
+def test_unbudgeted_run_registers_no_runtime_counters(talent_config):
+    """Live version of the same guarantee, against the current code."""
+    algo = BiQGen(talent_config)
+    algo.run()
+    assert not any(n.startswith("runtime.") for n in algo.metrics.counters())
