@@ -1,0 +1,25 @@
+"""Pytest wrapper around the standalone workload-batching benchmark.
+
+Runs the smoke-mode workload (same dense graph, k=8 requests) and
+enforces the serving acceptance bar: the warm path — one BatchSession
+sharing indexes and workload literal pools — must beat k independent
+cold runs, with the workload pool doing real work. The JSON artifact
+lands in ``benchmarks/results``; the canonical ``BENCH_serving.json`` at
+the repo root is written by running the script directly (as CI does).
+"""
+
+import json
+
+from workload_batching import run
+
+
+def test_workload_batching_smoke(results_dir):
+    report = run(smoke=True)
+    (results_dir / "workload_batching.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    assert report["workload"]["requests"] >= 8
+    assert report["speedup_warm_over_cold"] >= 1.5
+    warm = report["warm"]
+    assert warm["workload_pool_hits"] > 0
+    assert warm["workload_pool_hit_rate"] > 0.5

@@ -53,8 +53,15 @@ from repro.runtime import (
     FaultSpec,
     TruncationReason,
 )
-from repro.session import FairSQGSession
-from repro.workload import TemplateGenerator, TemplateSpec
+from repro.service import (
+    BatchScheduler,
+    GenerationRequest,
+    GraphContext,
+    RequestOutcome,
+    WorkloadLiteralPools,
+)
+from repro.session import BatchSession, FairSQGSession
+from repro.workload import TemplateGenerator, TemplateSpec, requests_from_templates
 
 __version__ = "1.0.0"
 
@@ -99,9 +106,16 @@ __all__ = [
     "select_by_preference",
     "rank_by_preference",
     "FairSQGSession",
+    "BatchSession",
+    "GraphContext",
+    "BatchScheduler",
+    "GenerationRequest",
+    "RequestOutcome",
+    "WorkloadLiteralPools",
     "dataset_bundle",
     "dataset_names",
     "TemplateGenerator",
     "TemplateSpec",
+    "requests_from_templates",
     "__version__",
 ]

@@ -6,11 +6,14 @@ Subcommands:
 * ``generate`` — run one generation algorithm on a dataset and print the
   returned ε-Pareto instance set;
 * ``online`` — run OnlineQGen over a random instance stream;
+* ``batch`` — serve a JSONL file of generation requests through the
+  shared-cache batch service (``repro.service``);
 * ``experiment`` — run a paper-figure experiment driver and print its table.
 
-``generate``, ``online`` and ``experiment`` accept ``--metrics PATH`` to
-write the run's full work-counter snapshot (the ``repro.obs`` registry)
-as JSON; a ``.prom`` suffix selects the Prometheus text format instead.
+``generate``, ``online``, ``batch`` and ``experiment`` accept
+``--metrics PATH`` to write the run's full work-counter snapshot (the
+``repro.obs`` registry) as JSON; a ``.prom`` suffix selects the
+Prometheus text format instead.
 
 ``generate`` and ``online`` accept execution-budget flags
 (``--deadline`` / ``--max-instances`` / ``--max-backtracks``); on
@@ -110,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--metrics", default=None, metavar="PATH",
                         help="write the work-counter snapshot here")
     _add_budget_flags(online)
+
+    batch = sub.add_parser(
+        "batch", help="serve a JSONL request batch through repro.service"
+    )
+    batch.add_argument("requests", metavar="REQUESTS.jsonl",
+                       help="request file, one JSON object per line "
+                       "(see docs/serving.md for the schema)")
+    batch.add_argument("--dataset", choices=dataset_names(), default="lki",
+                       help="graph + groups + default template served")
+    batch.add_argument("--scale", type=float, default=0.15)
+    batch.add_argument("--coverage", type=int, default=16)
+    batch.add_argument("--groups", type=int, default=2)
+    batch.add_argument("--engine", choices=("set", "bitset"), default="bitset",
+                       help="default matching engine (bitset exercises the "
+                       "workload literal-pool cache tier)")
+    batch.add_argument("--domain-cap", type=int, default=5)
+    batch.add_argument("--no-warm", action="store_true",
+                       help="skip pre-building the per-label index state")
+    batch.add_argument("--out", default=None, metavar="PATH",
+                       help="write per-request results as JSONL here")
+    batch.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the service-registry snapshot here "
+                       "(service.* + aggregated run counters)")
 
     experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
     experiment.add_argument(
@@ -308,6 +334,53 @@ def _cmd_online(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.service import load_requests_jsonl, save_outcomes_jsonl
+    from repro.session import BatchSession
+
+    bundle = dataset_bundle(
+        args.dataset,
+        scale=args.scale,
+        num_groups=args.groups,
+        coverage_total=args.coverage,
+    )
+    session = BatchSession(
+        bundle.graph,
+        bundle.groups,
+        engine=args.engine,
+        warm=not args.no_warm,
+        max_domain_values=args.domain_cap,
+    )
+    requests = load_requests_jsonl(args.requests, default_template=bundle.template)
+    if not requests:
+        print(f"no requests in {args.requests}")
+        return 1
+    outcomes = []
+    for outcome in session.stream(requests):
+        outcomes.append(outcome)
+    print_table(
+        [o.as_row() for o in outcomes],
+        f"batch of {len(outcomes)} requests over {bundle.name} "
+        f"(engine default: {args.engine})",
+    )
+    metrics = session.metrics
+    failed = metrics.value("service.failed")
+    print(
+        f"\ncompleted {metrics.value('service.completed')}"
+        f" / deduplicated {metrics.value('service.deduplicated')}"
+        f" / failed {failed}"
+        f" / truncated {metrics.value('service.truncated')}"
+        f"; workload literal-pool hit rate "
+        f"{session.literal_pool_hit_rate:.2f}"
+    )
+    if args.out:
+        save_outcomes_jsonl(outcomes, args.out)
+        print(f"wrote per-request results to {args.out}")
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
+    return 0 if failed == 0 else 1
+
+
 def _cmd_experiment(args) -> int:
     from repro.obs import collecting
 
@@ -468,6 +541,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "generate": _cmd_generate,
         "online": _cmd_online,
+        "batch": _cmd_batch,
         "experiment": _cmd_experiment,
         "rpq": _cmd_rpq,
         "workload": _cmd_workload,

@@ -9,7 +9,7 @@ experiments can flip one field at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.core.measures import CoverageMeasure, DiversityMeasure
@@ -21,6 +21,9 @@ from repro.groups.groups import GroupSet
 from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
 from repro.runtime.budget import Budget, CancellationToken
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.matching.bitset import WorkloadLiteralPools
 
 
 @dataclass
@@ -61,6 +64,22 @@ class GenerationConfig:
             :class:`~repro.runtime.budget.CancellationToken`; cancelling
             it truncates the run at the next checkpoint, same contract
             as budget exhaustion.
+        shared_indexes: Optional pre-built
+            :class:`~repro.graph.indexes.GraphIndexes` over ``graph``
+            reused instead of building fresh ones — the serving layer's
+            tier-1 cache (:class:`~repro.service.context.GraphContext`
+            binds this). Indexes are pure caches of the frozen graph, so
+            sharing never changes results.
+        shared_literal_pools: Optional workload-scoped
+            :class:`~repro.matching.bitset.WorkloadLiteralPools` backing
+            the bitset engine's literal cache across runs (tier-2 of the
+            serving cache hierarchy; ignored by the set engine). Must be
+            paired with the ``shared_indexes`` whose bit enumerations its
+            masks refer to.
+        literal_pool_max_entries: Optional LRU bound on the bitset
+            engine's local literal-pool cache (None = unbounded; set for
+            long-lived engines such as online streams or serving
+            sessions).
     """
 
     graph: AttributedGraph
@@ -80,6 +99,9 @@ class GenerationConfig:
     metrics: Optional[MetricsRegistry] = None
     budget: Optional[Budget] = None
     cancellation: Optional[CancellationToken] = None
+    shared_indexes: Optional[GraphIndexes] = None
+    shared_literal_pools: Optional["WorkloadLiteralPools"] = None
+    literal_pool_max_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -91,6 +113,18 @@ class GenerationConfig:
                 f"unknown matcher engine {self.matcher_engine!r} "
                 "(expected 'set' or 'bitset')"
             )
+        if self.shared_indexes is not None and self.shared_indexes.graph is not self.graph:
+            raise ConfigurationError(
+                "shared_indexes were built over a different graph object; "
+                "masks and pools would be meaningless for this one"
+            )
+        if (
+            self.literal_pool_max_entries is not None
+            and self.literal_pool_max_entries <= 0
+        ):
+            raise ConfigurationError(
+                "literal_pool_max_entries must be positive or None"
+            )
         output_label = self.template.node(self.template.output_node).label
         if self.graph.count_label(output_label) == 0:
             raise ConfigurationError(
@@ -100,7 +134,10 @@ class GenerationConfig:
     # Shared, lazily-built helpers -------------------------------------- #
 
     def build_indexes(self) -> GraphIndexes:
-        """Fresh :class:`GraphIndexes` for this graph."""
+        """This config's :class:`GraphIndexes` — the shared ones when a
+        serving context bound them, else fresh ones for this graph."""
+        if self.shared_indexes is not None:
+            return self.shared_indexes
         return GraphIndexes(self.graph)
 
     def build_domains(self) -> ActiveDomainIndex:

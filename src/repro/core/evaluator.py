@@ -91,6 +91,8 @@ class InstanceEvaluator:
             metrics=self.metrics,
             engine=config.matcher_engine,
             guard=self.guard,
+            shared_literal_pools=config.shared_literal_pools,
+            literal_pool_max_entries=config.literal_pool_max_entries,
         )
         self.verifier = IncrementalVerifier(
             self.matcher,

@@ -38,3 +38,7 @@ class MatchingError(ReproError):
 
 class DatasetError(ReproError):
     """Problem building or loading one of the dataset emulations."""
+
+
+class ServiceError(ReproError):
+    """Invalid serving-layer usage (mismatched context, bad batch request)."""

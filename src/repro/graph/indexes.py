@@ -241,3 +241,18 @@ class GraphIndexes:
     def candidate_pool(self, label: str) -> FrozenSet[int]:
         """Initial candidate set for a query node: all nodes with its label."""
         return self.labels.nodes(label)
+
+    def warm(self, labels: Optional[Iterable[str]] = None) -> None:
+        """Pre-build the cheap per-label state (serving cold-start cut).
+
+        Materializes the label pools, bitset enumerations, inverse
+        positions and full masks for ``labels`` (default: every node
+        label), so the first request served from a shared
+        :class:`GraphIndexes` does not pay them. Adjacency rows and
+        attribute tables stay lazy — their key space is workload-dependent
+        and pre-building all of them would dwarf a request.
+        """
+        for label in labels if labels is not None else self.graph.node_labels():
+            self.labels.nodes(label)
+            self.bitsets.positions(label)
+            self.bitsets.full_mask(label)

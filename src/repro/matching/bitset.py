@@ -1,4 +1,4 @@
-"""Bitset matching engine with run-level literal-pool caching.
+"""Bitset matching engine with hierarchical literal-pool caching.
 
 A drop-in alternative to the set-based pipeline in
 :mod:`repro.matching.candidates` / :mod:`repro.matching.matcher`: candidate
@@ -11,7 +11,11 @@ three hot loops of instance verification become bit-parallel:
   query node's initial pool is the AND of its label pool with those masks.
   Lattice siblings differ in a single range-variable binding, so across a
   generation run almost every literal mask is a cache hit and a sibling's
-  pools cost one intersection each;
+  pools cost one intersection each. The engine-local cache can in turn be
+  backed by a workload-scoped :class:`WorkloadLiteralPools` (the serving
+  layer's tier-2 cache, owned by
+  :class:`~repro.service.context.GraphContext`), so masks computed by one
+  run of a batch are reused by every later run over the same graph;
 * **arc-consistency support checks** — ``adjacency_row(v) & pool != 0``
   replaces the per-neighbor set probing of AC-3;
 * **backtracking extension** — the candidates of the next query node are
@@ -32,7 +36,7 @@ counter-regression baselines bit-identical.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import MatchingError
@@ -54,23 +58,119 @@ def iter_bits(mask: int):
         mask ^= low
 
 
+class WorkloadLiteralPools:
+    """Workload-scoped tier of the literal-pool hierarchy.
+
+    An LRU-bounded memo of *canonical predicate signatures*
+    ``(label, attribute, op, constant) → candidate mask`` shared by every
+    engine that serves requests against the same graph. One
+    :class:`~repro.service.context.GraphContext` owns exactly one of
+    these next to its shared :class:`~repro.graph.indexes.GraphIndexes`,
+    because the cached masks are only meaningful relative to that index's
+    per-label bit enumerations — invalidating the context drops both
+    together.
+
+    Unlike the engine-local :class:`LiteralPoolCache`, whose key space is
+    bounded by one template's variables × active domains, a workload sees
+    an open-ended stream of templates, so this tier is bounded: ``max_entries``
+    caps the memo and least-recently-used masks are evicted. Effectiveness
+    is published under ``service.workload_pool.*`` (hits / misses /
+    evictions, gauge ``size``).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        max_entries: Optional[int] = 4096,
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self._metrics = metrics or MetricsRegistry()
+        self._max_entries = max_entries
+        self._masks: "OrderedDict[Tuple, int]" = OrderedDict()
+        self._metrics.counter("service.workload_pool.hits")
+        self._metrics.counter("service.workload_pool.misses")
+        self._metrics.counter("service.workload_pool.evictions")
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The LRU bound (None = unbounded)."""
+        return self._max_entries
+
+    def lookup(self, key: Tuple) -> Optional[int]:
+        """The cached mask for a canonical predicate signature, if any."""
+        mask = self._masks.get(key)
+        if mask is None:
+            self._metrics.inc("service.workload_pool.misses")
+            return None
+        self._masks.move_to_end(key)
+        self._metrics.inc("service.workload_pool.hits")
+        return mask
+
+    def store(self, key: Tuple, mask: int) -> None:
+        """Memoize a freshly computed mask, evicting the LRU entry if full."""
+        if key in self._masks:
+            self._masks.move_to_end(key)
+        self._masks[key] = mask
+        if self._max_entries is not None and len(self._masks) > self._max_entries:
+            self._masks.popitem(last=False)
+            self._metrics.inc("service.workload_pool.evictions")
+        self._metrics.set("service.workload_pool.size", len(self._masks))
+
+    def clear(self) -> None:
+        """Drop every cached mask (graph invalidation)."""
+        self._masks.clear()
+        self._metrics.set("service.workload_pool.size", 0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit rate (0.0 before any probe)."""
+        hits = self._metrics.value("service.workload_pool.hits")
+        misses = self._metrics.value("service.workload_pool.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
 class LiteralPoolCache:
-    """Run-level memo ``(label, attribute, op, constant) → candidate mask``.
+    """Engine-local memo ``(label, attribute, op, constant) → candidate mask``.
 
     The instance lattice enumerates thousands of siblings that share all
     but one literal; this cache turns their repeated index lookups into
     dictionary hits, so a sibling's initial pools resolve with one AND per
-    literal. Entries live as long as the engine (one generation run); the
-    key space is bounded by the template's variables × their active
-    domains, so no eviction is needed.
+    literal. Entries live as long as the engine — one generation run when
+    the engine is run-owned, the whole serving session when the engine is
+    reused — and an optional ``shared`` :class:`WorkloadLiteralPools`
+    backs misses so masks survive across runs of a batch.
+
+    Eviction: for a single template the key space is bounded by the
+    template's variables × their active domains, so the cache is unbounded
+    by default; long-lived engines (online streams, serving sessions) can
+    bound it via ``max_entries``
+    (:attr:`~repro.core.config.GenerationConfig.literal_pool_max_entries`),
+    which turns the memo into an LRU.
     """
 
-    def __init__(self, indexes: GraphIndexes, metrics: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        indexes: GraphIndexes,
+        metrics: MetricsRegistry,
+        shared: Optional[WorkloadLiteralPools] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
         self._indexes = indexes
         self._metrics = metrics
-        self._masks: Dict[Tuple, int] = {}
+        self._shared = shared
+        self._max_entries = max_entries
+        self._masks: "OrderedDict[Tuple, int]" = OrderedDict()
         metrics.counter("matcher.bitset.literal_pool_hits")
         metrics.counter("matcher.bitset.literal_pool_misses")
+        if max_entries is not None:
+            metrics.counter("matcher.bitset.literal_pool_evictions")
 
     def __len__(self) -> int:
         return len(self._masks)
@@ -84,12 +184,28 @@ class LiteralPoolCache:
             self._metrics.inc("matcher.bitset.literal_pool_misses")
             return self._compute(label, literal)
         if cached is None:
+            # A local miss still counts as a miss even when the workload
+            # tier saves the recomputation — the counters describe *this*
+            # engine's cache; the shared tier keeps its own.
             self._metrics.inc("matcher.bitset.literal_pool_misses")
-            cached = self._compute(label, literal)
-            self._masks[key] = cached
+            if self._shared is not None:
+                cached = self._shared.lookup(key)
+            if cached is None:
+                cached = self._compute(label, literal)
+                if self._shared is not None:
+                    self._shared.store(key, cached)
+            self._store(key, cached)
         else:
             self._metrics.inc("matcher.bitset.literal_pool_hits")
+            if self._max_entries is not None:
+                self._masks.move_to_end(key)
         return cached
+
+    def _store(self, key: Tuple, mask: int) -> None:
+        self._masks[key] = mask
+        if self._max_entries is not None and len(self._masks) > self._max_entries:
+            self._masks.popitem(last=False)
+            self._metrics.inc("matcher.bitset.literal_pool_evictions")
 
     def _compute(self, label: str, literal: Literal) -> int:
         matching = self._indexes.attributes.matching_nodes(
@@ -122,6 +238,12 @@ class BitsetEngine:
         guard: The run's :class:`~repro.runtime.budget.ExecutionGuard`,
             probed at the backtracking-sweep loop heads. Defaults to the
             inert guard.
+        shared_literal_pools: Optional workload-scoped
+            :class:`WorkloadLiteralPools` backing the engine-local literal
+            cache (the serving layer's tier-2 cache). Never changes match
+            results — masks are pure functions of the shared indexes.
+        literal_pool_max_entries: Optional LRU bound on the engine-local
+            literal cache (None = unbounded).
     """
 
     def __init__(
@@ -130,6 +252,8 @@ class BitsetEngine:
         injective: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         guard: Optional[ExecutionGuard] = None,
+        shared_literal_pools: Optional[WorkloadLiteralPools] = None,
+        literal_pool_max_entries: Optional[int] = None,
     ) -> None:
         self.indexes = indexes
         self.graph = indexes.graph
@@ -137,7 +261,12 @@ class BitsetEngine:
         self.injective = injective
         self.metrics = metrics or MetricsRegistry()
         self.guard = guard if guard is not None else NULL_GUARD
-        self.literal_pools = LiteralPoolCache(indexes, self.metrics)
+        self.literal_pools = LiteralPoolCache(
+            indexes,
+            self.metrics,
+            shared=shared_literal_pools,
+            max_entries=literal_pool_max_entries,
+        )
         for name in (
             "matcher.match_calls",
             "matcher.backtrack_calls",

@@ -75,6 +75,12 @@ class SubgraphMatcher:
             probed at the backtracking-sweep loop heads so a
             ``max_backtracks`` or deadline budget can stop matching
             mid-sweep. Defaults to the inert guard.
+        shared_literal_pools: Optional workload-scoped
+            :class:`~repro.matching.bitset.WorkloadLiteralPools` backing
+            the bitset engine's literal cache across runs (the serving
+            layer's tier-2 cache; ignored by the set engine).
+        literal_pool_max_entries: Optional LRU bound on the bitset
+            engine's local literal cache (None = unbounded).
     """
 
     ENGINES = ("set", "bitset")
@@ -87,6 +93,8 @@ class SubgraphMatcher:
         metrics: Optional[MetricsRegistry] = None,
         engine: str = "set",
         guard: Optional[ExecutionGuard] = None,
+        shared_literal_pools=None,
+        literal_pool_max_entries: Optional[int] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise MatchingError(
@@ -107,6 +115,8 @@ class SubgraphMatcher:
                 injective=injective,
                 metrics=self.metrics,
                 guard=self.guard,
+                shared_literal_pools=shared_literal_pools,
+                literal_pool_max_entries=literal_pool_max_entries,
             )
         # Pre-register the headline counters so exports always carry them,
         # even for runs that never hit the corresponding path.

@@ -1,0 +1,51 @@
+"""Workload-scale serving: cache hierarchy + batch session service.
+
+Where the rest of the library thinks in single generation runs, this
+package thinks in *workloads* — k requests against one graph — and
+amortizes everything that is shared across them through a three-tier
+cache hierarchy:
+
+1. **process lifetime** — :class:`GraphContext` pins the built
+   :class:`~repro.graph.indexes.GraphIndexes` (label pools, attribute
+   tables, bitset enumerations, adjacency rows) with explicit
+   invalidation hooks for graph updates;
+2. **workload scope** — :class:`~repro.matching.bitset.WorkloadLiteralPools`
+   memoizes literal masks by canonical predicate signature across runs
+   (LRU-bounded, counted under ``service.workload_pool.*``);
+3. **run scope** — each request keeps its own ε-Pareto archive, verifier
+   memo and evaluator state, exactly as standalone runs do, which is why
+   batch results are identical to sequential ones.
+
+:class:`BatchScheduler` executes request batches on top (fair round-robin
+admission, canonical-template deduplication, per-request budgets,
+streamed outcomes); :class:`repro.session.BatchSession` and the CLI's
+``fairsqg batch`` subcommand are the front doors. See ``docs/serving.md``.
+"""
+
+from repro.matching.bitset import WorkloadLiteralPools
+from repro.service.context import GraphContext
+from repro.service.requests import (
+    ALLOWED_OPTIONS,
+    GenerationRequest,
+    RequestOutcome,
+    load_requests_jsonl,
+    outcome_to_dict,
+    request_from_dict,
+    save_outcomes_jsonl,
+)
+from repro.service.scheduler import ALGORITHMS, BatchScheduler, round_robin_admission
+
+__all__ = [
+    "ALGORITHMS",
+    "ALLOWED_OPTIONS",
+    "BatchScheduler",
+    "GenerationRequest",
+    "GraphContext",
+    "RequestOutcome",
+    "WorkloadLiteralPools",
+    "load_requests_jsonl",
+    "outcome_to_dict",
+    "request_from_dict",
+    "round_robin_admission",
+    "save_outcomes_jsonl",
+]

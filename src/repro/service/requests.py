@@ -1,0 +1,301 @@
+"""Batch request/outcome model and its JSONL wire format.
+
+A serving batch is a list of :class:`GenerationRequest` — one FairSQG
+generation each, all against the batch's shared graph and groups. The
+request carries the template, the algorithm name, ε, an optional
+per-request execution budget and a whitelist of configuration overrides;
+:meth:`GenerationRequest.canonical_signature` is the deduplication key
+the scheduler uses to execute identical requests once.
+
+On disk a batch is JSON Lines — one request object per line::
+
+    {"id": "r1", "template": {...}, "algorithm": "biqgen", "epsilon": 0.1}
+    {"id": "r2", "algorithm": "rfqgen", "deadline": 0.5, "client": "alice"}
+
+``template`` is the :func:`repro.query.serialization.template_to_dict`
+shape; omitting it selects the batch's default template (the dataset's
+canonical one in the CLI). See ``docs/serving.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.core.result import GenerationResult
+from repro.errors import ServiceError
+from repro.query.serialization import template_from_dict, template_to_dict
+from repro.query.template import QueryTemplate
+from repro.runtime.budget import Budget
+
+PathLike = Union[str, Path]
+
+#: GenerationConfig fields a request may override per-request. Everything
+#: else (graph, groups, shared caches, metrics) is owned by the batch.
+ALLOWED_OPTIONS = frozenset(
+    {
+        "lam",
+        "diversity_mode",
+        "max_domain_values",
+        "use_incremental",
+        "use_template_refinement",
+        "injective",
+        "matcher_engine",
+        "verifier_max_entries",
+        "literal_pool_max_entries",
+    }
+)
+
+_REQUEST_KEYS = frozenset(
+    {
+        "id",
+        "client",
+        "template",
+        "algorithm",
+        "epsilon",
+        "deadline",
+        "max_instances",
+        "max_backtracks",
+        "options",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One generation request of a serving batch.
+
+    Attributes:
+        request_id: Caller-chosen identifier echoed on the outcome.
+        template: The query template to generate for.
+        algorithm: Generator name (``"biqgen"``, ``"rfqgen"``, ...).
+        epsilon: The request's ε of ε-dominance.
+        client: Admission-fairness key — the scheduler round-robins
+            across clients so one bulk submitter cannot starve others.
+        deadline_seconds / max_instances / max_backtracks: Optional
+            per-request execution budget
+            (:class:`~repro.runtime.budget.Budget`).
+        options: Extra :class:`~repro.core.config.GenerationConfig`
+            overrides, restricted to :data:`ALLOWED_OPTIONS`.
+    """
+
+    request_id: str
+    template: QueryTemplate
+    algorithm: str = "biqgen"
+    epsilon: float = 0.05
+    client: str = "default"
+    deadline_seconds: Optional[float] = None
+    max_instances: Optional[int] = None
+    max_backtracks: Optional[int] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.options) - ALLOWED_OPTIONS
+        if unknown:
+            raise ServiceError(
+                f"request {self.request_id!r} sets unknown option(s) "
+                f"{sorted(unknown)}; allowed: {sorted(ALLOWED_OPTIONS)}"
+            )
+
+    def budget(self) -> Optional[Budget]:
+        """The request's execution budget, or None when unbounded."""
+        if (
+            self.deadline_seconds is None
+            and self.max_instances is None
+            and self.max_backtracks is None
+        ):
+            return None
+        return Budget(
+            deadline_seconds=self.deadline_seconds,
+            max_instances=self.max_instances,
+            max_backtracks=self.max_backtracks,
+        )
+
+    def canonical_signature(self) -> str:
+        """Order-insensitive execution identity of this request.
+
+        Two requests with equal signatures produce identical results by
+        construction (same canonical template, algorithm, ε, budget and
+        config overrides), so the scheduler runs the first and replays
+        its result for the rest. ``request_id`` and ``client`` are
+        deliberately excluded — they identify the *caller*, not the work.
+        """
+        return json.dumps(
+            {
+                "template": _canonical_template(self.template),
+                "algorithm": self.algorithm,
+                "epsilon": self.epsilon,
+                "budget": [
+                    self.deadline_seconds,
+                    self.max_instances,
+                    self.max_backtracks,
+                ],
+                "options": {k: self.options[k] for k in sorted(self.options)},
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+
+def _canonical_template(template: QueryTemplate) -> Dict[str, Any]:
+    """`template_to_dict` with every list sorted (construction-order-free)."""
+    data = template_to_dict(template)
+    for node in data["nodes"]:
+        node["literals"].sort(key=lambda l: (l["attribute"], l["op"], str(l["constant"])))
+    data["nodes"].sort(key=lambda n: n["id"])
+    data["fixed_edges"].sort(key=lambda e: (e["source"], e["target"], e["label"]))
+    data["edge_variables"].sort(key=lambda v: v["name"])
+    data["range_variables"].sort(key=lambda v: v["name"])
+    return data
+
+
+@dataclass
+class RequestOutcome:
+    """Per-request result streamed back by the scheduler.
+
+    Exactly one of ``result`` / ``error`` is set. ``deduplicated`` marks
+    outcomes whose result was replayed from an identical earlier request
+    of the same batch (the archive object is shared, not re-run).
+    """
+
+    request: GenerationRequest
+    result: Optional[GenerationResult] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    deduplicated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True iff the request produced a result (possibly truncated)."""
+        return self.result is not None
+
+    def as_row(self) -> Dict[str, object]:
+        """Row-dict rendering for table printers."""
+        result = self.result
+        return {
+            "id": self.request.request_id,
+            "client": self.request.client,
+            "algorithm": self.request.algorithm,
+            "|set|": len(result.instances) if result else "-",
+            "truncated": bool(result and result.truncated),
+            "dedup": self.deduplicated,
+            "time (s)": round(self.elapsed_seconds, 4),
+            "error": self.error or "",
+        }
+
+
+# ---------------------------------------------------------------------- #
+# JSONL wire format
+# ---------------------------------------------------------------------- #
+
+
+def request_from_dict(
+    data: Mapping[str, Any],
+    default_template: Optional[QueryTemplate] = None,
+    index: int = 0,
+) -> GenerationRequest:
+    """Build a request from one decoded JSONL object.
+
+    ``default_template`` fills in for objects without a ``template`` key;
+    unknown keys raise :class:`~repro.errors.ServiceError` so typos fail
+    loudly instead of silently running defaults.
+    """
+    unknown = set(data) - _REQUEST_KEYS
+    if unknown:
+        raise ServiceError(
+            f"request #{index} has unknown key(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_REQUEST_KEYS)}"
+        )
+    if data.get("template") is not None:
+        template = template_from_dict(data["template"])
+    elif default_template is not None:
+        template = default_template
+    else:
+        raise ServiceError(
+            f"request #{index} has no template and no default was provided"
+        )
+    return GenerationRequest(
+        request_id=str(data.get("id", f"req-{index}")),
+        template=template,
+        algorithm=str(data.get("algorithm", "biqgen")),
+        epsilon=float(data.get("epsilon", 0.05)),
+        client=str(data.get("client", "default")),
+        deadline_seconds=(
+            float(data["deadline"]) if data.get("deadline") is not None else None
+        ),
+        max_instances=(
+            int(data["max_instances"])
+            if data.get("max_instances") is not None
+            else None
+        ),
+        max_backtracks=(
+            int(data["max_backtracks"])
+            if data.get("max_backtracks") is not None
+            else None
+        ),
+        options=dict(data.get("options", {})),
+    )
+
+
+def load_requests_jsonl(
+    path: PathLike, default_template: Optional[QueryTemplate] = None
+) -> List[GenerationRequest]:
+    """Read a batch request file (one JSON object per non-blank line)."""
+    requests: List[GenerationRequest] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"{path}:{lineno}: invalid JSON ({exc})") from None
+        if not isinstance(data, dict):
+            raise ServiceError(f"{path}:{lineno}: expected a JSON object")
+        requests.append(
+            request_from_dict(data, default_template, index=len(requests))
+        )
+    return requests
+
+
+def outcome_to_dict(outcome: RequestOutcome) -> Dict[str, Any]:
+    """JSON-ready rendering of one outcome (the batch result stream)."""
+    payload: Dict[str, Any] = {
+        "id": outcome.request.request_id,
+        "client": outcome.request.client,
+        "algorithm": outcome.request.algorithm,
+        "ok": outcome.ok,
+        "deduplicated": outcome.deduplicated,
+        "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+    }
+    if outcome.error is not None:
+        payload["error"] = outcome.error
+        return payload
+    result = outcome.result
+    payload.update(
+        {
+            "epsilon": result.epsilon,
+            "truncated": result.truncated,
+            "truncation_reason": result.stats.truncation_reason,
+            "instances": [
+                {
+                    "bindings": dict(point.instance.instantiation),
+                    "delta": point.delta,
+                    "coverage": point.coverage,
+                    "cardinality": point.cardinality,
+                    "feasible": point.feasible,
+                }
+                for point in result.instances
+            ],
+        }
+    )
+    return payload
+
+
+def save_outcomes_jsonl(outcomes: List[RequestOutcome], path: PathLike) -> None:
+    """Write one result object per line, mirroring the request format."""
+    Path(path).write_text(
+        "".join(json.dumps(outcome_to_dict(o)) + "\n" for o in outcomes)
+    )

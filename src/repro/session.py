@@ -1,8 +1,9 @@
-"""High-level facade: one object for the whole suggest/inspect workflow.
+"""High-level facades: one object per workflow.
 
 The low-level API is compositional (config → algorithm → result →
-selection/audit/explanation); :class:`FairSQGSession` wires the common path
-for application code and notebooks:
+selection/audit/explanation); this module wires the two common paths:
+
+* :class:`FairSQGSession` — one template, one run, then inspect:
 
     >>> session = FairSQGSession(graph, template, groups, epsilon=0.1)  # doctest: +SKIP
     >>> session.suggest()                      # runs BiQGen, caches result
@@ -10,11 +11,19 @@ for application code and notebooks:
     >>> pick = session.pick(lambda_r=0.8)      # preference-selected winner
     >>> print(session.why(pick))               # edits vs the initial query
     >>> print(session.audit(pick).summary())   # fairness verdict
+
+* :class:`BatchSession` — one graph, many templates, served through the
+  shared cache hierarchy (:mod:`repro.service`):
+
+    >>> batch = BatchSession(graph, groups, engine="bitset")  # doctest: +SKIP
+    >>> outcomes = batch.run([batch.request(t, epsilon=0.1) for t in templates])
+    ...                                                       # doctest: +SKIP
+    >>> batch.literal_pool_hit_rate                           # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Type
+from typing import Iterable, Iterator, List, Optional, Type
 
 from repro.core.base import QGenAlgorithm
 from repro.core.biqgen import BiQGen
@@ -29,7 +38,11 @@ from repro.core.result import GenerationResult
 from repro.graph.attributed_graph import AttributedGraph
 from repro.groups.auditing import FairnessAudit, audit_answer
 from repro.groups.groups import GroupSet
+from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
+from repro.service.context import GraphContext
+from repro.service.requests import GenerationRequest, RequestOutcome
+from repro.service.scheduler import BatchScheduler
 
 
 class FairSQGSession:
@@ -41,6 +54,10 @@ class FairSQGSession:
         groups: Groups with coverage constraints.
         epsilon: ε of ε-dominance.
         algorithm: Generation algorithm class (default BiQGen).
+        context: Optional shared :class:`~repro.service.context.GraphContext`;
+            when given, this session reuses its built indexes and workload
+            literal pools instead of building private ones (results are
+            unchanged — only the cold-start cost moves).
         **config_options: Forwarded to :class:`GenerationConfig`
             (``lam``, ``max_domain_values``, ``relevance``, ...).
     """
@@ -52,11 +69,14 @@ class FairSQGSession:
         groups: GroupSet,
         epsilon: float = 0.05,
         algorithm: Type[QGenAlgorithm] = BiQGen,
+        context: Optional[GraphContext] = None,
         **config_options,
     ) -> None:
         self.config = GenerationConfig(
             graph, template, groups, epsilon=epsilon, **config_options
         )
+        if context is not None:
+            self.config = context.bind(self.config)
         self._algorithm_cls = algorithm
         self._algorithm: Optional[QGenAlgorithm] = None
         self._result: Optional[GenerationResult] = None
@@ -120,3 +140,100 @@ class FairSQGSession:
             max_representatives=max_representatives,
             evaluator=self._evaluator(),
         )
+
+
+class BatchSession:
+    """Workload-scale serving facade: one graph, many generation requests.
+
+    Owns a :class:`~repro.service.context.GraphContext` (shared indexes +
+    workload literal pools) and a
+    :class:`~repro.service.scheduler.BatchScheduler`, so successive
+    batches against the same graph keep getting warmer. Per-request
+    results are identical to standalone runs — only the shared build work
+    is amortized.
+
+    Args:
+        graph: The data graph to serve.
+        groups: Groups/constraints every request is generated under.
+        engine: Default matching engine for requests (``"set"`` /
+            ``"bitset"``; the literal-pool tiers only apply to bitset).
+        metrics: Registry for ``service.*`` counters (private if omitted).
+        warm: Pre-build per-label index state at construction.
+        workload_pool_max_entries: LRU bound of the workload literal-pool
+            cache.
+        **defaults: Further per-request config defaults
+            (``max_domain_values=4``, ...), overridable per request.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        groups: GroupSet,
+        engine: str = "set",
+        metrics: Optional[MetricsRegistry] = None,
+        warm: bool = True,
+        workload_pool_max_entries: Optional[int] = 4096,
+        **defaults,
+    ) -> None:
+        self.context = GraphContext(
+            graph,
+            metrics=metrics,
+            workload_pool_max_entries=workload_pool_max_entries,
+            warm=warm,
+        )
+        defaults.setdefault("matcher_engine", engine)
+        self.scheduler = BatchScheduler(self.context, groups, defaults=defaults)
+        self._request_counter = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The serving registry (``service.*`` + absorbed run counters)."""
+        return self.context.metrics
+
+    @property
+    def literal_pool_hit_rate(self) -> float:
+        """Lifetime workload literal-pool hit rate (bitset engine only)."""
+        return self.context.literal_pools.hit_rate
+
+    def request(
+        self,
+        template: QueryTemplate,
+        request_id: Optional[str] = None,
+        **kwargs,
+    ) -> GenerationRequest:
+        """Build a request for this session (ids auto-assigned if omitted)."""
+        if request_id is None:
+            self._request_counter += 1
+            request_id = f"req-{self._request_counter}"
+        return GenerationRequest(request_id, template, **kwargs)
+
+    def stream(
+        self, requests: Iterable[GenerationRequest]
+    ) -> Iterator[RequestOutcome]:
+        """Execute a batch, yielding outcomes as they complete."""
+        return self.scheduler.stream(requests)
+
+    def run(self, requests: Iterable[GenerationRequest]) -> List[RequestOutcome]:
+        """Execute a batch, materialized in admission order."""
+        return self.scheduler.run(requests)
+
+    def session(self, template: QueryTemplate, **config_options) -> FairSQGSession:
+        """A single-template :class:`FairSQGSession` sharing this cache.
+
+        The batch defaults (engine choice etc.) apply here too, so the
+        session is configured exactly like a request for ``template``;
+        ``config_options`` override them.
+        """
+        options = dict(self.scheduler.defaults)
+        options.update(config_options)
+        return FairSQGSession(
+            self.context.graph,
+            template,
+            self.scheduler.groups,
+            context=self.context,
+            **options,
+        )
+
+    def apply_delta(self, delta) -> None:
+        """Mutate the served graph (``G ⊕ Δ``) and invalidate every tier."""
+        self.context.apply_delta(delta)

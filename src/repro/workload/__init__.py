@@ -6,6 +6,7 @@ of variables |X| ... query size |Q(u_o)| ... and topologies" (Section V),
 and the random instance streams OnlineQGen consumes in Exp-3.
 """
 
+from repro.workload.batch import requests_from_templates
 from repro.workload.template_gen import TemplateGenerator, TemplateSpec
 from repro.workload.stream import (
     drifting_instance_stream,
@@ -18,5 +19,6 @@ __all__ = [
     "TemplateSpec",
     "random_instance_stream",
     "drifting_instance_stream",
+    "requests_from_templates",
     "shuffled_space_stream",
 ]

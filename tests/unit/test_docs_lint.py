@@ -1,0 +1,96 @@
+"""Tests for tools/docs_lint.py — and the gate that the docs stay clean."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "docs_lint", REPO_ROOT / "tools" / "docs_lint.py"
+)
+docs_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(docs_lint)
+
+
+def lint_text(tmp_path, text, name="page.md"):
+    path = tmp_path / name
+    path.write_text(text)
+    return docs_lint.lint_file(path)
+
+
+class TestLinks:
+    def test_dead_relative_link_reported(self, tmp_path):
+        findings = lint_text(tmp_path, "See [here](missing.md) for more.\n")
+        assert len(findings) == 1
+        assert "dead relative link: missing.md" in str(findings[0])
+        assert findings[0].line == 1
+
+    def test_existing_relative_link_ok(self, tmp_path):
+        (tmp_path / "other.md").write_text("# other\n")
+        assert lint_text(tmp_path, "See [here](other.md).\n") == []
+
+    def test_anchor_and_query_stripped(self, tmp_path):
+        (tmp_path / "other.md").write_text("# other\n")
+        assert lint_text(tmp_path, "[a](other.md#section), [b](#local)\n") == []
+        assert lint_text(tmp_path, "[gone](missing.md#section)\n") != []
+
+    def test_absolute_urls_skipped(self, tmp_path):
+        text = "[x](https://example.com/a.md) [y](mailto:a@b.c)\n"
+        assert lint_text(tmp_path, text) == []
+
+    def test_links_inside_fences_ignored(self, tmp_path):
+        text = "```\n[dead](nope.md)\n```\n"
+        assert lint_text(tmp_path, text) == []
+
+    def test_subdirectory_resolution(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "page.md").write_text("[up](../real.md)\n")
+        (tmp_path / "real.md").write_text("x\n")
+        assert docs_lint.lint_file(tmp_path / "docs" / "page.md") == []
+
+
+class TestFences:
+    def test_broken_python_fence_reported(self, tmp_path):
+        text = "intro\n\n```python\ndef broken(:\n    pass\n```\n"
+        findings = lint_text(tmp_path, text)
+        assert len(findings) == 1
+        assert "python fence does not parse" in str(findings[0])
+        assert findings[0].line == 4  # points at the offending line
+
+    def test_valid_python_fence_ok(self, tmp_path):
+        text = "```python\nfrom x import y\nprint(y(1))\n```\n"
+        assert lint_text(tmp_path, text) == []
+
+    def test_non_python_fences_ignored(self, tmp_path):
+        text = "```bash\nthis is not python (\n```\n\n```\nplain: text:\n```\n"
+        assert lint_text(tmp_path, text) == []
+
+
+class TestCli:
+    def test_missing_file_is_a_finding(self, tmp_path):
+        findings = docs_lint.lint([tmp_path / "absent.md"])
+        assert len(findings) == 1
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("fine\n")
+        assert docs_lint.main([str(good)]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("[x](gone.md)\n")
+        assert docs_lint.main([str(bad)]) == 1
+        assert "dead relative link" in capsys.readouterr().out
+
+
+class TestRepositoryDocs:
+    def test_readme_and_docs_are_clean(self):
+        """The actual gate: every shipped doc page lints clean."""
+        findings = docs_lint.lint(docs_lint.default_files())
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_default_files_cover_the_doc_pages(self):
+        names = {p.name for p in docs_lint.default_files()}
+        assert "README.md" in names
+        assert {"architecture.md", "serving.md", "usage.md",
+                "observability.md", "theory.md"} <= names

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Documentation linter: dead relative links and broken python fences.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Relative links** — every ``[text](target)`` whose target is not an
+   absolute URL or a pure in-page anchor must point at an existing file
+   (anchors/query strings are stripped first; targets are resolved
+   relative to the markdown file's directory).
+2. **Python fences** — every ```python code block must parse
+   (``ast.parse``), so rotted examples fail CI instead of readers.
+
+Links inside code fences are ignored (they are examples, not links).
+
+Usage::
+
+    python tools/docs_lint.py                # lint README.md + docs/*.md
+    python tools/docs_lint.py path/to.md ... # lint specific files
+
+Exits 1 if any finding is reported, printing one ``file:line: message``
+per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, NamedTuple, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images ride along via the [
+#: in their ![alt] prefix.
+_LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^\s*```(\S*)\s*$")
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def default_files() -> List[Path]:
+    """The pages this linter gates: the README and everything in docs/."""
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def _segments(text: str) -> Tuple[List[Tuple[int, str]], List[Tuple[int, str, str]]]:
+    """Split markdown into prose lines and fenced code blocks.
+
+    Returns ``(prose, fences)`` where prose is ``[(lineno, line)]``
+    outside fences and fences is ``[(start_lineno, language, code)]``.
+    """
+    prose: List[Tuple[int, str]] = []
+    fences: List[Tuple[int, str, str]] = []
+    language = None
+    buffer: List[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE_RE.match(line)
+        if language is None:
+            if match:
+                language = match.group(1).lower()
+                start = lineno + 1
+                buffer = []
+            else:
+                prose.append((lineno, line))
+        elif match and not match.group(1):
+            fences.append((start, language, "\n".join(buffer)))
+            language = None
+        else:
+            buffer.append(line)
+    if language is not None:  # unterminated fence — surface it as prose
+        prose.extend(
+            (start + i, line) for i, line in enumerate(buffer)
+        )
+    return prose, fences
+
+
+def _check_links(path: Path, prose: List[Tuple[int, str]]) -> List[Finding]:
+    findings = []
+    for lineno, line in prose:
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if _SCHEME_RE.match(target) or target.startswith("#"):
+                continue  # absolute URL or in-page anchor
+            relative = target.split("#", 1)[0].split("?", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                findings.append(
+                    Finding(path, lineno, f"dead relative link: {target}")
+                )
+    return findings
+
+
+def _check_fences(path: Path, fences: List[Tuple[int, str, str]]) -> List[Finding]:
+    findings = []
+    for start, language, code in fences:
+        if language not in ("python", "py", "python3"):
+            continue
+        try:
+            ast.parse(code)
+        except SyntaxError as exc:
+            line = start + (exc.lineno or 1) - 1
+            findings.append(
+                Finding(path, line, f"python fence does not parse: {exc.msg}")
+            )
+    return findings
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """All findings for one markdown file."""
+    prose, fences = _segments(path.read_text())
+    return _check_links(path, prose) + _check_fences(path, fences)
+
+
+def lint(paths: Sequence[Path]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in paths:
+        if not path.exists():
+            findings.append(Finding(path, 0, "file does not exist"))
+            continue
+        findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to lint (default: README.md + docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.files or default_files()
+    findings = lint(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s) in {len(paths)} file(s)")
+        return 1
+    print(f"docs lint: {len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
