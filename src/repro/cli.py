@@ -91,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--engine", choices=("set", "bitset"), default="set",
                           help="matching engine verifying instances "
                           "(bitset = mask pools + literal-pool caching)")
+    generate.add_argument("--delta-scoring", action="store_true",
+                          help="maintain δ/f by answer-set deltas along "
+                          "lattice edges (same values, less work)")
     generate.add_argument("--show-queries", action="store_true")
     generate.add_argument("--report", action="store_true",
                           help="print the full run report")
@@ -109,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--coverage", type=int, default=16)
     online.add_argument("--engine", choices=("set", "bitset"), default="set",
                         help="matching engine verifying instances")
+    online.add_argument("--delta-scoring", action="store_true",
+                        help="maintain δ/f by answer-set deltas (same "
+                        "values, less work)")
     online.add_argument("--seed", type=int, default=0)
     online.add_argument("--metrics", default=None, metavar="PATH",
                         help="write the work-counter snapshot here")
@@ -269,6 +275,7 @@ def _cmd_generate(args) -> int:
         max_domain_values=args.domain_cap,
         metrics=registry,
         matcher_engine=args.engine,
+        use_delta_scoring=args.delta_scoring,
         budget=_budget_from_args(args),
     )
     algorithm = ALGORITHMS[args.algorithm](config)
@@ -312,6 +319,7 @@ def _cmd_online(args) -> int:
         epsilon=args.epsilon,
         metrics=registry,
         matcher_engine=args.engine,
+        use_delta_scoring=args.delta_scoring,
         budget=_budget_from_args(args),
     )
     online = OnlineQGen(config, k=args.k, window=args.window)

@@ -80,6 +80,18 @@ class GenerationConfig:
             engine's local literal-pool cache (None = unbounded; set for
             long-lived engines such as online streams or serving
             sessions).
+        use_delta_scoring: Route quality evaluation through the
+            delta-scoring engine (:mod:`repro.scoring`): per-instance δ/f
+            maintained by answer-set deltas along lattice edges plus an
+            answer-fingerprint score cache. Values are bitwise-identical
+            to from-scratch scoring; this knob only changes *how* they
+            are computed. Off by default.
+        scoring_delta_max_fraction: Delta-path acceptance threshold — a
+            child whose answer differs from its parent's by more than
+            this fraction of the parent answer size is rebuilt from
+            scratch instead of derived (must lie in [0, 1]).
+        score_cache_max_entries: LRU bound on the delta-scoring engine's
+            fingerprint caches (scores and states each; None = unbounded).
     """
 
     graph: AttributedGraph
@@ -102,6 +114,9 @@ class GenerationConfig:
     shared_indexes: Optional[GraphIndexes] = None
     shared_literal_pools: Optional["WorkloadLiteralPools"] = None
     literal_pool_max_entries: Optional[int] = None
+    use_delta_scoring: bool = False
+    scoring_delta_max_fraction: float = 0.5
+    score_cache_max_entries: Optional[int] = 4096
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -124,6 +139,17 @@ class GenerationConfig:
         ):
             raise ConfigurationError(
                 "literal_pool_max_entries must be positive or None"
+            )
+        if not 0.0 <= self.scoring_delta_max_fraction <= 1.0:
+            raise ConfigurationError(
+                "scoring_delta_max_fraction must lie in [0, 1]"
+            )
+        if (
+            self.score_cache_max_entries is not None
+            and self.score_cache_max_entries <= 0
+        ):
+            raise ConfigurationError(
+                "score_cache_max_entries must be positive or None"
             )
         output_label = self.template.node(self.template.output_node).label
         if self.graph.count_label(output_label) == 0:

@@ -16,7 +16,7 @@ attribute tuples ``T(v)`` and ``T(v')`` [25]. We provide:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph
 
@@ -195,5 +195,16 @@ def pair_sum_categorical(values: Sequence[Any]) -> float:
     counts: Dict[Any, int] = {}
     for value in values:
         counts[value] = counts.get(value, 0) + 1
-    n = len(values)
-    return (n * n - sum(m * m for m in counts.values())) / 2.0
+    return pair_sum_categorical_counts(len(values), counts)
+
+
+def pair_sum_categorical_counts(total: int, counts: Mapping[Any, int]) -> float:
+    """:func:`pair_sum_categorical` from pre-maintained value counts.
+
+    The arithmetic is all-integer until the final halving, so the result
+    is exactly :func:`pair_sum_categorical` of the multiset the counts
+    describe regardless of dict iteration order — which is what lets the
+    delta-scoring engine maintain the counts incrementally and still
+    reproduce the from-scratch value bit-for-bit.
+    """
+    return (total * total - sum(m * m for m in counts.values())) / 2.0

@@ -19,6 +19,7 @@ from repro.matching.matcher import SubgraphMatcher
 from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
 from repro.runtime.budget import NULL_GUARD, ExecutionGuard
+from repro.scoring.engine import ScoreEngine
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,19 @@ class InstanceEvaluator:
         )
         self.diversity: DiversityMeasure = config.build_diversity()
         self.coverage: CoverageMeasure = config.build_coverage()
+        # The delta-scoring engine exists only when enabled: its scoring.*
+        # counters then appear in snapshots, and regression baselines taken
+        # with the knob off stay byte-identical.
+        self.scoring: Optional[ScoreEngine] = None
+        if config.use_delta_scoring:
+            self.scoring = ScoreEngine(
+                config.graph,
+                self.diversity,
+                self.coverage,
+                metrics=self.metrics,
+                max_delta_fraction=config.scoring_delta_max_fraction,
+                max_entries=config.score_cache_max_entries,
+            )
         self._evaluated: Dict[tuple, EvaluatedInstance] = {}
         # Pre-register so snapshots always carry the pair, even at zero.
         self.metrics.counter("evaluator.eval_calls")
@@ -129,16 +143,44 @@ class InstanceEvaluator:
             return cached
         result = self.verifier.verify(instance, parent)
         matches = result.matches
-        feasible = self.coverage.is_feasible(matches)
-        evaluated = EvaluatedInstance(
-            instance=instance,
-            matches=matches,
-            delta=self.diversity.of(matches),
-            coverage=self.coverage.of(matches),
-            feasible=feasible,
-        )
+        if self.scoring is not None:
+            scored = self.scoring.score(matches, self._parent_matches(parent))
+            evaluated = EvaluatedInstance(
+                instance=instance,
+                matches=matches,
+                delta=scored.delta,
+                coverage=scored.coverage,
+                feasible=scored.feasible,
+            )
+        else:
+            evaluated = EvaluatedInstance(
+                instance=instance,
+                matches=matches,
+                delta=self.diversity.of(matches),
+                coverage=self.coverage.of(matches),
+                feasible=self.coverage.is_feasible(matches),
+            )
         self._evaluated[key] = evaluated
         return evaluated
+
+    def _parent_matches(
+        self, parent: Optional[QueryInstance]
+    ) -> Optional[FrozenSet[int]]:
+        """The parent's answer set, if it was evaluated or verified here.
+
+        Checks this evaluator's memo first, then the verifier's match
+        cache (``peek`` — no LRU touch), so the delta path engages exactly
+        when the parent's state is plausibly still warm.
+        """
+        if parent is None:
+            return None
+        evaluated = self._evaluated.get(parent.instantiation.key)
+        if evaluated is not None:
+            return evaluated.matches
+        peeked = self.verifier.peek(parent)
+        if peeked is not None:
+            return peeked.matches
+        return None
 
     # -- Work counters ---------------------------------------------------- #
 
@@ -161,3 +203,5 @@ class InstanceEvaluator:
         """Clear memoization and counters (between benchmark repetitions)."""
         self.verifier.clear()
         self._evaluated.clear()
+        if self.scoring is not None:
+            self.scoring.clear()

@@ -16,6 +16,8 @@ label exists inside that neighborhood.
 
 from __future__ import annotations
 
+import bisect
+from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.config import GenerationConfig
@@ -44,8 +46,6 @@ def _snap_to_domain(var: RangeVariable, domain, ball_values) -> set:
     ordered = sorted(domain, key=_value_key)
     keys = [_value_key(v) for v in ordered]
     allowed = set()
-    import bisect
-
     for w in ball_values:
         key = _value_key(w)
         if direction > 0:
@@ -82,7 +82,7 @@ class InstanceLattice:
         self.domains = domains or config.build_domains()
         self.metrics = metrics or MetricsRegistry()
         self._diameter = self.template.diameter()
-        self._ball_cache: Dict[FrozenSet[int], NeighborhoodView] = {}
+        self._ball_cache: "OrderedDict[FrozenSet[int], NeighborhoodView]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Extremes
@@ -232,15 +232,21 @@ class InstanceLattice:
     # Internals
     # ------------------------------------------------------------------ #
 
+    #: Bound on the ball cache; beyond it the least-recently-used entry
+    #: is evicted (one at a time — no wholesale flush of warm entries).
+    _BALL_CACHE_MAX = 256
+
     def _ball(self, matches: FrozenSet[int]) -> NeighborhoodView:
-        """Cached d-hop neighborhood view of a match set."""
+        """LRU-cached d-hop neighborhood view of a match set."""
         view = self._ball_cache.get(matches)
         if view is None:
             self.metrics.inc("lattice.ball_cache_misses")
             view = neighborhood_view(self.config.graph, matches, self._diameter)
-            if len(self._ball_cache) > 256:
-                self._ball_cache.clear()
+            while len(self._ball_cache) >= self._BALL_CACHE_MAX:
+                self._ball_cache.popitem(last=False)
+                self.metrics.inc("lattice.ball_cache_evictions")
             self._ball_cache[matches] = view
         else:
             self.metrics.inc("lattice.ball_cache_hits")
+            self._ball_cache.move_to_end(matches)
         return view

@@ -18,13 +18,14 @@ decomposed path for large answers when the kernel allows it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.core.distance import (
     GowerTupleDistance,
     _is_number,
     pair_sum_categorical,
+    pair_sum_categorical_counts,
     pair_sum_numeric,
 )
 from repro.core.relevance import ConstantRelevance, RelevanceScorer
@@ -97,6 +98,38 @@ class DiversityMeasure:
         normalizer = max(1, self._label_count - 1)
         return (1.0 - self.lam) * relevance_sum + (2.0 * self.lam / normalizer) * pair_sum
 
+    def of_maintained(
+        self,
+        nodes: Sequence[int],
+        stats: Optional[Mapping[str, Any]] = None,
+    ) -> float:
+        """``δ`` from a maintained sorted answer list (the delta-scoring path).
+
+        ``nodes`` must be the answer set already deduplicated and sorted
+        ascending; ``stats`` optionally maps each Gower attribute to its
+        maintained sufficient statistics (an object exposing ``present``,
+        ``non_numeric``, ``numeric`` — the sorted numeric multiset — and
+        ``counts``, see :class:`repro.scoring.state.AttributeStats`).
+
+        The contract is bitwise equality with ``of(set(nodes))``: rather
+        than accumulating ±deltas, the final reduction re-runs the exact
+        summation orders of the from-scratch path — relevance over the
+        sorted nodes, then either the pairwise loop or the per-attribute
+        decomposition — so floating-point rounding is identical.
+        """
+        if not nodes:
+            return 0.0
+        relevance_sum = sum(self._relevance_of(v) for v in nodes)
+        pair_sum = self._pair_sum_maintained(nodes, stats)
+        normalizer = max(1, self._label_count - 1)
+        return (1.0 - self.lam) * relevance_sum + (2.0 * self.lam / normalizer) * pair_sum
+
+    def uses_decomposed(self, size: int) -> bool:
+        """Whether an answer of ``size`` nodes takes the decomposed path."""
+        return self.mode == "decomposed" or (
+            self.mode == "auto" and self._gower and size > _DECOMPOSE_THRESHOLD
+        )
+
     def _relevance_of(self, node_id: int) -> float:
         """Memoized ``r(u_o, v)``.
 
@@ -116,10 +149,20 @@ class DiversityMeasure:
     def _pair_sum(self, nodes: Sequence[int]) -> float:
         if len(nodes) < 2 or self.lam == 0.0:
             return 0.0
-        use_decomposed = self.mode == "decomposed" or (
-            self.mode == "auto" and self._gower and len(nodes) > _DECOMPOSE_THRESHOLD
-        )
-        if use_decomposed:
+        if self.uses_decomposed(len(nodes)):
+            return self._pair_sum_decomposed(nodes)
+        return self._pair_sum_exact(nodes)
+
+    def _pair_sum_maintained(
+        self, nodes: Sequence[int], stats: Optional[Mapping[str, Any]]
+    ) -> float:
+        """Pair-sum mirroring :meth:`_pair_sum`'s mode decision, fed from
+        maintained statistics whenever the decomposed path would run."""
+        if len(nodes) < 2 or self.lam == 0.0:
+            return 0.0
+        if self.uses_decomposed(len(nodes)):
+            if stats is not None:
+                return self._pair_sum_from_stats(len(nodes), stats)
             return self._pair_sum_decomposed(nodes)
         return self._pair_sum_exact(nodes)
 
@@ -169,6 +212,38 @@ class DiversityMeasure:
             total += contribution
         return total / len(attributes)
 
+    def _pair_sum_from_stats(self, n: int, stats: Mapping[str, Any]) -> float:
+        """Decomposed Gower pair-sum from maintained per-attribute stats.
+
+        Bitwise-identical to :meth:`_pair_sum_decomposed` on the same
+        answer set: the per-attribute branch tests and summation orders
+        are the same (``pair_sum_numeric`` re-sorts the already-sorted
+        scaled values into the identical sequence, and the categorical
+        formula is all-integer, so count iteration order cannot matter).
+        """
+        attributes = self.distance.attributes
+        if not attributes:
+            return 0.0
+        ranges = self.distance.ranges
+        total = 0.0
+        for attribute in attributes:
+            st = stats[attribute]
+            present = st.present
+            contribution = float(present * (n - present))
+            if present:
+                if st.non_numeric == 0:
+                    spread = ranges.spread(attribute)
+                    if spread > 0:
+                        contribution += pair_sum_numeric(
+                            [float(v) / spread for v in st.numeric]
+                        ) * 1.0
+                    else:
+                        contribution += pair_sum_categorical_counts(present, st.counts)
+                else:
+                    contribution += pair_sum_categorical_counts(present, st.counts)
+            total += contribution
+        return total / len(attributes)
+
 
 class CoverageMeasure:
     """Computes ``f(q, P)`` and feasibility for one group set.
@@ -191,9 +266,23 @@ class CoverageMeasure:
         error = self.groups.coverage_error(matches)
         return float(max(0, self.groups.total_coverage - error))
 
+    def of_overlaps(self, overlaps: Mapping[str, int]) -> float:
+        """``f`` from maintained per-group overlap counters.
+
+        All-integer until the final cast, so the value is exactly
+        :meth:`of` of any answer set with these overlaps — the delta
+        path's coverage reduction.
+        """
+        error = sum(abs(overlaps[g.name] - g.coverage) for g in self.groups)
+        return float(max(0, self.groups.total_coverage - error))
+
     def is_feasible(self, matches: Iterable[int]) -> bool:
         """Feasibility: every group covered with ≥ ``c_i`` answer nodes."""
         return self.groups.is_feasible(matches)
+
+    def feasible_overlaps(self, overlaps: Mapping[str, int]) -> bool:
+        """:meth:`is_feasible` from maintained per-group overlap counters."""
+        return all(overlaps[g.name] >= g.coverage for g in self.groups)
 
     def overlaps(self, matches: Iterable[int]) -> Dict[str, int]:
         """Per-group overlap counts (for reports and the case study)."""
@@ -219,18 +308,28 @@ class WeightedCoverageMeasure(CoverageMeasure):
             if weights[name] < 0:
                 raise ConfigurationError(f"negative weight for group {name!r}")
         self.weights = {name: float(weights.get(name, 1.0)) for name in groups.names}
+        # ``of()`` reads the bound on every call; the groups and weights are
+        # immutable after construction, so compute the generator-sum once.
+        self._upper_bound = sum(
+            self.weights[g.name] * g.coverage for g in self.groups
+        )
 
     @property
     def upper_bound(self) -> float:  # type: ignore[override]
-        """``C_w = Σ w_i c_i``."""
-        return sum(
-            self.weights[g.name] * g.coverage for g in self.groups
-        )
+        """``C_w = Σ w_i c_i`` (cached at construction)."""
+        return self._upper_bound
 
     def of(self, matches: Iterable[int]) -> float:
         nodes = set(matches)
         penalty = sum(
             self.weights[g.name] * abs(g.overlap(nodes) - g.coverage)
+            for g in self.groups
+        )
+        return max(0.0, self.upper_bound - penalty)
+
+    def of_overlaps(self, overlaps: Mapping[str, int]) -> float:
+        penalty = sum(
+            self.weights[g.name] * abs(overlaps[g.name] - g.coverage)
             for g in self.groups
         )
         return max(0.0, self.upper_bound - penalty)

@@ -35,6 +35,11 @@ class RunStats:
         truncation_reason: Why the run stopped early — one of
             ``"deadline"``, ``"max_instances"``, ``"max_backtracks"``,
             ``"cancelled"`` — or None for a complete run.
+        delta_scored: Evaluations served by the delta-scoring engine's
+            state derivation (``scoring.delta_updates``; 0 when
+            ``use_delta_scoring`` is off).
+        score_cache_hits: Evaluations answered by the answer-fingerprint
+            score cache (``scoring.cache_hits``; 0 when off).
     """
 
     generated: int = 0
@@ -45,6 +50,8 @@ class RunStats:
     elapsed_seconds: float = 0.0
     truncated: bool = False
     truncation_reason: Optional[str] = None
+    delta_scored: int = 0
+    score_cache_hits: int = 0
 
     def as_row(self) -> Dict[str, object]:
         """Row-dict rendering for table printers."""
@@ -77,6 +84,8 @@ class RunStats:
         self.feasible = metrics.value(f"{namespace}.feasible")
         self.verified = metrics.value("evaluator.cache_misses")
         self.incremental = metrics.value("evaluator.incremental")
+        self.delta_scored = metrics.value("scoring.delta_updates")
+        self.score_cache_hits = metrics.value("scoring.cache_hits")
 
 
 @dataclass

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import GroupError
 from repro.graph.attributed_graph import AttributedGraph
@@ -36,6 +36,11 @@ class NodeGroup:
     def overlap(self, nodes: Iterable[int]) -> int:
         """``|nodes ∩ P_i|``."""
         members = self.members
+        if isinstance(nodes, (set, frozenset)):
+            # Callers overwhelmingly pass (frozen)sets — answer sets from
+            # EvaluatedInstance.matches — where set intersection beats a
+            # per-element membership scan.
+            return len(members & nodes)
         return sum(1 for node in nodes if node in members)
 
     def __len__(self) -> int:
@@ -70,6 +75,10 @@ class GroupSet:
             seen |= group.members
         self._groups: Tuple[NodeGroup, ...] = tuple(groups)
         self._by_name: Dict[str, NodeGroup] = {g.name: g for g in groups}
+        # node -> group-name inverted index (well-defined because groups are
+        # disjoint); built lazily on first membership query and reused by
+        # the delta-scoring engine's O(|Δ|) overlap maintenance.
+        self._node_index: Optional[Dict[int, str]] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -104,6 +113,33 @@ class GroupSet:
     # ------------------------------------------------------------------ #
     # Coverage computations
     # ------------------------------------------------------------------ #
+
+    def group_of(self, node_id: int) -> Optional[str]:
+        """Name of the (unique) group containing ``node_id``, or None.
+
+        Backed by the lazily-built node→group inverted index, so a lookup
+        is O(1) after the first call.
+        """
+        index = self._node_index
+        if index is None:
+            index = self._node_index = {
+                node: g.name for g in self._groups for node in g.members
+            }
+        return index.get(node_id)
+
+    def overlap_counts(self, nodes: Iterable[int]) -> Dict[str, int]:
+        """Per-group overlap counters computed in O(|nodes|) via the
+        inverted index (one lookup per node instead of one scan per group).
+
+        Equals :meth:`overlaps` on any input; this is the construction the
+        delta-scoring engine maintains incrementally.
+        """
+        counts = {name: 0 for name in self.names}
+        for node in nodes:
+            name = self.group_of(node)
+            if name is not None:
+                counts[name] += 1
+        return counts
 
     def overlaps(self, nodes: Iterable[int]) -> Dict[str, int]:
         """Per-group overlap counts ``|nodes ∩ P_i|`` for an answer set."""

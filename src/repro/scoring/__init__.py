@@ -1,0 +1,11 @@
+"""Incremental delta-scoring: maintain δ and f by answer-set deltas.
+
+See :mod:`repro.scoring.engine` for the orchestration and
+:mod:`repro.scoring.state` for the maintained sufficient statistics.
+Enabled per run via ``GenerationConfig(use_delta_scoring=True)``.
+"""
+
+from repro.scoring.engine import ScoredAnswer, ScoreEngine
+from repro.scoring.state import AttributeStats, ScoreState
+
+__all__ = ["AttributeStats", "ScoredAnswer", "ScoreEngine", "ScoreState"]

@@ -1,0 +1,214 @@
+"""The delta-scoring engine: answer-set scoring with state maintenance.
+
+:class:`ScoreEngine` sits between :class:`~repro.core.evaluator.InstanceEvaluator`
+and the quality measures. For every verified instance it produces the
+``(δ, f, feasible)`` triple via, in order of preference:
+
+1. **Fingerprint cache** — sibling instances frequently share the exact
+   same answer set (different instantiations, identical ``q(G)``); a
+   bounded LRU keyed on ``frozenset(matches)`` returns the triple in O(1).
+2. **Delta path** — when the caller supplies the parent's answer set and
+   its :class:`~repro.scoring.state.ScoreState` is retained, the engine
+   diffs the two answers and derives the child's state in O(|Δ|·(k + n)),
+   then recomputes the measure reductions from the maintained statistics
+   (bitwise-equal to from-scratch; see :mod:`repro.scoring.state`).
+   Deltas exceeding ``max_delta_fraction · |parent|`` fall through — past
+   that point a rebuild is no slower and keeps constants small.
+3. **Full build** — from-scratch state construction (still feeding the
+   same reductions), used for roots, cache misses, and oversized deltas.
+
+When a measure is subclassed or configured in a way the maintained
+reductions cannot reproduce (a non-Gower kernel, ``mode="exact"``, a
+custom coverage class), the engine degrades feature-by-feature to the
+measures' own ``of()`` — correctness never depends on the fast path.
+
+Every decision increments a ``scoring.*`` counter on the run's
+:class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Iterable, NamedTuple, Optional, Tuple
+
+from repro.core.measures import (
+    CoverageMeasure,
+    DiversityMeasure,
+    WeightedCoverageMeasure,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.obs.registry import MetricsRegistry
+from repro.scoring.state import ScoreState
+
+
+class ScoredAnswer(NamedTuple):
+    """The evaluator-facing scoring result for one answer set."""
+
+    delta: float
+    coverage: float
+    feasible: bool
+
+
+class ScoreEngine:
+    """Delta-maintained, fingerprint-cached quality scoring.
+
+    Args:
+        graph: The data graph (attribute lookups during state maintenance).
+        diversity: The run's diversity measure.
+        coverage: The run's coverage measure.
+        metrics: Counter sink; ``scoring.*`` namespace.
+        max_delta_fraction: Deltas larger than this fraction of the parent
+            answer size fall back to a full state rebuild.
+        max_entries: Bound for *each* of the two LRUs (fingerprint → score,
+            fingerprint → state). ``None`` disables bounding.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        diversity: DiversityMeasure,
+        coverage: CoverageMeasure,
+        metrics: Optional[MetricsRegistry] = None,
+        max_delta_fraction: float = 0.5,
+        max_entries: Optional[int] = 4096,
+    ) -> None:
+        self.graph = graph
+        self.diversity = diversity
+        self.coverage = coverage
+        self.metrics = metrics or MetricsRegistry()
+        self.max_delta_fraction = max_delta_fraction
+        self.max_entries = max_entries
+        self._scores: "OrderedDict[FrozenSet[int], ScoredAnswer]" = OrderedDict()
+        self._states: "OrderedDict[FrozenSet[int], ScoreState]" = OrderedDict()
+        # Capability detection — exact-subclass checks, not isinstance: a
+        # subclass may override of()/is_feasible with semantics the
+        # maintained reductions do not reproduce.
+        self._div_delta = type(diversity) is DiversityMeasure
+        self._cov_delta = type(coverage) in (CoverageMeasure, WeightedCoverageMeasure)
+        self._groups = coverage.groups if self._cov_delta else None
+        # Attribute statistics only pay off when the decomposed Gower path
+        # can consume them; "exact" mode never reads them.
+        if self._div_delta and diversity._gower and diversity.mode != "exact":
+            self._attributes: Tuple[str, ...] = diversity.distance.attributes
+        else:
+            self._attributes = ()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def score(
+        self,
+        matches: Iterable[int],
+        parent_matches: Optional[Iterable[int]] = None,
+    ) -> ScoredAnswer:
+        """Score an answer set, reusing the parent's state when profitable.
+
+        ``parent_matches`` is the already-scored parent instance's answer
+        set (or None at lattice roots); it keys the retained parent state.
+        """
+        metrics = self.metrics
+        metrics.inc("scoring.score_calls")
+        fingerprint = matches if isinstance(matches, frozenset) else frozenset(matches)
+        cached = self._scores.get(fingerprint)
+        if cached is not None:
+            metrics.inc("scoring.cache_hits")
+            self._scores.move_to_end(fingerprint)
+            return cached
+        metrics.inc("scoring.cache_misses")
+
+        state = self._state_for(fingerprint, parent_matches)
+        if state is not None:
+            delta = self._diversity_of(state)
+            coverage, feasible = self._coverage_of(state)
+            answer = ScoredAnswer(delta, coverage, feasible)
+        else:
+            # No maintainable reduction for either measure — plain scoring
+            # (the fingerprint cache above still amortizes repeats).
+            answer = ScoredAnswer(
+                self.diversity.of(fingerprint),
+                self.coverage.of(fingerprint),
+                self.coverage.is_feasible(fingerprint),
+            )
+
+        self._remember(self._scores, fingerprint, answer, "scoring.cache_evictions")
+        metrics.set("scoring.cache_size", len(self._scores))
+        return answer
+
+    def clear(self) -> None:
+        """Drop all cached scores and states (run boundary)."""
+        self._scores.clear()
+        self._states.clear()
+
+    # ------------------------------------------------------------------ #
+    # State management
+    # ------------------------------------------------------------------ #
+
+    def _state_for(
+        self,
+        fingerprint: FrozenSet[int],
+        parent_matches: Optional[Iterable[int]],
+    ) -> Optional[ScoreState]:
+        """Obtain (derive or build) and retain the answer's ScoreState."""
+        if not (self._div_delta or self._cov_delta):
+            return None
+        metrics = self.metrics
+        state: Optional[ScoreState] = None
+        if parent_matches is not None:
+            parent_key = (
+                parent_matches
+                if isinstance(parent_matches, frozenset)
+                else frozenset(parent_matches)
+            )
+            parent_state = self._states.get(parent_key)
+            if parent_state is not None:
+                removed = parent_key - fingerprint
+                added = fingerprint - parent_key
+                budget = self.max_delta_fraction * max(1, len(parent_key))
+                if len(removed) + len(added) <= budget:
+                    self._states.move_to_end(parent_key)
+                    state = parent_state.derive(
+                        removed, added, self.graph, self._groups
+                    )
+                    metrics.inc("scoring.delta_updates")
+                    metrics.inc("scoring.delta_nodes", len(removed) + len(added))
+                else:
+                    metrics.inc("scoring.fallback_large_delta")
+        if state is None:
+            state = ScoreState.build(
+                fingerprint, self.graph, self._attributes, self._groups
+            )
+            metrics.inc("scoring.full_builds")
+        self._remember(self._states, fingerprint, state, "scoring.state_evictions")
+        metrics.set("scoring.state_size", len(self._states))
+        return state
+
+    def _remember(self, lru: OrderedDict, key, value, eviction_counter: str) -> None:
+        lru[key] = value
+        lru.move_to_end(key)
+        if self.max_entries is not None:
+            while len(lru) > self.max_entries:
+                lru.popitem(last=False)
+                self.metrics.inc(eviction_counter)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+
+    def _diversity_of(self, state: ScoreState) -> float:
+        if not self._div_delta:
+            return self.diversity.of(state.nodes)
+        stats = state.attrs if self._attributes else None
+        return self.diversity.of_maintained(state.nodes, stats)
+
+    def _coverage_of(self, state: ScoreState) -> Tuple[float, bool]:
+        if not self._cov_delta:
+            return (
+                self.coverage.of(state.nodes),
+                self.coverage.is_feasible(state.nodes),
+            )
+        overlaps = state.overlaps
+        return (
+            self.coverage.of_overlaps(overlaps),
+            self.coverage.feasible_overlaps(overlaps),
+        )

@@ -1,0 +1,158 @@
+"""Property-based tests for the delta-scoring subsystem.
+
+Two contracts:
+
+* ``DiversityMeasure`` modes agree: ``exact`` ≡ ``decomposed`` within
+  1e-9 on answer sets straddling ``_DECOMPOSE_THRESHOLD`` (the satellite
+  requirement — the decomposition must be correct on both sides of the
+  auto-mode switch, not just for tiny answers);
+* the delta-scoring engine is **bitwise** faithful: along random
+  remove/add chains, every ``ScoreEngine.score`` result equals the
+  measures' own from-scratch ``of()`` with ``==``, not approximately.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.measures import (
+    CoverageMeasure,
+    DiversityMeasure,
+    _DECOMPOSE_THRESHOLD,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.groups import GroupSet, NodeGroup
+from repro.obs.registry import MetricsRegistry
+from repro.scoring import ScoreEngine, ScoreState
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def _graph(n: int, seed: int) -> AttributedGraph:
+    """Deterministic graph with numeric, categorical and missing attributes.
+
+    Each attribute is type-homogeneous across nodes ("extra" flips type
+    per *graph*, never within one): the decomposed Gower pair-sum scores
+    an attribute with mixed present types as all-categorical while the
+    exact path scores its numeric-numeric pairs numerically, so mode
+    equivalence is only promised for homogeneous attributes.
+    """
+    graph = AttributedGraph("prop-scoring")
+    extra_numeric = seed % 2 == 0
+    for i in range(n):
+        r = (i * 2654435761 + seed * 40503) & 0xFFFF
+        attrs = {}
+        if r % 5 != 0:
+            attrs["num"] = (r >> 3) % 97
+        if r % 4 != 1:
+            attrs["cat"] = ("x", "y", "z", "w")[(r >> 7) % 4]
+        if r % 7 == 0:
+            attrs["extra"] = (r % 13) if extra_numeric else f"v{r % 6}"
+        graph.add_node(i, "m", attrs)
+    return graph.freeze()
+
+
+# Sizes straddling the auto-mode switch (threshold is 64).
+straddle_sizes = st.integers(
+    min_value=2, max_value=_DECOMPOSE_THRESHOLD + 16
+)
+
+
+class TestModeEquivalence:
+    @SETTINGS
+    @given(
+        n=straddle_sizes,
+        seed=st.integers(min_value=0, max_value=1000),
+        lam=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_exact_equals_decomposed_across_threshold(self, n, seed, lam):
+        graph = _graph(n, seed)
+        exact = DiversityMeasure(graph, "m", lam=lam, mode="exact")
+        fast = DiversityMeasure(graph, "m", lam=lam, mode="decomposed")
+        answer = set(graph.node_ids())
+        assert abs(exact.of(answer) - fast.of(answer)) < 1e-9
+
+    @SETTINGS
+    @given(
+        n=straddle_sizes,
+        seed=st.integers(min_value=0, max_value=1000),
+        lam=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_auto_equals_exact_across_threshold(self, n, seed, lam):
+        """auto must agree with exact whichever side of the switch n is on."""
+        graph = _graph(n, seed)
+        exact = DiversityMeasure(graph, "m", lam=lam, mode="exact")
+        auto = DiversityMeasure(graph, "m", lam=lam, mode="auto")
+        answer = set(graph.node_ids())
+        assert abs(exact.of(answer) - auto.of(answer)) < 1e-9
+
+
+@st.composite
+def delta_chain(draw):
+    """An initial answer plus remove/add steps over a fixed node universe."""
+    universe = draw(st.integers(min_value=20, max_value=90))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    initial = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=universe - 1),
+            min_size=2,
+            max_size=universe,
+        )
+    )
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sets(st.integers(min_value=0, max_value=universe - 1), max_size=5),
+                st.sets(st.integers(min_value=0, max_value=universe - 1), max_size=3),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return universe, seed, initial, steps
+
+
+class TestEngineBitwiseFaithful:
+    @SETTINGS
+    @given(chain=delta_chain(), lam=st.floats(min_value=0.0, max_value=1.0))
+    def test_chain_scores_equal_from_scratch(self, chain, lam):
+        universe, seed, answer, steps = chain
+        graph = _graph(universe, seed)
+        groups = GroupSet(
+            [
+                NodeGroup("a", frozenset(range(0, universe, 3)), 1),
+                NodeGroup("b", frozenset(range(1, universe, 3)), 1),
+            ]
+        )
+        diversity = DiversityMeasure(graph, "m", lam=lam)
+        coverage = CoverageMeasure(groups)
+        engine = ScoreEngine(
+            graph, diversity, coverage, metrics=MetricsRegistry(),
+            max_delta_fraction=1.0,
+        )
+        parent = None
+        for removed, added in [(set(), set())] + steps:
+            answer = (answer - removed) | added
+            scored = engine.score(frozenset(answer), parent)
+            # Bitwise equality — not approx: the contract of the engine.
+            assert scored.delta == diversity.of(answer)
+            assert scored.coverage == coverage.of(answer)
+            assert scored.feasible == coverage.is_feasible(answer)
+            parent = frozenset(answer)
+
+    @SETTINGS
+    @given(chain=delta_chain())
+    def test_derived_state_equals_rebuilt_state(self, chain):
+        universe, seed, answer, steps = chain
+        graph = _graph(universe, seed)
+        groups = GroupSet([NodeGroup("g", frozenset(range(0, universe, 2)), 1)])
+        attributes = ("cat", "extra", "num")
+        state = ScoreState.build(answer, graph, attributes, groups)
+        for removed, added in steps:
+            removed = frozenset(removed & answer)
+            added = frozenset(added - (answer - removed))
+            answer = (answer - removed) | added
+            state = state.derive(removed, added, graph, groups)
+            assert state.signature() == ScoreState.build(
+                answer, graph, attributes, groups
+            ).signature()
