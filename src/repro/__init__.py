@@ -61,7 +61,14 @@ from repro.service import (
     WorkloadLiteralPools,
 )
 from repro.session import BatchSession, FairSQGSession
-from repro.workload import TemplateGenerator, TemplateSpec, requests_from_templates
+from repro.matching.delta import GraphDelta
+from repro.streaming import StreamingSession, UpdateReport
+from repro.workload import (
+    TemplateGenerator,
+    TemplateSpec,
+    random_delta_stream,
+    requests_from_templates,
+)
 
 __version__ = "1.0.0"
 
@@ -117,5 +124,9 @@ __all__ = [
     "TemplateGenerator",
     "TemplateSpec",
     "requests_from_templates",
+    "GraphDelta",
+    "StreamingSession",
+    "UpdateReport",
+    "random_delta_stream",
     "__version__",
 ]

@@ -6,20 +6,26 @@ Subcommands:
 * ``generate`` — run one generation algorithm on a dataset and print the
   returned ε-Pareto instance set;
 * ``online`` — run OnlineQGen over a random instance stream;
+* ``stream`` — maintain a live archive incrementally over a seeded
+  graph-update stream (``repro.streaming``), printing per-update repair
+  work and the final ε-Pareto set;
 * ``batch`` — serve a JSONL file of generation requests through the
   shared-cache batch service (``repro.service``);
 * ``experiment`` — run a paper-figure experiment driver and print its table.
 
-``generate``, ``online``, ``batch`` and ``experiment`` accept
-``--metrics PATH`` to write the run's full work-counter snapshot (the
-``repro.obs`` registry) as JSON; a ``.prom`` suffix selects the
+``generate``, ``online``, ``stream``, ``batch`` and ``experiment``
+accept ``--metrics PATH`` to write the run's full work-counter snapshot
+(the ``repro.obs`` registry) as JSON; a ``.prom`` suffix selects the
 Prometheus text format instead.
 
 ``generate`` and ``online`` accept execution-budget flags
 (``--deadline`` / ``--max-instances`` / ``--max-backtracks``); on
 exhaustion the run stops at the next checkpoint and prints its current
 ε-Pareto set as a flagged partial result (exit code stays 0 — a
-truncated anytime result is a valid result).
+truncated anytime result is a valid result). For ``stream`` the same
+flags bound each *update*: a tripped budget makes that update fall back
+to a cold re-evaluation (flagged in the per-update table) instead of
+truncating.
 """
 
 from __future__ import annotations
@@ -142,6 +148,37 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics", default=None, metavar="PATH",
                        help="write the service-registry snapshot here "
                        "(service.* + aggregated run counters)")
+
+    stream = sub.add_parser(
+        "stream", help="maintain a live archive over a graph-update stream"
+    )
+    stream.add_argument("--dataset", choices=dataset_names(), default="lki")
+    stream.add_argument("--scale", type=float, default=0.15)
+    stream.add_argument("--coverage", type=int, default=16)
+    stream.add_argument("--groups", type=int, default=2)
+    stream.add_argument("--epsilon", type=float, default=0.05)
+    stream.add_argument("--domain-cap", type=int, default=5)
+    stream.add_argument("--engine", choices=("set", "bitset"), default="set",
+                        help="matching engine verifying instances")
+    stream.add_argument("--delta-scoring", action="store_true",
+                        help="maintain δ/f by answer-set deltas (same "
+                        "values, less work)")
+    stream.add_argument("--generate", type=int, default=24, metavar="N",
+                        help="instances adopted into the ledger before "
+                        "the stream starts")
+    stream.add_argument("--updates", type=int, default=10, metavar="N",
+                        help="number of graph deltas applied")
+    stream.add_argument("--edge-ops", type=int, default=2, metavar="N",
+                        help="edge insertions/deletions per delta")
+    stream.add_argument("--attr-ops", type=int, default=1, metavar="N",
+                        help="attribute updates per delta")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--show-queries", action="store_true",
+                        help="print the final archive's queries")
+    stream.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the session's work-counter snapshot "
+                        "here (includes the streaming.* family)")
+    _add_budget_flags(stream)
 
     experiment = sub.add_parser("experiment", help="run a paper-figure experiment")
     experiment.add_argument(
@@ -339,6 +376,77 @@ def _cmd_online(args) -> int:
         f"\nprocessed {result.stats.generated} instances, "
         f"mean delay {result.stats.mean_delay * 1000:.2f} ms"
     )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.streaming import StreamingSession
+    from repro.workload import random_delta_stream
+
+    bundle = dataset_bundle(
+        args.dataset,
+        scale=args.scale,
+        num_groups=args.groups,
+        coverage_total=args.coverage,
+    )
+    session = StreamingSession(
+        bundle.graph,
+        bundle.template,
+        bundle.groups,
+        epsilon=args.epsilon,
+        max_domain_values=args.domain_cap,
+        matcher_engine=args.engine,
+        use_delta_scoring=args.delta_scoring,
+    )
+    session.generate(count=args.generate, seed=args.seed)
+    budget = _budget_from_args(args)
+    deltas = random_delta_stream(
+        session.graph,
+        count=args.updates,
+        seed=args.seed,
+        edge_ops=args.edge_ops,
+        attr_ops=args.attr_ops,
+    )
+    rows = []
+    for step, delta in enumerate(deltas):
+        report = session.update(delta, budget=budget)
+        receipt = report.receipt
+        rows.append(
+            {
+                "step": step,
+                "+e": receipt.edges_inserted,
+                "-e": receipt.edges_deleted,
+                "attrs": receipt.attributes_set,
+                "rechecked": report.rechecked,
+                "skipped": report.skipped,
+                "changed": report.changed,
+                "rescored": report.rescored,
+                "kept": report.scores_kept,
+                "|archive|": report.archive_size,
+                "ms": round(report.seconds * 1000, 2),
+                "note": report.recovered or "",
+            }
+        )
+    print_table(
+        rows,
+        f"{args.updates} updates over {bundle.name} "
+        f"(ledger {len(session.ledger)}, engine {args.engine})",
+    )
+    final = [
+        {
+            "δ": round(ev.delta, 3),
+            "f": round(ev.coverage, 1),
+            "|q(G)|": len(ev.matches),
+        }
+        for ev in session.archive.instances()
+    ]
+    print_table(final, f"live ε-Pareto set after the stream (ε = {args.epsilon})")
+    if args.show_queries:
+        for ev in session.archive.instances():
+            print()
+            print(ev.instance.describe())
+    if args.metrics:
+        _write_metrics(session.metrics, args.metrics)
     return 0
 
 
@@ -549,6 +657,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "generate": _cmd_generate,
         "online": _cmd_online,
+        "stream": _cmd_stream,
         "batch": _cmd_batch,
         "experiment": _cmd_experiment,
         "rpq": _cmd_rpq,

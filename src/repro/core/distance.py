@@ -16,7 +16,7 @@ attribute tuples ``T(v)`` and ``T(v')`` [25]. We provide:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph
 
@@ -74,6 +74,20 @@ class AttributeRanges:
         lo, hi = self.range_of(attribute)
         return float(hi - lo)
 
+    def drop(self, attributes: Iterable[str]) -> int:
+        """Forget cached ranges for ``attributes`` (streaming repair).
+
+        After an in-place attribute update the cached (min, max) of a
+        touched attribute may be stale; dropping it makes the next
+        :meth:`range_of` re-scan the active domain. Returns how many live
+        entries were dropped.
+        """
+        dropped = 0
+        for name in attributes:
+            if self._ranges.pop(name, None) is not None:
+                dropped += 1
+        return dropped
+
 
 class _TupleDistanceBase:
     """Shared plumbing: attribute selection, per-pair caching."""
@@ -94,6 +108,21 @@ class _TupleDistanceBase:
         self.attributes: Tuple[str, ...] = tuple(attributes)
         self.ranges = AttributeRanges(graph, label)
         self._cache: Dict[Tuple[int, int], float] = {}
+
+    def invalidate_nodes(self, nodes: Iterable[int]) -> int:
+        """Drop cached pair distances involving ``nodes`` (streaming repair).
+
+        A node's attribute update stale-ifies exactly the cached pairs it
+        participates in; every other pair's distance is unchanged (given
+        the normalizing spreads are unchanged — when they are not, the
+        caller must rebuild the kernel instead). Returns the number of
+        dropped pairs.
+        """
+        touched = set(nodes)
+        stale = [key for key in self._cache if key[0] in touched or key[1] in touched]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
 
     def __call__(self, v: int, w: int) -> float:
         """Cached distance between two node ids."""

@@ -205,3 +205,54 @@ class InstanceEvaluator:
         self._evaluated.clear()
         if self.scoring is not None:
             self.scoring.clear()
+
+    # -- Streaming repair hooks -------------------------------------------- #
+
+    def invalidate_matches(self) -> None:
+        """Drop match-derived memos after an in-place graph delta.
+
+        Verifier results and evaluated instances are keyed on the old
+        graph's answers; measures and the scoring engine are *not* touched
+        — their validity after a delta is attribute-dependent and decided
+        separately by the streaming session (see
+        :meth:`repair_scoring` / :meth:`rebuild_measures`). Counters keep
+        accumulating (contrast :meth:`reset_counters`).
+        """
+        self.verifier.invalidate()
+        self._evaluated.clear()
+
+    def repair_scoring(self, nodes) -> int:
+        """Scoped score repair: drop state involving ``nodes``.
+
+        For an attribute update that cannot change any normalizing spread:
+        distance pair-caches and scoring-engine entries touching the
+        updated nodes are dropped, everything disjoint stays warm. Returns
+        the number of dropped scoring-engine entries.
+        """
+        distance = getattr(self.diversity, "distance", None)
+        if distance is not None and hasattr(distance, "invalidate_nodes"):
+            distance.invalidate_nodes(nodes)
+        if self.scoring is not None:
+            return self.scoring.invalidate_nodes(nodes)
+        return 0
+
+    def rebuild_measures(self) -> None:
+        """Rebuild measures and scoring against the (mutated) graph.
+
+        The heavy tier of streaming score repair, used when an attribute
+        update may have changed a normalizing spread — every cached pair
+        distance, attribute range and maintained score state is then
+        suspect, so all of them are rebuilt from the config.
+        """
+        self.diversity = self.config.build_diversity()
+        self.coverage = self.config.build_coverage()
+        if self.scoring is not None:
+            self.scoring = ScoreEngine(
+                self.config.graph,
+                self.diversity,
+                self.coverage,
+                metrics=self.metrics,
+                max_delta_fraction=self.config.scoring_delta_max_fraction,
+                max_entries=self.config.score_cache_max_entries,
+            )
+        self._evaluated.clear()

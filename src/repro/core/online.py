@@ -61,6 +61,15 @@ class OnlineStats(RunStats):
         """Worst per-instance delay in seconds."""
         return max(self.delays) if self.delays else 0.0
 
+    @property
+    def p95_delay(self) -> float:
+        """95th-percentile per-instance delay in seconds (nearest-rank)."""
+        if not self.delays:
+            return 0.0
+        ordered = sorted(self.delays)
+        rank = max(0, math.ceil(0.95 * len(ordered)) - 1)
+        return ordered[rank]
+
 
 class OnlineQGen(QGenAlgorithm):
     """Size-k online ε-Pareto maintenance.

@@ -143,6 +143,70 @@ class AttributedGraph:
             raise GraphError("graph is frozen; build a new graph instead")
 
     # ------------------------------------------------------------------ #
+    # In-place maintenance (streaming layer only)
+    # ------------------------------------------------------------------ #
+    #
+    # These three methods deliberately bypass the freeze contract: the
+    # streaming session (repro.streaming) owns the graph it mutates and
+    # repairs every dependent index in the same update transaction, so
+    # the "frozen = indexes never go stale" invariant is preserved at the
+    # session boundary. Nothing else should call them — algorithms keep
+    # treating graphs as immutable.
+
+    def _insert_edge_in_place(self, source: int, target: int, label: str) -> bool:
+        """Add one edge on a frozen graph; returns False if it existed."""
+        if source not in self._nodes:
+            raise GraphError(f"unknown source node {source}")
+        if target not in self._nodes:
+            raise GraphError(f"unknown target node {target}")
+        out_by_label = self._out[source].setdefault(label, set())
+        if target in out_by_label:
+            return False
+        out_by_label.add(target)
+        self._in[target].setdefault(label, set()).add(source)
+        self._edge_count += 1
+        self._edge_labels.add(label)
+        return True
+
+    def _delete_edge_in_place(self, source: int, target: int, label: str) -> None:
+        """Remove one edge on a frozen graph; raises if it does not exist.
+
+        ``edge_labels()`` may stay a superset afterwards (the label is
+        not un-registered even when its last edge goes) — label sets are
+        advisory and rebuilt on the next full index build.
+        """
+        targets = self._out.get(source, {}).get(label)
+        if targets is None or target not in targets:
+            raise GraphError(f"cannot delete missing edge {(source, target, label)}")
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+        self._edge_count -= 1
+
+    def _set_attribute_in_place(
+        self, node_id: int, name: str, value: Optional[AttrValue]
+    ) -> AttrValue:
+        """Set (or, with ``None``, remove) one attribute; returns the old value.
+
+        Nodes are frozen dataclasses, so the node object is replaced
+        wholesale — existing Node references keep describing the
+        pre-update state.
+        """
+        node = self.node(node_id)
+        attributes = dict(node.attributes)
+        old = attributes.get(name)
+        if value is None:
+            attributes.pop(name, None)
+        else:
+            attributes[name] = value
+        self._nodes[node_id] = Node(node_id, node.label, attributes)
+        return old
+
+    # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
 

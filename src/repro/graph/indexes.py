@@ -76,6 +76,19 @@ class AttributeIndex:
             self._sorted[key] = table
         return table
 
+    def drop_tables(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Invalidate the sorted tables of the given (label, attribute) pairs.
+
+        The streaming repair path calls this after in-place attribute
+        updates — only the touched pairs rebuild on next access; every
+        other table stays warm. Returns how many live tables were dropped.
+        """
+        dropped = 0
+        for key in pairs:
+            if self._sorted.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
     def matching_nodes(self, label: str, attribute: str, op: Op, constant: Any) -> Set[int]:
         """Node ids with ``label`` whose ``attribute op constant`` holds."""
         keys, ids = self._table(label, attribute)
@@ -218,6 +231,21 @@ class BitsetIndex:
             self._rows[key] = row
         return row
 
+    def drop_rows(self, nodes: Iterable[int]) -> int:
+        """Invalidate the cached adjacency rows of the given data nodes.
+
+        An edge delta only changes rows anchored at a touched endpoint;
+        the per-label enumerations, inverse positions and full masks are
+        node-set properties and survive every edge/attribute update, so
+        this is the *whole* bitset repair for an in-place delta. Returns
+        how many rows were dropped.
+        """
+        touched = set(nodes)
+        stale = [key for key in self._rows if key[0] in touched]
+        for key in stale:
+            del self._rows[key]
+        return len(stale)
+
     @property
     def cached_rows(self) -> int:
         """Number of adjacency rows materialized so far (observability)."""
@@ -241,6 +269,27 @@ class GraphIndexes:
     def candidate_pool(self, label: str) -> FrozenSet[int]:
         """Initial candidate set for a query node: all nodes with its label."""
         return self.labels.nodes(label)
+
+    def repair(
+        self,
+        touched_nodes: Iterable[int],
+        touched_attributes: Iterable[Tuple[str, str]] = (),
+    ) -> Tuple[int, int]:
+        """Scoped invalidation after an in-place graph delta.
+
+        Drops exactly the cached state the delta can have stale-ified:
+        adjacency rows anchored at touched nodes (edge inserts/deletes)
+        and sorted attribute tables for touched (label, attribute) pairs.
+        Label pools, bitset enumerations and full masks describe the node
+        set, which in-place deltas never change, so they survive — that
+        asymmetry is the streaming layer's headline saving over a full
+        ``GraphContext.invalidate()``.
+
+        Returns ``(rows_dropped, tables_dropped)``.
+        """
+        rows = self.bitsets.drop_rows(touched_nodes)
+        tables = self.attributes.drop_tables(touched_attributes)
+        return rows, tables
 
     def warm(self, labels: Optional[Iterable[str]] = None) -> None:
         """Pre-build the cheap per-label state (serving cold-start cut).

@@ -37,7 +37,7 @@ counter-regression baselines bit-identical.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import MatchingError
 from repro.graph.indexes import GraphIndexes
@@ -125,6 +125,29 @@ class WorkloadLiteralPools:
         self._masks.clear()
         self._metrics.set("service.workload_pool.size", 0)
 
+    def invalidate_attributes(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Drop the masks of the given (label, attribute) pairs only.
+
+        The streaming repair path after an in-place attribute update:
+        literal masks are pure functions of attribute values over a fixed
+        bit enumeration, so an *edge* delta invalidates nothing here and
+        an attribute delta invalidates exactly the touched pairs — every
+        other workload mask stays warm. Returns the number of masks
+        dropped (also counted under ``service.workload_pool.repairs``).
+        """
+        touched = set(pairs)
+        stale = [
+            key
+            for key in self._masks
+            if len(key) == 4 and (key[0], key[1]) in touched
+        ]
+        for key in stale:
+            del self._masks[key]
+        if stale:
+            self._metrics.inc("service.workload_pool.repairs", len(stale))
+            self._metrics.set("service.workload_pool.size", len(self._masks))
+        return len(stale)
+
     @property
     def hit_rate(self) -> float:
         """Lifetime hit rate (0.0 before any probe)."""
@@ -200,6 +223,60 @@ class LiteralPoolCache:
             if self._max_entries is not None:
                 self._masks.move_to_end(key)
         return cached
+
+    def invalidate_attributes(self, pairs: Iterable[Tuple[str, str]]) -> int:
+        """Drop cached masks over the given (label, attribute) pairs.
+
+        The engine-local counterpart of
+        :meth:`WorkloadLiteralPools.invalidate_attributes` — after an
+        in-place attribute update, masks keyed on a touched pair describe
+        the old values while every other mask stays valid (edge deltas
+        never stale literal masks at all). Returns the drop count.
+        """
+        touched = set(pairs)
+        stale = [key for key in self._masks if (key[0], key[1]) in touched]
+        for key in stale:
+            del self._masks[key]
+        return len(stale)
+
+    def repair_attributes(
+        self,
+        touched_nodes: Iterable[int],
+        pairs: Iterable[Tuple[str, str]],
+    ) -> int:
+        """Bit-level repair of masks over the given (label, attribute) pairs.
+
+        The surgical alternative to :meth:`invalidate_attributes` for the
+        streaming path: a mask's bits are per-node predicate outcomes, and
+        an in-place attribute update changes those outcomes only for the
+        touched nodes — so instead of dropping the mask (and paying a full
+        O(label) recomputation on the next probe) each touched node's bit
+        is recomputed against its new value. Cost is
+        O(touched × stale masks); every untouched bit stays verbatim.
+        Returns the number of masks repaired.
+        """
+        touched = set(pairs)
+        stale = [key for key in self._masks if (key[0], key[1]) in touched]
+        if not stale:
+            return 0
+        graph = self._indexes.graph
+        nodes = list(touched_nodes)
+        for key in stale:
+            label, attribute, op, constant = key
+            positions = self._indexes.bitsets.positions(label)
+            literal = Literal(attribute, op, constant)
+            mask = self._masks[key]
+            for node in nodes:
+                position = positions.get(node)
+                if position is None:  # touched node carries another label
+                    continue
+                bit = 1 << position
+                if literal.holds_for(graph.attribute(node, attribute)):
+                    mask |= bit
+                else:
+                    mask &= ~bit
+            self._masks[key] = mask
+        return len(stale)
 
     def _store(self, key: Tuple, mask: int) -> None:
         self._masks[key] = mask

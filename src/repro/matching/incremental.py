@@ -142,6 +142,18 @@ class IncrementalVerifier:
         """Return a cached result without verifying (no LRU touch)."""
         return self._cache.get(instance.instantiation.key)
 
+    def invalidate(self) -> None:
+        """Drop the memo table but keep every counter running.
+
+        The streaming repair path: after an in-place graph delta every
+        cached :class:`MatchResult` describes the *old* graph, but the
+        run's work counters must keep accumulating across updates (the
+        regression baselines and per-update budgets read them as running
+        totals). Contrast :meth:`clear`, which also zeroes the
+        ``evaluator.*`` namespace for between-run isolation.
+        """
+        self._cache.clear()
+
     def clear(self) -> None:
         """Drop the memo table and counters (used between independent runs)."""
         self._cache.clear()

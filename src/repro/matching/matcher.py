@@ -224,6 +224,26 @@ class SubgraphMatcher:
         """
         return bool(self.match(instance, first_only=True).matches)
 
+    def repair_literal_pools(self, pairs, touched_nodes=None) -> int:
+        """Repair engine-local literal masks over touched (label, attribute) pairs.
+
+        Streaming repair hook: the set engine keeps no literal state (it
+        reads the — already repaired — attribute index per call) so this
+        is a no-op there; the bitset engine forwards to its
+        :class:`~repro.matching.bitset.LiteralPoolCache`. With
+        ``touched_nodes`` the stale masks are repaired bit-by-bit (only
+        the touched nodes' predicate outcomes can have changed); without,
+        they are dropped and recomputed lazily. Returns the number of
+        masks repaired or dropped.
+        """
+        if self._bitset is None:
+            return 0
+        if touched_nodes is not None:
+            return self._bitset.literal_pools.repair_attributes(
+                touched_nodes, pairs
+            )
+        return self._bitset.literal_pools.invalidate_attributes(pairs)
+
     def match_outputs(
         self,
         instance: QueryInstance,

@@ -140,6 +140,29 @@ class ScoreEngine:
         self._scores.clear()
         self._states.clear()
 
+    def invalidate_nodes(self, nodes: Iterable[int]) -> int:
+        """Drop cached entries whose answer set touches ``nodes``.
+
+        The streaming layer's attribute-repair hook: a node's attribute
+        values feed every :class:`~repro.scoring.state.ScoreState` (and
+        cached score) of an answer containing it, so after an in-place
+        attribute update those entries are stale while every disjoint
+        answer's entry stays valid. Edge-only deltas never need this —
+        scores are pure functions of the answer *node set*. Returns the
+        number of dropped entries, also counted under
+        ``scoring.invalidated_entries``.
+        """
+        touched = frozenset(nodes)
+        dropped = 0
+        for lru in (self._scores, self._states):
+            stale = [key for key in lru if key & touched]
+            for key in stale:
+                del lru[key]
+            dropped += len(stale)
+        if dropped:
+            self.metrics.inc("scoring.invalidated_entries", dropped)
+        return dropped
+
     # ------------------------------------------------------------------ #
     # State management
     # ------------------------------------------------------------------ #

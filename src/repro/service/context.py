@@ -21,7 +21,10 @@ is never shared here, so nothing of it can leak across an invalidation.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (streaming → here)
+    from repro.streaming.graph_ops import DeltaReceipt
 
 from repro.core.config import GenerationConfig
 from repro.errors import ServiceError
@@ -64,8 +67,10 @@ class GraphContext:
         self._graph = graph
         self._pool_bound = workload_pool_max_entries
         self._generation = 0
+        self._revision = 0
         self.metrics.counter("service.context.invalidations")
         self.metrics.counter("service.context.configs_bound")
+        self.metrics.counter("service.context.inplace_deltas")
         self._build(warm)
 
     def _build(self, warm: bool) -> None:
@@ -99,6 +104,18 @@ class GraphContext:
     def generation(self) -> int:
         """Invalidation epoch — bumped by every invalidate/apply_delta."""
         return self._generation
+
+    @property
+    def revision(self) -> int:
+        """In-place mutation counter — bumped by every in-place delta.
+
+        Unlike :attr:`generation`, a revision bump means the *same* graph
+        object changed underneath; bound configs stay valid (the shared
+        indexes were repaired in place) but any state keyed on raw answer
+        sets — verifier memos, evaluator memos — must be refreshed by the
+        caller, which is exactly what the streaming session does.
+        """
+        return self._revision
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -163,3 +180,25 @@ class GraphContext:
         self._graph = apply_delta(self._graph, delta)
         self.invalidate()
         return self._graph
+
+    def apply_delta_in_place(self, delta: GraphDelta) -> "DeltaReceipt":
+        """Serve ``G ⊕ Δ`` without rebuilding: mutate, repair, keep identity.
+
+        The streaming fast path. The served graph object is mutated in
+        place (so configs bound to it remain bound — :meth:`bind`'s
+        identity check still passes), the shared indexes drop exactly the
+        rows/tables the delta staled (:meth:`GraphIndexes.repair`), and
+        the workload literal-pool cache drops masks over touched
+        (label, attribute) pairs. ``generation`` is untouched; the new
+        :attr:`revision` counter records the mutation. Returns the
+        :class:`~repro.streaming.graph_ops.DeltaReceipt` describing what
+        changed, for the caller's own repair (verifier memos, scores).
+        """
+        from repro.streaming.graph_ops import apply_delta_in_place
+
+        receipt = apply_delta_in_place(self._graph, delta)
+        self._indexes.repair(receipt.touched_nodes, receipt.touched_attributes)
+        self._pools.invalidate_attributes(receipt.touched_attributes)
+        self._revision += 1
+        self.metrics.inc("service.context.inplace_deltas")
+        return receipt

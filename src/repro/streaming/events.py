@@ -1,0 +1,53 @@
+"""The streaming session's event vocabulary.
+
+A live-graph stream interleaves three things: graph updates, externally
+generated candidate instances offered to the archive, and requests to
+generate fresh candidates against the *current* graph. Each is a small
+frozen dataclass so event streams are hashable, replayable and trivially
+constructible in tests; :meth:`StreamingSession.consume` dispatches on the
+event type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.matching.delta import GraphDelta
+from repro.query.instance import QueryInstance
+from repro.runtime.budget import Budget
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """Apply a graph delta and repair the archive.
+
+    Attributes:
+        delta: The batch of edge/attribute changes.
+        budget: Optional per-update work budget; when the repair work
+            exceeds it the session falls back to a cold rebuild (which is
+            bounded by construction) instead of finishing incrementally.
+    """
+
+    delta: GraphDelta
+    budget: Optional[Budget] = None
+
+
+@dataclass(frozen=True)
+class OfferEvent:
+    """Offer externally produced query instances to the live archive."""
+
+    instances: Tuple[QueryInstance, ...]
+
+
+@dataclass(frozen=True)
+class GenerateEvent:
+    """Generate ``count`` random candidates against the current graph.
+
+    The session samples instantiations from domains rebuilt against the
+    *current* attribute values (an earlier delta may have changed the
+    active domain), evaluates them, and offers the feasible ones.
+    """
+
+    count: int
+    seed: int = 0

@@ -1,0 +1,559 @@
+"""Live-graph streaming: incremental archive maintenance over update streams.
+
+:class:`StreamingSession` pins one :class:`~repro.service.context.GraphContext`
+and consumes an ordered stream of :class:`~repro.matching.delta.GraphDelta`
+updates interleaved with generation/offer requests, keeping an ε-Pareto
+archive live across every update. The invariant it maintains — and the one
+the differential suite checks after *every* delta — is
+
+    archive == the archive a cold rebuild would produce by evaluating the
+    session's ledger of instances, in order, against the materialized
+    ``G ⊕ Δ₁ ⊕ … ⊕ Δₜ``, offering the feasible ones.
+
+Per update, the session does strictly local work instead of a rebuild:
+
+1. **Graph + index repair** — the context's in-place path
+   (:meth:`~repro.service.context.GraphContext.apply_delta_in_place`)
+   mutates the pinned graph and drops exactly the adjacency rows,
+   attribute tables and literal masks the delta staled.
+2. **Delta-seeded re-verification** — only ledger entries whose answers
+   intersect the two-sided d-hop influence ball of the touched nodes are
+   re-matched, and only over the ball (:mod:`repro.streaming.reverify`).
+3. **Score repair** — tiered: edge-only deltas keep every cached score
+   (scores are pure functions of the answer node set); attribute deltas
+   that cannot move a normalizing spread invalidate only the entries
+   touching updated nodes (through
+   :meth:`~repro.scoring.engine.ScoreEngine.invalidate_nodes`); a spread
+   change rebuilds the measures outright.
+4. **Archive repair** — the archive is replayed from the repaired ledger
+   (sequential ``offer`` is exactly how a cold build would construct it).
+
+Fault tolerance: an injected fault or a tripped per-update budget aborts
+the incremental path and falls back to a cold re-evaluation of the ledger
+on the already-repaired graph — correctness never depends on the
+incremental machinery finishing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
+from repro.core.relevance import ConstantRelevance
+from repro.core.update import EpsilonParetoArchive
+from repro.errors import ConfigurationError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.matching.delta import GraphDelta
+from repro.obs.registry import MetricsRegistry
+from repro.query.instance import QueryInstance
+from repro.runtime.budget import (
+    Budget,
+    ExecutionGuard,
+    ExecutionInterrupt,
+    NULL_GUARD,
+)
+from repro.runtime.faults import FaultInjectionError, FaultInjector
+from repro.service.context import GraphContext
+from repro.streaming.events import GenerateEvent, OfferEvent, UpdateEvent
+from repro.streaming.graph_ops import DeltaReceipt
+from repro.streaming.reverify import (
+    ball_of,
+    influence_depths,
+    instance_diameter,
+    reverify_matches,
+)
+from repro.workload.stream import random_instance_stream
+
+#: Counters the session pre-registers so snapshots and regression
+#: baselines always carry the full set, even at zero.
+_COUNTERS = (
+    "streaming.deltas_applied",
+    "streaming.edges_inserted",
+    "streaming.edges_deleted",
+    "streaming.attrs_set",
+    "streaming.instances_rechecked",
+    "streaming.instances_skipped",
+    "streaming.instances_changed",
+    "streaming.recheck_pool_nodes",
+    "streaming.rescored",
+    "streaming.scores_kept",
+    "streaming.full_rescores",
+    "streaming.budget_fallbacks",
+    "streaming.fault_recoveries",
+    "streaming.offers",
+    "streaming.duplicate_offers",
+    "streaming.generated",
+)
+
+
+@dataclass
+class _LedgerEntry:
+    """One maintained instance: its current evaluation + locality radius."""
+
+    evaluated: EvaluatedInstance
+    diameter: int
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`StreamingSession.update` actually did.
+
+    Attributes:
+        receipt: The in-place application receipt (None for empty deltas).
+        rechecked: Ledger entries whose ball pool forced a matcher run.
+        skipped: Entries repaired without any matcher work.
+        changed: Entries whose answer set changed.
+        rescored: Entries whose (δ, f) was recomputed.
+        scores_kept: Entries whose cached (δ, f) provably survived.
+        full_rescore: Whether a spread change forced a measure rebuild.
+        recovered: ``None``, or ``"fault"`` / ``"budget"`` when the
+            incremental path aborted and the cold fallback repaired state.
+        archive_size: Archive size after the update.
+        seconds: Wall-clock cost of the update.
+    """
+
+    receipt: Optional[DeltaReceipt]
+    rechecked: int = 0
+    skipped: int = 0
+    changed: int = 0
+    rescored: int = 0
+    scores_kept: int = 0
+    full_rescore: bool = False
+    recovered: Optional[str] = None
+    archive_size: int = 0
+    seconds: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta was a no-op and nothing was touched."""
+        return self.receipt is None
+
+
+class StreamingSession:
+    """Incremental archive maintenance over one live graph.
+
+    Args:
+        context: The serving context pinning the live graph — or a bare
+            :class:`~repro.graph.attributed_graph.AttributedGraph`, which
+            gets a private context.
+        template: Query template of the maintained workload.
+        groups: Protected groups with coverage constraints.
+        faults: Optional :class:`~repro.runtime.faults.FaultInjector`;
+            probed per (update index, ledger index) during repair, so
+            chaos tests can kill an update mid-flight and watch the cold
+            fallback restore the invariant.
+        **options: Forwarded to
+            :class:`~repro.core.config.GenerationConfig` (``epsilon``,
+            ``matcher_engine``, ``use_delta_scoring``, …).
+
+    Raises:
+        ConfigurationError: For a custom relevance scorer — relevance is
+            sampled once per node and a structure-dependent scorer (e.g.
+            PageRank-flavored) would silently go stale under edge deltas.
+            Only the structure-independent constant default is supported.
+
+    Example:
+        >>> session = StreamingSession(graph, template, groups)  # doctest: +SKIP
+        >>> session.generate(count=32, seed=7)                   # doctest: +SKIP
+        >>> report = session.update(GraphDelta(insert_edges=((0, 1, "e"),)))
+        ...                                                      # doctest: +SKIP
+        >>> session.archive.instances()  # live ε-Pareto set      # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        context: Union[GraphContext, AttributedGraph],
+        template,
+        groups,
+        faults: Optional[FaultInjector] = None,
+        **options,
+    ) -> None:
+        if isinstance(context, AttributedGraph):
+            context = GraphContext(context)
+        self.context = context
+        self.metrics: MetricsRegistry = context.metrics
+        self.config = context.configure(template, groups, **options)
+        if self.config.relevance is not None and not isinstance(
+            self.config.relevance, ConstantRelevance
+        ):
+            raise ConfigurationError(
+                "StreamingSession requires a structure-independent relevance "
+                "scorer (the constant default); custom scorers go stale "
+                "under edge deltas"
+            )
+        self.faults = faults
+        self.evaluator = InstanceEvaluator(self.config, metrics=self.metrics)
+        self.archive = EpsilonParetoArchive(self.config.epsilon)
+        self.ledger: List[_LedgerEntry] = []
+        self._by_key: Dict[tuple, _LedgerEntry] = {}
+        self._updates = 0
+        for name in _COUNTERS:
+            self.metrics.counter(name)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> AttributedGraph:
+        """The live graph (same object across every in-place update)."""
+        return self.context.graph
+
+    def ledger_instances(self) -> List[QueryInstance]:
+        """The maintained instances in offer order (differential replay)."""
+        return [entry.evaluated.instance for entry in self.ledger]
+
+    # ------------------------------------------------------------------ #
+    # Instance intake
+    # ------------------------------------------------------------------ #
+
+    def offer(self, instances: Iterable[QueryInstance]) -> List[EvaluatedInstance]:
+        """Evaluate and adopt instances into the ledger + live archive.
+
+        Duplicate instantiations (by key) are dropped — the ledger is a
+        set with an order. Returns the evaluations of the newly adopted
+        instances.
+        """
+        adopted: List[EvaluatedInstance] = []
+        for instance in instances:
+            key = instance.instantiation.key
+            if key in self._by_key:
+                self.metrics.inc("streaming.duplicate_offers")
+                continue
+            evaluated = self.evaluator.evaluate(instance)
+            entry = _LedgerEntry(evaluated, instance_diameter(instance))
+            self.ledger.append(entry)
+            self._by_key[key] = entry
+            if evaluated.feasible:
+                self.archive.offer(evaluated)
+            adopted.append(evaluated)
+            self.metrics.inc("streaming.offers")
+        self._publish_sizes()
+        return adopted
+
+    def generate(self, count: int, seed: int = 0) -> List[EvaluatedInstance]:
+        """Sample ``count`` candidates against the *current* graph and offer.
+
+        Domains are rebuilt per call — an earlier attribute delta may have
+        changed the active domain, and stale constants would instantiate
+        literals no current node satisfies.
+        """
+        domains = self.config.build_domains()
+        instances = list(
+            random_instance_stream(self.config.template, domains, count, seed)
+        )
+        self.metrics.inc("streaming.generated", count)
+        return self.offer(instances)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, delta: GraphDelta, budget: Optional[Budget] = None) -> UpdateReport:
+        """Apply one delta and repair graph, indexes, scores and archive.
+
+        An empty delta returns immediately without touching any counter,
+        gauge or histogram — the no-op property the streaming property
+        suite pins down.
+        """
+        if delta.is_empty:
+            return UpdateReport(receipt=None)
+        tick = time.perf_counter()
+        self._updates += 1
+
+        # Phase 0 — pre-mutation reads: old-side influence depths and the
+        # spread snapshot of scoring-relevant touched attributes (both must
+        # see the graph before it changes).
+        max_diameter = max((e.diameter for e in self.ledger), default=0)
+        old_depths = influence_depths(self.graph, delta.touched_nodes, max_diameter)
+        relevant_attrs, universe_sensitive = self._scoring_relevant_attributes(delta)
+        distance = self.evaluator.diversity.distance
+        old_spreads = {name: distance.ranges.spread(name) for name in relevant_attrs}
+
+        # Phase 1 — mutate the pinned graph; repair shared indexes and the
+        # workload literal-pool tier (context-owned), then the evaluator's
+        # engine-local masks and match memos.
+        receipt = self.context.apply_delta_in_place(delta)
+        new_depths = influence_depths(self.graph, delta.touched_nodes, max_diameter)
+        self.evaluator.invalidate_matches()
+        self.evaluator.matcher.repair_literal_pools(
+            receipt.touched_attributes, touched_nodes=receipt.touched_nodes
+        )
+        self.metrics.inc("streaming.deltas_applied")
+        self.metrics.inc("streaming.edges_inserted", receipt.edges_inserted)
+        self.metrics.inc("streaming.edges_deleted", receipt.edges_deleted)
+        self.metrics.inc("streaming.attrs_set", receipt.attributes_set)
+
+        # Phase 2 — score-repair tier. Edge-only deltas keep every cached
+        # score (pure functions of the node set). Attribute deltas that
+        # cannot move a normalizing spread drop only state touching the
+        # updated nodes; a spread change rebuilds the measures.
+        full_rescore = False
+        scoped_rescore = False
+        if universe_sensitive and self._kernel_universe_drifted():
+            full_rescore = True
+        elif relevant_attrs:
+            distance.ranges.drop(relevant_attrs)
+            full_rescore = any(
+                distance.ranges.spread(name) != old_spreads[name]
+                for name in relevant_attrs
+            )
+            scoped_rescore = not full_rescore
+        if full_rescore:
+            self.evaluator.rebuild_measures()
+            self.metrics.inc("streaming.full_rescores")
+        elif scoped_rescore:
+            self.evaluator.repair_scoring(receipt.touched_nodes)
+
+        # Phase 3 — delta-seeded re-verification + archive replay, guarded
+        # by the optional per-update budget; any injected fault or budget
+        # trip falls back to the cold path on the already-repaired graph.
+        report: UpdateReport
+        try:
+            report = self._repair_ledger(
+                receipt, old_depths, new_depths, full_rescore, scoped_rescore, budget
+            )
+        except FaultInjectionError:
+            self.metrics.inc("streaming.fault_recoveries")
+            report = self._recover(receipt, reason="fault")
+        except ExecutionInterrupt:
+            self.metrics.inc("streaming.budget_fallbacks")
+            report = self._recover(receipt, reason="budget")
+
+        seconds = time.perf_counter() - tick
+        self.metrics.observe("streaming.update_seconds", seconds)
+        self._publish_sizes()
+        return replace(report, archive_size=len(self.archive), seconds=seconds)
+
+    def consume(
+        self, events: Iterable[Union[UpdateEvent, OfferEvent, GenerateEvent]]
+    ) -> List[Union[UpdateReport, List[EvaluatedInstance]]]:
+        """Dispatch an ordered event stream; returns per-event results."""
+        results: List[Union[UpdateReport, List[EvaluatedInstance]]] = []
+        for event in events:
+            if isinstance(event, UpdateEvent):
+                results.append(self.update(event.delta, budget=event.budget))
+            elif isinstance(event, OfferEvent):
+                results.append(self.offer(event.instances))
+            elif isinstance(event, GenerateEvent):
+                results.append(self.generate(event.count, event.seed))
+            else:
+                raise ConfigurationError(f"unknown stream event {event!r}")
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Repair machinery
+    # ------------------------------------------------------------------ #
+
+    def _scoring_relevant_attributes(
+        self, delta: GraphDelta
+    ) -> Tuple[Tuple[str, ...], bool]:
+        """Touched attribute names that can feed the diversity kernel.
+
+        Only updates on output-label nodes to attributes the distance
+        kernel reads can move a δ value; everything else (other labels,
+        literal-only attributes) affects scores solely through answer-set
+        changes, which the re-verification path already repairs.
+
+        The second element flags *universe sensitivity*: when the kernel's
+        attribute tuple is auto-derived (no explicit ``config.distance``),
+        an update can change which attributes the tuple even contains —
+        introducing a name no output-label node carried, or removing a
+        name's last carrier — which shifts every pair distance's divisor.
+        Spread comparison cannot see that, so the caller must re-derive
+        the universe post-mutation (:meth:`_kernel_universe_drifted`).
+        """
+        diversity = self.evaluator.diversity
+        kernel_attrs = set(diversity.distance.attributes)
+        auto_derived = self.config.distance is None
+        graph = self.graph
+        names: List[str] = []
+        universe_sensitive = False
+        for node, name, value in delta.set_attributes:
+            if graph.label(node) != diversity.output_label:
+                continue
+            if name in kernel_attrs:
+                if name not in names:
+                    names.append(name)
+                if auto_derived and value is None:
+                    universe_sensitive = True
+            elif auto_derived:
+                universe_sensitive = True
+        return tuple(names), universe_sensitive
+
+    def _kernel_universe_drifted(self) -> bool:
+        """Whether a fresh kernel would select a different attribute tuple.
+
+        Called post-mutation; compares the live union of attribute names
+        over output-label nodes with the pinned kernel's tuple — the
+        selection :class:`~repro.core.distance._TupleDistanceBase` makes
+        at construction when no explicit attribute list is configured.
+        """
+        diversity = self.evaluator.diversity
+        graph = self.graph
+        fresh: set = set()
+        for node_id in graph.nodes_with_label(diversity.output_label):
+            fresh.update(graph.attributes(node_id).keys())
+        return tuple(sorted(fresh)) != diversity.distance.attributes
+
+    def _guard_for(self, budget: Optional[Budget]) -> ExecutionGuard:
+        """A per-update guard over the session's *running* counters.
+
+        Instance/backtrack limits compare against absolute registry
+        values, so a per-update allowance is expressed by offsetting the
+        caps with the counters' current readings; the deadline window
+        starts at guard construction, which is per-update by nature.
+        """
+        if budget is None:
+            return NULL_GUARD
+        offset = replace(
+            budget,
+            max_instances=(
+                None
+                if budget.max_instances is None
+                else budget.max_instances
+                + self.metrics.value("evaluator.cache_misses")
+            ),
+            max_backtracks=(
+                None
+                if budget.max_backtracks is None
+                else budget.max_backtracks
+                + self.metrics.value("matcher.backtrack_calls")
+            ),
+        )
+        return ExecutionGuard(offset, metrics=self.metrics)
+
+    def _repair_ledger(
+        self,
+        receipt: DeltaReceipt,
+        old_depths: Dict[int, int],
+        new_depths: Dict[int, int],
+        full_rescore: bool,
+        scoped_rescore: bool,
+        budget: Optional[Budget],
+    ) -> UpdateReport:
+        """Incrementally repair every ledger entry, then replay the archive."""
+        guard = self._guard_for(budget)
+        touched = receipt.touched_nodes
+        balls: Dict[int, FrozenSet[int]] = {}
+        rechecked = skipped = changed = rescored = kept = 0
+        matcher = self.evaluator.matcher
+        graph = self.graph
+        for index, entry in enumerate(self.ledger):
+            if self.faults is not None:
+                self.faults.maybe_fire(self._updates - 1, 0, index)
+            guard.checkpoint()
+            ball = balls.get(entry.diameter)
+            if ball is None:
+                ball = balls[entry.diameter] = ball_of(
+                    old_depths, new_depths, entry.diameter
+                )
+            old = entry.evaluated
+            matches, pool_size = reverify_matches(
+                matcher, graph, old.instance, old.matches, ball
+            )
+            if pool_size:
+                rechecked += 1
+                self.metrics.inc("streaming.recheck_pool_nodes", pool_size)
+            else:
+                skipped += 1
+            match_changed = matches != old.matches
+            if match_changed:
+                changed += 1
+            if (
+                match_changed
+                or full_rescore
+                or (scoped_rescore and bool(matches & touched))
+            ):
+                entry.evaluated = self._rescore(old, matches, match_changed)
+                rescored += 1
+            else:
+                kept += 1
+        self.metrics.inc("streaming.instances_rechecked", rechecked)
+        self.metrics.inc("streaming.instances_skipped", skipped)
+        self.metrics.inc("streaming.instances_changed", changed)
+        self.metrics.inc("streaming.rescored", rescored)
+        self.metrics.inc("streaming.scores_kept", kept)
+        self._replay_archive()
+        return UpdateReport(
+            receipt=receipt,
+            rechecked=rechecked,
+            skipped=skipped,
+            changed=changed,
+            rescored=rescored,
+            scores_kept=kept,
+            full_rescore=full_rescore,
+        )
+
+    def _rescore(
+        self,
+        old: EvaluatedInstance,
+        matches: FrozenSet[int],
+        match_changed: bool,
+    ) -> EvaluatedInstance:
+        """Recompute (δ, f, feasible) for a repaired answer set.
+
+        With delta scoring on, the *old* answer set is offered as the
+        parent — a small answer-set drift then rides the O(|Δ|) derive
+        path (bitwise-equal to a from-scratch build, so differential
+        equality is preserved); stale parent states were already dropped
+        by the tiered invalidation, in which case the engine silently
+        falls back to a full build.
+        """
+        scoring = self.evaluator.scoring
+        if scoring is not None:
+            parent = old.matches if match_changed else None
+            scored = scoring.score(matches, parent)
+            delta_value, coverage, feasible = scored
+        else:
+            diversity = self.evaluator.diversity
+            coverage_measure = self.evaluator.coverage
+            delta_value = diversity.of(matches)
+            coverage = coverage_measure.of(matches)
+            feasible = coverage_measure.is_feasible(matches)
+        return EvaluatedInstance(
+            instance=old.instance,
+            matches=matches,
+            delta=delta_value,
+            coverage=coverage,
+            feasible=feasible,
+        )
+
+    def _replay_archive(self) -> None:
+        """Rebuild the archive by replaying the repaired ledger in order.
+
+        Sequential ``offer`` of the feasible entries is *definitionally*
+        how a cold build constructs its archive, so box-level equality
+        with a from-scratch rebuild reduces to per-entry value equality —
+        which the repair path guarantees bitwise.
+        """
+        archive = EpsilonParetoArchive(self.config.epsilon)
+        for entry in self.ledger:
+            if entry.evaluated.feasible:
+                archive.offer(entry.evaluated)
+        self.archive = archive
+
+    def _recover(self, receipt: DeltaReceipt, reason: str) -> UpdateReport:
+        """Cold fallback: re-evaluate the whole ledger on the repaired graph.
+
+        The graph mutation and index repair completed before the repair
+        loop started (phases are ordered), so a fresh evaluator sees a
+        fully consistent substrate; re-evaluating every ledger instance
+        from scratch restores the maintained invariant regardless of how
+        far the incremental path got.
+        """
+        self.evaluator = InstanceEvaluator(self.config, metrics=self.metrics)
+        for entry in self.ledger:
+            entry.evaluated = self.evaluator.evaluate(entry.evaluated.instance)
+        self._replay_archive()
+        return UpdateReport(
+            receipt=receipt,
+            rescored=len(self.ledger),
+            recovered=reason,
+        )
+
+    def _publish_sizes(self) -> None:
+        self.metrics.set("streaming.ledger_size", len(self.ledger))
+        self.metrics.set("streaming.archive_size", len(self.archive))

@@ -13,10 +13,12 @@ from repro.workload.stream import (
     random_instance_stream,
     shuffled_space_stream,
 )
+from repro.workload.updates import random_delta_stream
 
 __all__ = [
     "TemplateGenerator",
     "TemplateSpec",
+    "random_delta_stream",
     "random_instance_stream",
     "drifting_instance_stream",
     "requests_from_templates",

@@ -1,0 +1,207 @@
+"""Streaming differential suite: live archive ≡ cold rebuild, every step.
+
+The streaming session's contract: after every applied delta, its graph,
+ledger evaluations and ε-Pareto archive are *byte-identical* to what a
+cold rebuild would produce — materialize ``G ⊕ Δ₁ ⊕ … ⊕ Δₜ`` from
+scratch, build a fresh context/evaluator, evaluate the ledger instances
+in order, offer the feasible ones. The suite pins that equality across
+both matcher engines × delta scoring on/off, for structural, attribute
+and mixed deltas.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.evaluator import InstanceEvaluator
+from repro.core.update import EpsilonParetoArchive
+from repro.graph.builder import GraphBuilder
+from repro.groups import GroupSet, NodeGroup
+from repro.matching.delta import GraphDelta, apply_delta
+from repro.query import Literal, Op, QueryTemplate
+from repro.service.context import GraphContext
+from repro.streaming import StreamingSession, graph_signature
+from repro.workload import random_delta_stream
+
+CONFIG_GRID = list(itertools.product(("set", "bitset"), (False, True)))
+
+
+def build_graph():
+    """Fresh talent-toy graph per call (streaming mutates in place)."""
+    b = GraphBuilder("talent-toy")
+    o_small = b.node("org", name="smallco", employees=100)
+    o_big = b.node("org", name="bigco", employees=1000)
+    r1 = b.node("person", name="r1", title="analyst", yearsOfExp=5,
+                gender="M", major="CS")
+    r2 = b.node("person", name="r2", title="analyst", yearsOfExp=12,
+                gender="F", major="Business")
+    d1 = b.node("person", name="d1", title="director", yearsOfExp=15,
+                gender="M", major="CS")
+    d2 = b.node("person", name="d2", title="director", yearsOfExp=18,
+                gender="F", major="Business")
+    d3 = b.node("person", name="d3", title="director", yearsOfExp=20,
+                gender="M", major="CS")
+    d4 = b.node("person", name="d4", title="director", yearsOfExp=9,
+                gender="F", major="Design")
+    b.edge(r1, o_small, "worksAt")
+    b.edge(r2, o_big, "worksAt")
+    b.edge(r1, d1, "recommend")
+    b.edge(r1, d2, "recommend")
+    b.edge(r1, d4, "recommend")
+    b.edge(r2, d2, "recommend")
+    b.edge(r2, d3, "recommend")
+    return b.build()
+
+
+def build_template():
+    return (
+        QueryTemplate.builder("toy-talent")
+        .node("u0", "person", Literal("title", Op.EQ, "director"))
+        .node("u1", "person")
+        .node("u2", "org")
+        .fixed_edge("u1", "u0", "recommend")
+        .fixed_edge("u1", "u2", "worksAt")
+        .range_var("xl1", "u1", "yearsOfExp", Op.GE)
+        .range_var("xl2", "u2", "employees", Op.GE)
+        .output("u0")
+        .build()
+    )
+
+
+def build_groups():
+    return GroupSet(
+        [
+            NodeGroup("M", frozenset({4, 6}), 1),
+            NodeGroup("F", frozenset({5, 7}), 1),
+        ]
+    )
+
+
+def archive_fingerprint(archive):
+    """Byte-comparable archive content: box → (instance, matches, δ, f)."""
+    return sorted(
+        (
+            box,
+            ev.instance.instantiation.key,
+            tuple(sorted(ev.matches)),
+            ev.delta,
+            ev.coverage,
+            ev.feasible,
+        )
+        for box, ev in archive.boxes().items()
+    )
+
+
+def cold_rebuild(graph, template, groups, instances, **options):
+    """The reference: a from-scratch build on the materialized graph."""
+    context = GraphContext(graph)
+    config = context.configure(template, groups, **options)
+    evaluator = InstanceEvaluator(config)
+    archive = EpsilonParetoArchive(config.epsilon)
+    evaluations = []
+    for instance in instances:
+        evaluated = evaluator.evaluate(instance)
+        evaluations.append(evaluated)
+        if evaluated.feasible:
+            archive.offer(evaluated)
+    return archive, evaluations
+
+
+@pytest.mark.parametrize("engine,scoring", CONFIG_GRID)
+class TestStreamingDifferential:
+    def _options(self, engine, scoring):
+        return dict(
+            epsilon=0.15,
+            matcher_engine=engine,
+            use_delta_scoring=scoring,
+            max_domain_values=4,
+        )
+
+    def _run_stream(self, engine, scoring, seed, edge_ops=2, attr_ops=1, count=8):
+        options = self._options(engine, scoring)
+        graph = build_graph()
+        template = build_template()
+        groups = build_groups()
+        session = StreamingSession(graph, template, groups, **options)
+        session.generate(count=24, seed=3)
+        reference = build_graph()
+        deltas = list(
+            random_delta_stream(
+                graph, count=count, seed=seed, edge_ops=edge_ops, attr_ops=attr_ops
+            )
+        )
+        for step, delta in enumerate(deltas):
+            session.update(delta)
+            reference = apply_delta(reference, delta)
+            assert graph_signature(session.graph) == graph_signature(reference), (
+                f"graph drifted from materialized reference at step {step}"
+            )
+            cold, evaluations = cold_rebuild(
+                reference, template, groups, session.ledger_instances(), **options
+            )
+            assert archive_fingerprint(session.archive) == archive_fingerprint(
+                cold
+            ), f"archive drifted from cold rebuild at step {step}"
+            maintained = [entry.evaluated for entry in session.ledger]
+            for live, fresh in zip(maintained, evaluations):
+                assert live.matches == fresh.matches
+                assert live.delta == fresh.delta
+                assert live.coverage == fresh.coverage
+                assert live.feasible == fresh.feasible
+        return session
+
+    def test_structural_stream(self, engine, scoring):
+        """Edge-only deltas: the cheap tier (scores survive verbatim)."""
+        session = self._run_stream(engine, scoring, seed=5, attr_ops=0)
+        counters = session.metrics.counters()
+        assert counters["streaming.deltas_applied"] == 8
+        assert counters["streaming.full_rescores"] == 0
+
+    def test_attribute_stream(self, engine, scoring):
+        """Attribute-only deltas: scoped and full score-repair tiers."""
+        session = self._run_stream(
+            engine, scoring, seed=13, edge_ops=0, attr_ops=2
+        )
+        assert session.metrics.counters()["streaming.deltas_applied"] == 8
+
+    def test_mixed_stream_multiple_seeds(self, engine, scoring):
+        """Mixed structural + attribute churn across independent seeds."""
+        for seed in (11, 29, 47):
+            self._run_stream(engine, scoring, seed=seed)
+
+    def test_interleaved_generation(self, engine, scoring):
+        """Generation requests interleave with updates; equality holds
+        for instances adopted *after* earlier deltas too."""
+        options = self._options(engine, scoring)
+        graph = build_graph()
+        template = build_template()
+        groups = build_groups()
+        session = StreamingSession(graph, template, groups, **options)
+        session.generate(count=12, seed=3)
+        reference = build_graph()
+        deltas = list(
+            random_delta_stream(graph, count=6, seed=17, edge_ops=2, attr_ops=1)
+        )
+        for step, delta in enumerate(deltas):
+            session.update(delta)
+            reference = apply_delta(reference, delta)
+            session.generate(count=6, seed=100 + step)
+            cold, _ = cold_rebuild(
+                reference, template, groups, session.ledger_instances(), **options
+            )
+            assert archive_fingerprint(session.archive) == archive_fingerprint(cold)
+
+    def test_graph_identity_preserved(self, engine, scoring):
+        """In-place updates never replace the pinned graph object."""
+        graph = build_graph()
+        session = StreamingSession(
+            graph, build_template(), build_groups(),
+            **self._options(engine, scoring),
+        )
+        session.generate(count=8, seed=3)
+        before = session.graph
+        for delta in random_delta_stream(graph, count=4, seed=23):
+            session.update(delta)
+        assert session.graph is before
+        assert session.context.revision == 4
+        assert session.context.generation == 0

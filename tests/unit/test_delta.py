@@ -4,7 +4,13 @@ import pytest
 
 from repro.errors import GraphError
 from repro.graph.builder import GraphBuilder
-from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
+from repro.matching.delta import (
+    GraphDelta,
+    IncrementalMatchMaintainer,
+    apply_delta,
+    invert_delta,
+    validate_delta,
+)
 from repro.query import Instantiation, Literal, Op, QueryInstance, QueryTemplate
 
 
@@ -38,6 +44,15 @@ class TestGraphDelta:
         assert not delta.is_empty
         assert GraphDelta().is_empty
 
+    def test_touched_nodes_includes_attribute_updates(self):
+        delta = GraphDelta(set_attributes=((2, "x", 9),))
+        assert delta.touched_nodes == {2}
+        assert not delta.is_empty
+
+    def test_touched_nodes_cached(self):
+        delta = GraphDelta(insert_edges=((0, 1, "e"),))
+        assert delta.touched_nodes is delta.touched_nodes
+
 
 class TestApplyDelta:
     def test_insert_and_delete(self, chain_graph):
@@ -60,6 +75,59 @@ class TestApplyDelta:
     def test_attributes_preserved(self, chain_graph):
         updated = apply_delta(chain_graph, GraphDelta(insert_edges=((3, 0, "e"),)))
         assert updated.attribute(2, "x") == 2
+
+    def test_attribute_update_last_wins(self, chain_graph):
+        updated = apply_delta(
+            chain_graph,
+            GraphDelta(set_attributes=((1, "x", 7), (1, "x", 9))),
+        )
+        assert updated.attribute(1, "x") == 9
+        assert chain_graph.attribute(1, "x") == 1  # Original untouched.
+
+    def test_attribute_none_removes(self, chain_graph):
+        updated = apply_delta(chain_graph, GraphDelta(set_attributes=((1, "x", None),)))
+        assert updated.attribute(1, "x") is None
+
+    def test_attribute_update_unknown_node_rejected(self, chain_graph):
+        with pytest.raises(GraphError):
+            apply_delta(chain_graph, GraphDelta(set_attributes=((99, "x", 1),)))
+
+    def test_validate_passes_on_applicable_delta(self, chain_graph):
+        validate_delta(
+            chain_graph,
+            GraphDelta(insert_edges=((3, 0, "e"),), delete_edges=((0, 1, "e"),)),
+        )
+
+
+class TestInvertDelta:
+    def test_edge_round_trip(self, chain_graph):
+        delta = GraphDelta(insert_edges=((3, 0, "e"),), delete_edges=((0, 1, "e"),))
+        inverse = invert_delta(chain_graph, delta)
+        restored = apply_delta(apply_delta(chain_graph, delta), inverse)
+        assert restored.has_edge(0, 1, "e")
+        assert not restored.has_edge(3, 0, "e")
+
+    def test_attribute_inverse_restores_old_value(self, chain_graph):
+        delta = GraphDelta(set_attributes=((1, "x", 7), (1, "y", 5)))
+        inverse = invert_delta(chain_graph, delta)
+        assert set(inverse.set_attributes) == {(1, "x", 1), (1, "y", None)}
+        restored = apply_delta(apply_delta(chain_graph, delta), inverse)
+        assert restored.attribute(1, "x") == 1
+        assert restored.attribute(1, "y") is None
+
+    def test_idempotent_insert_excluded_from_inverse(self, chain_graph):
+        # Inserting an already-present edge is a no-op; the inverse must
+        # not delete it.
+        delta = GraphDelta(insert_edges=((0, 1, "e"),))
+        inverse = invert_delta(chain_graph, delta)
+        assert inverse.is_empty
+
+    def test_net_noop_edge_drops_out(self, chain_graph):
+        delta = GraphDelta(
+            insert_edges=((0, 1, "e"),), delete_edges=((0, 1, "e"),)
+        )
+        inverse = invert_delta(chain_graph, delta)
+        assert inverse.is_empty
 
 
 class TestMaintainer:
