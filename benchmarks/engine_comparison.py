@@ -1,23 +1,31 @@
-"""Engine comparison benchmark: set vs bitset matching throughput.
+"""Engine comparison benchmark: set vs bitset vs columnar throughput.
 
 Runs the ablation-matcher workload — a lattice-style sweep of sibling
-instances (shared literals, one varying bound) — over a dense synthetic
-graph with both matching engines and reports instances/sec per engine,
-the speedup, and the bitset engine's literal-pool cache hit rate. Results
-are written to ``BENCH_matching.json`` at the repository root so the perf
-trajectory is tracked in-tree.
+instances (shared literals, one varying bound) — over dense synthetic
+graphs at several sizes and reports instances/sec per engine and size,
+the classic bitset-over-set speedup, and the columnar engine's speedup
+over the bitset engine (the columnar core's acceptance metric: CSR
+support sweeps + compiled literal masks vs per-candidate row probing).
+Results are written to ``BENCH_matching.json`` at the repository root so
+the perf trajectory is tracked in-tree.
 
 Standalone on purpose: CI installs only pytest + hypothesis, so this
 script depends on nothing beyond the library and the standard library.
+Without numpy the columnar engine falls back to the bitset propagation
+loop; the report records ``numpy: false`` and skips the columnar rows
+(measuring the fallback would just measure the bitset engine twice).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_comparison.py           # full
     PYTHONPATH=src python benchmarks/engine_comparison.py --smoke   # CI
 
-Smoke mode shrinks the instance sweep and repeat count but keeps the
-graph at full size (≥ 1k nodes) so the reported speedup is still
-representative of the dense-graph regime the bitset engine targets.
+Full mode sweeps ~4k/16k/64k-node graphs; the set engine only runs at
+the smallest size (it is ~40x off the pace — timing it at 64k would
+dominate the whole run for a number the small size already pins). Smoke
+mode keeps one ≥1k-node graph and a reduced sweep so the reported
+speedups are still measured in the dense-graph regime the fast engines
+target.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.datasets.synthetic import (
     EdgePopulation,
@@ -39,26 +47,32 @@ from repro.datasets.synthetic import (
     ZipfChoice,
     build_synthetic,
 )
+from repro.graph.columnar import HAVE_NUMPY
 from repro.matching import SubgraphMatcher
 from repro.query import Instantiation, Op, QueryInstance, QueryTemplate
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_matching.json"
 
-#: Graph size is NOT reduced in smoke mode — the bitset engine's advantage
-#: is a dense-graph property and must be measured in that regime.
-GRAPH_NODES = 1200
 GRAPH_SEED = 7
 
+#: (nodes, xl1 step, xl2 step) per full-mode size tier. Steps thin the
+#: instance sweep as graphs grow so each tier stays minutes-bounded.
+FULL_SIZES = ((4_000, 4, 25), (16_000, 5, 50), (64_000, 10, 100))
+SMOKE_SIZES = ((1_200, 5, 35),)
 
-def dense_graph():
-    """A dense one-component synthetic graph (~1.2k nodes, ~30k edges)."""
+#: The set engine only runs at sizes up to this bound (see module doc).
+SET_ENGINE_MAX_NODES = 4_000
+
+
+def dense_graph(num_nodes: int):
+    """A dense one-component synthetic graph (~25 out-edges per node)."""
     spec = SyntheticSpec(
-        name="engine-bench",
+        name=f"engine-bench-{num_nodes}",
         nodes=[
             NodePopulation(
                 "person",
-                GRAPH_NODES,
+                num_nodes,
                 {
                     "yearsOfExp": GaussInt(12, 6, 0, 40),
                     "score": UniformInt(0, 100),
@@ -97,18 +111,21 @@ def sweep_template():
     )
 
 
-def sibling_workload(template, xl1_values, xl2_values) -> List[QueryInstance]:
-    """The lattice-shaped sweep: siblings share all literals but one."""
-    instances = []
-    for xe in (0, 1):
-        for xl1 in xl1_values:
-            for xl2 in xl2_values:
-                instances.append(
-                    QueryInstance(
-                        Instantiation(template, {"xe": xe, "xl1": xl1, "xl2": xl2})
-                    )
-                )
-    return instances
+def sibling_workload(template, xe, xl1_values, xl2_values) -> List[QueryInstance]:
+    """The lattice-shaped sweep: siblings share all literals but one.
+
+    ``xe = 0`` leaves the optional closing edge off — an acyclic pattern
+    whose answer AC-3 alone pins down (propagation-bound, the columnar
+    core's target regime). ``xe = 1`` closes the triangle, making the
+    per-candidate backtracking search (shared by all engines) the
+    dominant cost. The two shapes are benchmarked as separate workloads
+    because they measure different parts of the pipeline.
+    """
+    return [
+        QueryInstance(Instantiation(template, {"xe": xe, "xl1": xl1, "xl2": xl2}))
+        for xl1 in xl1_values
+        for xl2 in xl2_values
+    ]
 
 
 def run_engine(graph, instances, engine: str, repeats: int) -> Dict:
@@ -138,46 +155,107 @@ def run_engine(graph, instances, engine: str, repeats: int) -> Dict:
     }
 
 
-def run(smoke: bool = False) -> Dict:
-    graph = dense_graph()
-    template = sweep_template()
-    if smoke:
-        xl1_values = range(0, 18, 3)
-        xl2_values = range(0, 80, 20)
-        repeats = 1
-    else:
-        xl1_values = range(0, 20, 2)
-        xl2_values = range(0, 100, 10)
-        repeats = 3
-    instances = sibling_workload(template, xl1_values, xl2_values)
+def _speedup(slow: Optional[Dict], fast: Optional[Dict]) -> Optional[float]:
+    if slow is None or fast is None:
+        return None
+    return round(slow["seconds"] / fast["seconds"], 2)
 
+
+def run_workload(graph, instances, engines, repeats: int, name: str) -> Dict:
+    """One (size, shape) cell: every applicable engine over one sweep."""
     results = {
         engine: run_engine(graph, instances, engine, repeats)
-        for engine in ("set", "bitset")
+        for engine in engines
     }
-    if results["set"]["match_counts"] != results["bitset"]["match_counts"]:
-        raise AssertionError("engines disagree on the benchmark workload")
+    reference = results[engines[0]]["match_counts"]
+    for engine in engines[1:]:
+        if results[engine]["match_counts"] != reference:
+            raise AssertionError(
+                f"engines disagree on the {name} workload "
+                f"({graph.num_nodes} nodes)"
+            )
     for entry in results.values():
         del entry["match_counts"]
+    return {
+        "instances": len(instances),
+        "repeats": repeats,
+        "engines": results,
+        "speedup_bitset_over_set": _speedup(
+            results.get("set"), results.get("bitset")
+        ),
+        "speedup_columnar_over_bitset": _speedup(
+            results.get("bitset"), results.get("columnar")
+        ),
+        "speedup_columnar_over_set": _speedup(
+            results.get("set"), results.get("columnar")
+        ),
+    }
 
-    report = {
-        "benchmark": "engine_comparison",
-        "mode": "smoke" if smoke else "full",
+
+def run_size(num_nodes: int, xl1_step: int, xl2_step: int, repeats: int) -> Dict:
+    """One size tier: the acyclic and triangle sweeps, every engine."""
+    graph = dense_graph(num_nodes)
+    template = sweep_template()
+    xl1_values = range(0, 20, xl1_step)
+    xl2_values = range(0, 100, xl2_step)
+
+    engines = ["bitset"]
+    if graph.num_nodes <= SET_ENGINE_MAX_NODES:
+        engines.insert(0, "set")
+    if HAVE_NUMPY:
+        engines.append("columnar")
+
+    # The triangle shape is search-bound (cost shared by all engines), so
+    # its sweep stays small; the acyclic shape is the propagation benchmark.
+    path = sibling_workload(template, 0, xl1_values, xl2_values)
+    triangle = sibling_workload(
+        template, 1, list(xl1_values)[:2], list(xl2_values)[:2]
+    )
+    return {
         "graph": {
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
             "seed": GRAPH_SEED,
         },
-        "workload": {
-            "template": template.name,
-            "instances": len(instances),
-            "repeats": repeats,
+        "template": template.name,
+        "workloads": {
+            "path": run_workload(graph, path, engines, repeats, "path"),
+            "triangle": run_workload(
+                graph, triangle, engines, repeats, "triangle"
+            ),
         },
-        "engines": results,
-        "speedup_bitset_over_set": round(
-            results["set"]["seconds"] / results["bitset"]["seconds"], 2
-        ),
     }
+
+
+def run(smoke: bool = False) -> Dict:
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    repeats = 1 if smoke else 2
+    tiers = [
+        run_size(num_nodes, xl1_step, xl2_step, repeats)
+        for num_nodes, xl1_step, xl2_step in sizes
+    ]
+
+    report = {
+        "benchmark": "engine_comparison",
+        "mode": "smoke" if smoke else "full",
+        "numpy": HAVE_NUMPY,
+        "sizes": tiers,
+    }
+    # Flat conveniences: the classic bitset-over-set number from the
+    # smallest tier's propagation sweep, and the columnar headline from
+    # the largest tier where both fast engines ran.
+    report["speedup_bitset_over_set"] = tiers[0]["workloads"]["path"][
+        "speedup_bitset_over_set"
+    ]
+    for tier in reversed(tiers):
+        speedup = tier["workloads"]["path"]["speedup_columnar_over_bitset"]
+        if speedup is not None:
+            report["columnar_headline"] = {
+                "nodes": tier["graph"]["nodes"],
+                "workload": "path",
+                "speedup_columnar_over_bitset": speedup,
+            }
+            break
     return report
 
 
@@ -192,20 +270,33 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     report = run(smoke=args.smoke)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
-    engines = report["engines"]
-    print(
-        f"graph: {report['graph']['nodes']} nodes / {report['graph']['edges']} edges; "
-        f"{report['workload']['instances']} instances x{report['workload']['repeats']}"
-    )
-    for name, entry in engines.items():
+    for tier in report["sizes"]:
+        graph = tier["graph"]
+        print(f"graph: {graph['nodes']} nodes / {graph['edges']} edges")
+        for shape, cell in tier["workloads"].items():
+            print(
+                f"  [{shape}] {cell['instances']} instances "
+                f"x{cell['repeats']}"
+            )
+            for name, entry in cell["engines"].items():
+                print(
+                    f"    {name:>8}: {entry['seconds']:.3f}s "
+                    f"({entry['instances_per_sec']:.1f} instances/sec)"
+                )
+            for key in (
+                "speedup_bitset_over_set",
+                "speedup_columnar_over_bitset",
+                "speedup_columnar_over_set",
+            ):
+                if cell[key] is not None:
+                    print(f"    {key}: {cell[key]}x")
+    if report.get("columnar_headline"):
+        headline = report["columnar_headline"]
         print(
-            f"  {name:>6}: {entry['seconds']:.3f}s "
-            f"({entry['instances_per_sec']:.1f} instances/sec)"
+            f"columnar headline: {headline['speedup_columnar_over_bitset']}x "
+            f"over bitset at {headline['nodes']} nodes "
+            f"({headline['workload']} workload)"
         )
-    print(
-        f"speedup: {report['speedup_bitset_over_set']}x; "
-        f"literal-pool hit rate: {engines['bitset']['literal_pool_hit_rate']}"
-    )
     print(f"wrote {args.output}")
     return 0
 

@@ -11,8 +11,9 @@ Environment knobs (all optional):
 * ``REPRO_BENCH_C`` — total coverage constraint C (default 16);
 * ``REPRO_BENCH_DOMAIN`` — per-variable active-domain cap (default 5);
 * ``REPRO_BENCH_EPSILON`` — default ε (default 0.01, as in the paper);
-* ``REPRO_BENCH_ENGINE`` — matcher engine, ``set`` (default) or
-  ``bitset`` (runs every experiment through the bitset matching engine);
+* ``REPRO_BENCH_ENGINE`` — matcher engine: ``set`` (default), ``bitset``
+  (runs every experiment through the bitset matching engine) or
+  ``columnar`` (bitset pipeline over the columnar graph core);
 * ``REPRO_BENCH_DEADLINE`` — per-run wall-clock budget in seconds
   (unset = unbounded; exhausted runs return truncated partial fronts);
 * ``REPRO_BENCH_MAX_INSTANCES`` — per-run verified-instance budget;

@@ -94,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--coverage", type=int, default=16)
     generate.add_argument("--groups", type=int, default=2)
     generate.add_argument("--domain-cap", type=int, default=5)
-    generate.add_argument("--engine", choices=("set", "bitset"), default="set",
+    generate.add_argument("--engine", choices=("set", "bitset", "columnar"), default="set",
                           help="matching engine verifying instances "
                           "(bitset = mask pools + literal-pool caching)")
     generate.add_argument("--delta-scoring", action="store_true",
@@ -116,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--epsilon", type=float, default=0.05)
     online.add_argument("--scale", type=float, default=0.15)
     online.add_argument("--coverage", type=int, default=16)
-    online.add_argument("--engine", choices=("set", "bitset"), default="set",
+    online.add_argument("--engine", choices=("set", "bitset", "columnar"), default="set",
                         help="matching engine verifying instances")
     online.add_argument("--delta-scoring", action="store_true",
                         help="maintain δ/f by answer-set deltas (same "
@@ -137,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--scale", type=float, default=0.15)
     batch.add_argument("--coverage", type=int, default=16)
     batch.add_argument("--groups", type=int, default=2)
-    batch.add_argument("--engine", choices=("set", "bitset"), default="bitset",
+    batch.add_argument("--engine", choices=("set", "bitset", "columnar"), default="bitset",
                        help="default matching engine (bitset exercises the "
                        "workload literal-pool cache tier)")
     batch.add_argument("--domain-cap", type=int, default=5)
@@ -158,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--groups", type=int, default=2)
     stream.add_argument("--epsilon", type=float, default=0.05)
     stream.add_argument("--domain-cap", type=int, default=5)
-    stream.add_argument("--engine", choices=("set", "bitset"), default="set",
+    stream.add_argument("--engine", choices=("set", "bitset", "columnar"), default="set",
                         help="matching engine verifying instances")
     stream.add_argument("--delta-scoring", action="store_true",
                         help="maintain δ/f by answer-set deltas (same "

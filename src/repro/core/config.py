@@ -45,11 +45,14 @@ class GenerationConfig:
         use_template_refinement: Enable Spawn's d-hop domain restriction
             and edge-variable fixing (Section IV optimization).
         injective: Use isomorphism-style (injective) match semantics.
-        matcher_engine: ``"set"`` (default) or ``"bitset"`` — which
-            matching pipeline verifies instances. Both return identical
-            answers; the bitset engine trades per-instance set algebra for
-            integer bitmask operations plus a run-level literal-pool
-            cache, which pays off on dense graphs and large lattices.
+        matcher_engine: ``"set"`` (default), ``"bitset"`` or
+            ``"columnar"`` — which matching pipeline verifies instances.
+            All return identical answers; the bitset engine trades
+            per-instance set algebra for integer bitmask operations plus
+            a run-level literal-pool cache, and the columnar engine
+            additionally enables the graph's columnar core (CSR
+            adjacency, compiled column-mask predicates, vectorized
+            propagation), which pays off on large graphs.
         verifier_max_entries: Optional LRU bound on the verification memo
             table (None = unbounded; set for long online streams).
         metrics: Optional shared :class:`~repro.obs.registry.MetricsRegistry`
@@ -123,10 +126,10 @@ class GenerationConfig:
             raise ConfigurationError("epsilon must be positive")
         if not 0.0 <= self.lam <= 1.0:
             raise ConfigurationError("lambda must lie in [0, 1]")
-        if self.matcher_engine not in ("set", "bitset"):
+        if self.matcher_engine not in ("set", "bitset", "columnar"):
             raise ConfigurationError(
                 f"unknown matcher engine {self.matcher_engine!r} "
-                "(expected 'set' or 'bitset')"
+                "(expected 'set', 'bitset' or 'columnar')"
             )
         if self.shared_indexes is not None and self.shared_indexes.graph is not self.graph:
             raise ConfigurationError(

@@ -26,6 +26,7 @@ from repro.core.distance import (
     _is_number,
     pair_sum_categorical,
     pair_sum_categorical_counts,
+    pair_sum_interned,
     pair_sum_numeric,
 )
 from repro.core.relevance import ConstantRelevance, RelevanceScorer
@@ -187,6 +188,11 @@ class DiversityMeasure:
             return 0.0
         graph = self.graph
         ranges = self.distance.ranges
+        store = graph.columnar_store()
+        if store is not None:
+            gathered = store.columns_for_nodes(list(nodes), attributes)
+            if gathered is not None:
+                return self._pair_sum_columnar(len(nodes), gathered, ranges)
         total = 0.0
         attr_maps = [graph.attributes(v) for v in nodes]
         for attribute in attributes:
@@ -208,6 +214,43 @@ class DiversityMeasure:
                     else:
                         contribution += pair_sum_categorical(present)
                 else:
+                    contribution += pair_sum_categorical(present)
+            total += contribution
+        return total / len(attributes)
+
+    def _pair_sum_columnar(self, n: int, gathered, ranges) -> float:
+        """:meth:`_pair_sum_decomposed` fed from interned column slices.
+
+        Values are gathered per attribute in node order (same multisets,
+        same ``pair_sum_numeric`` input sequence), and the categorical
+        formula counts interned codes instead of re-hashing raw values —
+        bitwise-identical results, no per-node attribute-dict hops.
+        """
+        columns, positions = gathered
+        attributes = self.distance.attributes
+        total = 0.0
+        for attribute in attributes:
+            column = columns[attribute]
+            values = column.values
+            codes = column.codes
+            present: List[Any] = []
+            present_codes: List[int] = []
+            for position in positions:
+                value = values[position]
+                if value is not None:
+                    present.append(value)
+                    present_codes.append(codes[position])
+            contribution = float(len(present) * (n - len(present)))
+            if present:
+                numeric = all(_is_number(v) for v in present)
+                spread = ranges.spread(attribute) if numeric else 0.0
+                if numeric and spread > 0:
+                    contribution += pair_sum_numeric(
+                        [float(v) / spread for v in present]
+                    ) * 1.0
+                elif all(code >= 0 for code in present_codes):
+                    contribution += pair_sum_interned(present_codes)
+                else:  # unhashable values: raw categorical formula
                     contribution += pair_sum_categorical(present)
             total += contribution
         return total / len(attributes)

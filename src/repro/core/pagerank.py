@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
+try:  # pragma: no cover - exercised implicitly by both CI variants
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from repro.core.relevance import RelevanceScorer
 from repro.graph.attributed_graph import AttributedGraph
@@ -26,7 +29,8 @@ def pagerank(
     """Standard PageRank by power iteration (dangling mass redistributed).
 
     Returns a node-id → score mapping summing to 1. Runs in
-    O(iterations · |E|) with numpy vector updates.
+    O(iterations · |E|) — numpy vector updates when available, a plain
+    edge-list loop otherwise (same iteration, scalar arithmetic).
     """
     ids = sorted(graph.node_ids())
     n = len(ids)
@@ -37,29 +41,44 @@ def pagerank(
     # Sparse structure: per-edge (source_pos, target_pos) with out-degrees.
     sources = []
     targets = []
-    out_degree = np.zeros(n)
+    out_degree = [0] * n
     for node_id in ids:
         for edge in graph.out_edges(node_id):
             sources.append(position[edge.source])
             targets.append(position[edge.target])
             out_degree[position[edge.source]] += 1
-    src = np.array(sources, dtype=np.int64)
-    dst = np.array(targets, dtype=np.int64)
-
-    rank = np.full(n, 1.0 / n)
     teleport = (1.0 - damping) / n
-    for _ in range(max_iterations):
-        contribution = np.zeros(n)
-        if len(src):
-            weights = rank[src] / out_degree[src]
-            np.add.at(contribution, dst, weights)
-        dangling = rank[out_degree == 0].sum() / n
-        updated = teleport + damping * (contribution + dangling)
-        if np.abs(updated - rank).sum() < tolerance:
+
+    if np is not None:
+        degrees = np.array(out_degree, dtype=np.float64)
+        src = np.array(sources, dtype=np.int64)
+        dst = np.array(targets, dtype=np.int64)
+        rank = np.full(n, 1.0 / n)
+        for _ in range(max_iterations):
+            contribution = np.zeros(n)
+            if len(src):
+                weights = rank[src] / degrees[src]
+                np.add.at(contribution, dst, weights)
+            dangling = rank[degrees == 0].sum() / n
+            updated = teleport + damping * (contribution + dangling)
+            if np.abs(updated - rank).sum() < tolerance:
+                rank = updated
+                break
             rank = updated
-            break
+        return {node_id: float(rank[position[node_id]]) for node_id in ids}
+
+    rank = [1.0 / n] * n
+    for _ in range(max_iterations):
+        contribution = [0.0] * n
+        for s, t in zip(sources, targets):
+            contribution[t] += rank[s] / out_degree[s]
+        dangling = sum(rank[i] for i in range(n) if out_degree[i] == 0) / n
+        updated = [teleport + damping * (c + dangling) for c in contribution]
+        delta = sum(abs(u - r) for u, r in zip(updated, rank))
         rank = updated
-    return {node_id: float(rank[position[node_id]]) for node_id in ids}
+        if delta < tolerance:
+            break
+    return {node_id: rank[position[node_id]] for node_id in ids}
 
 
 class PageRankRelevance(RelevanceScorer):

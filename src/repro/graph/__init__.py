@@ -7,11 +7,19 @@ store it provides the secondary structures the generation algorithms rely
 on: label indexes, per-(label, attribute) sorted value indexes (active
 domains), d-hop neighborhood sampling (for template refinement), builders,
 (de)serialization and summary statistics (Table II).
+
+The columnar core (:mod:`repro.graph.columnar`) is the flat companion of
+all of it: CSR adjacency per (edge label, direction), interned attribute
+value columns and compiled per-column predicate masks, built once per
+frozen graph and repaired in place under streaming deltas. It is opt-in
+(``GraphIndexes.enable_columnar`` / the ``columnar`` matcher engine) and
+bit-for-bit compatible with the dict-based paths.
 """
 
 from repro.graph.attributed_graph import AttributedGraph, Edge, Node
 from repro.graph.builder import GraphBuilder
 from repro.graph.active_domain import ActiveDomainIndex
+from repro.graph.columnar import HAVE_NUMPY, AttributeColumn, ColumnarStore
 from repro.graph.indexes import AttributeIndex, LabelIndex
 from repro.graph.sampling import d_hop_neighborhood, induced_subgraph
 from repro.graph.statistics import GraphStatistics, compute_statistics
@@ -30,6 +38,9 @@ __all__ = [
     "LabelIndex",
     "AttributeIndex",
     "ActiveDomainIndex",
+    "ColumnarStore",
+    "AttributeColumn",
+    "HAVE_NUMPY",
     "d_hop_neighborhood",
     "induced_subgraph",
     "GraphStatistics",

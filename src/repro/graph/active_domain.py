@@ -69,7 +69,15 @@ class ActiveDomainIndex:
         self._overrides: Dict[str, Tuple[Any, ...]] = {}
 
     def domain(self, variable: str) -> Tuple[Any, ...]:
-        """Values for ``variable``, most relaxed first."""
+        """Values for ``variable``, most relaxed first.
+
+        The raw active domain comes from
+        :meth:`AttributedGraph.active_domain`, which reads the interned
+        value column of the columnar store when one is built (one
+        set-over-column pass instead of a per-node attribute-dict scan) —
+        the value tuple is identical either way, so cached domains never
+        depend on whether the store existed at build time.
+        """
         if variable in self._overrides:
             return self._overrides[variable]
         if variable not in self._domains:

@@ -20,9 +20,24 @@ reference matcher used in tests (:mod:`repro.matching.nx_reference`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.columnar import ColumnarStore
 
 #: Type alias for attribute values stored on nodes.
 AttrValue = Any
@@ -91,6 +106,7 @@ class AttributedGraph:
         self._edge_count = 0
         self._edge_labels: Set[str] = set()
         self._frozen = False
+        self._columnar: Optional["ColumnarStore"] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -143,6 +159,36 @@ class AttributedGraph:
             raise GraphError("graph is frozen; build a new graph instead")
 
     # ------------------------------------------------------------------ #
+    # Columnar companion store
+    # ------------------------------------------------------------------ #
+
+    def columnar(self) -> "ColumnarStore":
+        """The graph's :class:`~repro.graph.columnar.ColumnarStore`.
+
+        Built lazily on first use and cached for the graph's lifetime; the
+        node enumeration is fixed at build time, so the graph must be
+        frozen first (in-place streaming deltas never add or remove nodes
+        and patch the store through the ``_*_in_place`` hooks below).
+        """
+        store = self._columnar
+        if store is None:
+            if not self._frozen:
+                raise GraphError("columnar store requires a frozen graph")
+            from repro.graph.columnar import ColumnarStore
+
+            store = self._columnar = ColumnarStore(self)
+        return store
+
+    def columnar_store(self) -> Optional["ColumnarStore"]:
+        """The columnar store if one has been built, else None.
+
+        Fast-path gates use this accessor: optional accelerations only
+        engage once something (an engine, the service context) has paid
+        for the build, keeping default runs byte-identical.
+        """
+        return self._columnar
+
+    # ------------------------------------------------------------------ #
     # In-place maintenance (streaming layer only)
     # ------------------------------------------------------------------ #
     #
@@ -166,6 +212,8 @@ class AttributedGraph:
         self._in[target].setdefault(label, set()).add(source)
         self._edge_count += 1
         self._edge_labels.add(label)
+        if self._columnar is not None:
+            self._columnar.patch_edge(source, target, label)
         return True
 
     def _delete_edge_in_place(self, source: int, target: int, label: str) -> None:
@@ -186,6 +234,8 @@ class AttributedGraph:
         if not sources:
             del self._in[target][label]
         self._edge_count -= 1
+        if self._columnar is not None:
+            self._columnar.patch_edge(source, target, label)
 
     def _set_attribute_in_place(
         self, node_id: int, name: str, value: Optional[AttrValue]
@@ -204,6 +254,8 @@ class AttributedGraph:
         else:
             attributes[name] = value
         self._nodes[node_id] = Node(node_id, node.label, attributes)
+        if self._columnar is not None:
+            self._columnar.patch_attribute(node_id, name)
         return old
 
     # ------------------------------------------------------------------ #
@@ -354,6 +406,14 @@ class AttributedGraph:
         which is the domain the spawner actually enumerates (predicates are
         anchored at a labeled query node).
         """
+        if label is not None and self._columnar is not None:
+            # Column scan: same value set (a set-dedup over the column is a
+            # set-dedup over the label's nodes), without per-node dict hops.
+            column = self._columnar.column(label, attribute)
+            if column is not None:
+                values = set(column.values)
+                values.discard(None)
+                return sorted(values, key=_sort_key)
         ids: Iterable[int]
         if label is None:
             ids = self._nodes.keys()
@@ -388,10 +448,19 @@ class AttributedGraph:
         )
 
 
-def _sort_key(value: AttrValue) -> Tuple[int, Any]:
-    """Total order over mixed-type attribute values (numbers before strings)."""
+def _sort_key(value: AttrValue) -> Tuple[int, str, Any]:
+    """Total order over mixed-type attribute values (numbers before strings).
+
+    The middle component is the type name for non-numeric values, so two
+    distinct types whose ``str()`` collide (say ``(1, 2)`` the tuple and
+    ``"(1, 2)"`` the string) cannot be conflated by indexes keyed on sort
+    keys. Numbers share one bucket (``5`` and ``5.0`` compare equal and
+    must sort together); within the homogeneous columns the generators
+    produce, the relative order is unchanged from the historical
+    ``(bucket, value)`` form.
+    """
     if isinstance(value, bool):
-        return (0, int(value))
+        return (0, "", int(value))
     if isinstance(value, (int, float)):
-        return (0, value)
-    return (1, str(value))
+        return (0, "", value)
+    return (1, type(value).__name__, str(value))

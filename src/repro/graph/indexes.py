@@ -17,10 +17,13 @@ and support checks become single AND operations.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph, _sort_key
 from repro.query.predicates import Op
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.columnar import ColumnarStore
 
 
 class LabelIndex:
@@ -158,6 +161,17 @@ class BitsetIndex:
         self._position: Dict[str, Dict[int, int]] = {}
         self._full: Dict[str, int] = {}
         self._rows: Dict[Tuple[int, str, bool, str], int] = {}
+        self._store: Optional["ColumnarStore"] = None
+
+    def use_store(self, store: "ColumnarStore") -> None:
+        """Back this index with a columnar store.
+
+        Adjacency rows are then derived from CSR slices and mask
+        materialization is vectorized; the per-label enumerations are
+        shared with the store (both sort ids ascending), so every mask
+        stays bit-compatible with the store-less index.
+        """
+        self._store = store
 
     # -- Enumeration ----------------------------------------------------- #
 
@@ -165,7 +179,10 @@ class BitsetIndex:
         """Node ids of ``label`` in bit-position order (ascending ids)."""
         cached = self._order.get(label)
         if cached is None:
-            cached = tuple(sorted(self._graph.nodes_with_label(label)))
+            if self._store is not None:
+                cached = self._store.label_orders.get(label)
+            if cached is None:
+                cached = tuple(sorted(self._graph.nodes_with_label(label)))
             self._order[label] = cached
         return cached
 
@@ -201,6 +218,8 @@ class BitsetIndex:
 
     def to_ids(self, label: str, mask: int) -> Set[int]:
         """Materialize a mask back into a node-id set."""
+        if self._store is not None:
+            return self._store.to_ids(label, mask)
         order = self.order(label)
         out: Set[int] = set()
         while mask:
@@ -222,12 +241,17 @@ class BitsetIndex:
         key = (node_id, edge_label, outgoing, neighbor_label)
         row = self._rows.get(key)
         if row is None:
-            neighbors = (
-                self._graph.successors(node_id, edge_label)
-                if outgoing
-                else self._graph.predecessors(node_id, edge_label)
-            )
-            row = self.mask_of(neighbor_label, neighbors)
+            if self._store is not None:
+                row = self._store.adjacency_mask(
+                    node_id, edge_label, outgoing, neighbor_label
+                )
+            else:
+                neighbors = (
+                    self._graph.successors(node_id, edge_label)
+                    if outgoing
+                    else self._graph.predecessors(node_id, edge_label)
+                )
+                row = self.mask_of(neighbor_label, neighbors)
             self._rows[key] = row
         return row
 
@@ -260,11 +284,32 @@ class GraphIndexes:
     run.
     """
 
-    def __init__(self, graph: AttributedGraph) -> None:
+    def __init__(self, graph: AttributedGraph, columnar: bool = False) -> None:
         self.graph = graph
         self.labels = LabelIndex(graph)
         self.attributes = AttributeIndex(graph)
         self.bitsets = BitsetIndex(graph)
+        self.columnar: Optional["ColumnarStore"] = None
+        if columnar:
+            self.enable_columnar()
+
+    def enable_columnar(self, metrics=None) -> "ColumnarStore":
+        """Switch this bundle onto the graph's columnar core.
+
+        Builds (or reuses) the graph's :class:`ColumnarStore`, backs the
+        bitset index with CSR slices and points literal-pool computation
+        (:class:`~repro.matching.bitset.LiteralPoolCache` reads
+        ``indexes.columnar``) at compiled column masks. Idempotent; with
+        ``metrics`` the store's ``graph.columnar.*`` counters land in
+        that registry.
+        """
+        store = self.columnar
+        if store is None:
+            store = self.columnar = self.graph.columnar()
+            self.bitsets.use_store(store)
+        if metrics is not None:
+            store.attach_metrics(metrics)
+        return store
 
     def candidate_pool(self, label: str) -> FrozenSet[int]:
         """Initial candidate set for a query node: all nodes with its label."""
@@ -284,6 +329,11 @@ class GraphIndexes:
         set, which in-place deltas never change, so they survive — that
         asymmetry is the streaming layer's headline saving over a full
         ``GraphContext.invalidate()``.
+
+        The columnar store needs no action here: the graph's in-place
+        hooks already patched its CSR rows and column cells cell-by-cell
+        when the delta applied, so by repair time it is current again —
+        only the mask/table caches derived from it are dropped.
 
         Returns ``(rows_dropped, tables_dropped)``.
         """
@@ -305,3 +355,5 @@ class GraphIndexes:
             self.labels.nodes(label)
             self.bitsets.positions(label)
             self.bitsets.full_mask(label)
+        if self.columnar is not None:
+            self.columnar.warm()

@@ -12,16 +12,20 @@ node's candidates. Incremental verification (the paper's ``incVerify``)
 seeds a child instance's candidates with its verified parent's, valid by
 Lemma 2 (refinement shrinks match sets).
 
-Two interchangeable engines implement the pipeline: the original set-based
-one (default) and the bitset engine (:mod:`repro.matching.bitset`), which
-represents pools as integer bitmasks and caches literal pools across a
-whole run — select with ``SubgraphMatcher(..., engine="bitset")`` or
+Three interchangeable engines implement the pipeline: the original
+set-based one (default), the bitset engine (:mod:`repro.matching.bitset`),
+which represents pools as integer bitmasks and caches literal pools across
+a whole run, and the columnar engine
+(:mod:`repro.matching.columnar_engine`), which additionally resolves
+literals through compiled column masks and runs propagation as vectorized
+CSR support sweeps — select with ``SubgraphMatcher(..., engine=...)`` or
 ``GenerationConfig.matcher_engine``.
 """
 
 from repro.matching.candidates import CandidateMap, initial_candidates, propagate
 from repro.matching.matcher import MatchResult, SubgraphMatcher
 from repro.matching.bitset import BitsetEngine, LiteralPoolCache, MaskMap
+from repro.matching.columnar_engine import ColumnarEngine
 from repro.matching.incremental import IncrementalVerifier
 from repro.matching.reference import naive_match_set, nx_monomorphism_match_set
 from repro.matching.delta import GraphDelta, IncrementalMatchMaintainer, apply_delta
@@ -34,6 +38,7 @@ __all__ = [
     "propagate",
     "SubgraphMatcher",
     "BitsetEngine",
+    "ColumnarEngine",
     "LiteralPoolCache",
     "MatchResult",
     "IncrementalVerifier",

@@ -285,6 +285,13 @@ class LiteralPoolCache:
             self._metrics.inc("matcher.bitset.literal_pool_evictions")
 
     def _compute(self, label: str, literal: Literal) -> int:
+        store = self._indexes.columnar
+        if store is not None:
+            # Compiled column mask: one bisect over the column's distinct
+            # sort keys instead of a matching_nodes set + mask_of loop.
+            # Bit-for-bit identical (both follow sort-key semantics over
+            # the same ascending-id enumeration).
+            return store.literal_mask(label, literal)
         matching = self._indexes.attributes.matching_nodes(
             label, literal.attribute, literal.op, literal.constant
         )

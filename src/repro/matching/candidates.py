@@ -40,7 +40,15 @@ def initial_candidates(
     Returns:
         A fresh mutable candidate map; empty sets signal an unsatisfiable
         node (hence an empty answer).
+
+    When the indexes carry a columnar store, unrestricted literal lookups
+    resolve through its compiled column masks
+    (:meth:`~repro.graph.columnar.ColumnarStore.literal_mask`) — one
+    O(log m) bisect per literal instead of an attribute-table scan. The
+    resulting sets are identical (the compiled masks are pinned
+    bit-for-bit against :meth:`AttributeIndex.matching_nodes`).
     """
+    store = indexes.columnar
     candidates: CandidateMap = {}
     for node_id in instance.active_nodes:
         label = instance.node_label(node_id)
@@ -60,9 +68,14 @@ def initial_candidates(
         else:
             pool = set(indexes.candidate_pool(label))
             for literal in literals:
-                matching = indexes.attributes.matching_nodes(
-                    label, literal.attribute, literal.op, literal.constant
-                )
+                if store is not None:
+                    matching = store.to_ids(
+                        label, store.literal_mask(label, literal)
+                    )
+                else:
+                    matching = indexes.attributes.matching_nodes(
+                        label, literal.attribute, literal.op, literal.constant
+                    )
                 pool &= matching
                 if not pool:
                     break

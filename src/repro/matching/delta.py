@@ -202,6 +202,10 @@ class IncrementalMatchMaintainer:
         """Apply a delta; updates :attr:`matches` with localized work.
 
         Returns the new graph (which becomes the maintainer's current one).
+        The old-graph side of the influence ball rides the columnar CSR
+        BFS when the maintained graph has a store built; the new graph is
+        freshly materialized and walks the dict BFS (same balls — the two
+        paths are pinned equal by the sampling differential tests).
         """
         if delta.is_empty:
             self.last_rechecked = 0

@@ -67,10 +67,13 @@ class SubgraphMatcher:
         metrics: Registry receiving the ``matcher.*`` work counters
             (a private one is created when omitted). Instrumentation
             never affects match results.
-        engine: ``"set"`` (the original per-instance set pipeline) or
+        engine: ``"set"`` (the original per-instance set pipeline),
             ``"bitset"`` (:class:`~repro.matching.bitset.BitsetEngine`,
-            mask pools + run-level literal-pool caching). Both produce
-            identical matches and candidate maps.
+            mask pools + run-level literal-pool caching) or ``"columnar"``
+            (:class:`~repro.matching.columnar_engine.ColumnarEngine`,
+            the bitset pipeline over the graph's columnar core with
+            vectorized propagation). All produce identical matches and
+            candidate maps.
         guard: The run's :class:`~repro.runtime.budget.ExecutionGuard`,
             probed at the backtracking-sweep loop heads so a
             ``max_backtracks`` or deadline budget can stop matching
@@ -83,7 +86,7 @@ class SubgraphMatcher:
             engine's local literal cache (None = unbounded).
     """
 
-    ENGINES = ("set", "bitset")
+    ENGINES = ("set", "bitset", "columnar")
 
     def __init__(
         self,
@@ -107,10 +110,13 @@ class SubgraphMatcher:
         self.engine = engine
         self.guard = guard if guard is not None else NULL_GUARD
         self._bitset = None
-        if engine == "bitset":
-            from repro.matching.bitset import BitsetEngine
+        if engine in ("bitset", "columnar"):
+            if engine == "columnar":
+                from repro.matching.columnar_engine import ColumnarEngine as _Engine
+            else:
+                from repro.matching.bitset import BitsetEngine as _Engine
 
-            self._bitset = BitsetEngine(
+            self._bitset = _Engine(
                 self.indexes,
                 injective=injective,
                 metrics=self.metrics,

@@ -5,8 +5,9 @@ ledger evaluations and ε-Pareto archive are *byte-identical* to what a
 cold rebuild would produce — materialize ``G ⊕ Δ₁ ⊕ … ⊕ Δₜ`` from
 scratch, build a fresh context/evaluator, evaluate the ledger instances
 in order, offer the feasible ones. The suite pins that equality across
-both matcher engines × delta scoring on/off, for structural, attribute
-and mixed deltas.
+all three matcher engines × delta scoring on/off, for structural,
+attribute and mixed deltas — the columnar engine's in-place CSR/column
+repair included.
 """
 
 import itertools
@@ -23,7 +24,9 @@ from repro.service.context import GraphContext
 from repro.streaming import StreamingSession, graph_signature
 from repro.workload import random_delta_stream
 
-CONFIG_GRID = list(itertools.product(("set", "bitset"), (False, True)))
+CONFIG_GRID = list(
+    itertools.product(("set", "bitset", "columnar"), (False, True))
+)
 
 
 def build_graph():

@@ -1,12 +1,13 @@
-"""Differential testing: the bitset engine against the set engine and oracle.
+"""Differential testing: bitset and columnar engines vs the set engine.
 
-Both engines implement the same contract (initial candidates → AC-3 →
+All engines implement the same contract (initial candidates → AC-3 →
 backtracking) over different data representations, so on every random draw
 they must return identical match sets *and* identical candidate maps — the
-bitset engine's masks are just another encoding of the same pools. The
-exponential oracle in ``matching/reference.py`` anchors both to the
-semantics. The suite also covers the incremental parent-seeded path (mask
-restriction must equal set restriction) and ``injective=True``.
+bitset engine's masks and the columnar engine's compiled-column/CSR
+kernels are just other encodings of the same pools. The exponential oracle
+in ``matching/reference.py`` anchors all of them to the semantics. The
+suite also covers the incremental parent-seeded path (mask restriction
+must equal set restriction) and ``injective=True``.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -115,7 +116,9 @@ class TestEngineAgreement:
         instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
         by_set = SubgraphMatcher(graph).match(instance)
         by_bit = SubgraphMatcher(graph, engine="bitset").match(instance)
+        by_col = SubgraphMatcher(graph, engine="columnar").match(instance)
         assert_results_equal(by_set, by_bit, graph, instance)
+        assert_results_equal(by_set, by_col)
 
     @SETTINGS
     @given(
@@ -128,8 +131,11 @@ class TestEngineAgreement:
         instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
         by_set = SubgraphMatcher(graph, injective=True).match(instance)
         by_bit = SubgraphMatcher(graph, injective=True, engine="bitset").match(instance)
-        assert by_set.matches == by_bit.matches
-        assert by_set.candidates == by_bit.candidates
+        by_col = SubgraphMatcher(graph, injective=True, engine="columnar").match(
+            instance
+        )
+        assert by_set.matches == by_bit.matches == by_col.matches
+        assert by_set.candidates == by_bit.candidates == by_col.candidates
         assert by_bit.matches == naive_match_set(graph, instance, injective=True)
 
     @SETTINGS
@@ -143,7 +149,8 @@ class TestEngineAgreement:
         instance = build_instance(TEMPLATES[template_index], bound, edge_bit)
         by_set = SubgraphMatcher(graph).exists(instance)
         by_bit = SubgraphMatcher(graph, engine="bitset").exists(instance)
-        assert by_set == by_bit == bool(naive_match_set(graph, instance))
+        by_col = SubgraphMatcher(graph, engine="columnar").exists(instance)
+        assert by_set == by_bit == by_col == bool(naive_match_set(graph, instance))
 
 
 class TestIncrementalParentSeeding:
@@ -164,18 +171,18 @@ class TestIncrementalParentSeeding:
         )
 
         set_matcher = SubgraphMatcher(graph)
-        bit_matcher = SubgraphMatcher(graph, engine="bitset")
         parent_set = set_matcher.match(parent)
-        parent_bit = bit_matcher.match(parent)
-        assert parent_bit.candidate_masks is not None
-
-        seeded_set = set_matcher.match(child, restrict=parent_set.candidates)
-        seeded_bit = bit_matcher.match(
-            child, restrict_masks=parent_bit.candidate_masks
-        )
         fresh = SubgraphMatcher(graph).match(child)
-        assert seeded_bit.matches == seeded_set.matches == fresh.matches
-        assert seeded_bit.candidates == seeded_set.candidates
+        seeded_set = set_matcher.match(child, restrict=parent_set.candidates)
+        for engine in ("bitset", "columnar"):
+            matcher = SubgraphMatcher(graph, engine=engine)
+            parent_bit = matcher.match(parent)
+            assert parent_bit.candidate_masks is not None
+            seeded_bit = matcher.match(
+                child, restrict_masks=parent_bit.candidate_masks
+            )
+            assert seeded_bit.matches == seeded_set.matches == fresh.matches
+            assert seeded_bit.candidates == seeded_set.candidates
 
     @SETTINGS
     @given(graph=random_graphs(), parent_bound=st.integers(min_value=0, max_value=3))
@@ -187,11 +194,11 @@ class TestIncrementalParentSeeding:
         parent = QueryInstance(Instantiation(template, {"xl": parent_bound}))
         child = QueryInstance(Instantiation(template, {"xl": parent_bound + 1}))
         outcomes = {}
-        for engine in ("set", "bitset"):
+        for engine in ("set", "bitset", "columnar"):
             matcher = SubgraphMatcher(graph, engine=engine)
             verifier = IncrementalVerifier(matcher)
             verifier.verify(parent)
             result = verifier.verify(child, parent=parent)
             outcomes[engine] = result.matches
-        assert outcomes["set"] == outcomes["bitset"]
+        assert outcomes["set"] == outcomes["bitset"] == outcomes["columnar"]
         assert outcomes["bitset"] == naive_match_set(graph, child)

@@ -47,7 +47,7 @@ class TestPageRank:
         assert max(values) == pytest.approx(min(values))
 
     def test_matches_networkx(self, star_graph):
-        import networkx as nx
+        nx = pytest.importorskip("networkx")
 
         ours = pagerank(star_graph, damping=0.85)
         nx_graph = nx.DiGraph()
