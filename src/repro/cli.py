@@ -11,6 +11,9 @@ Subcommands:
   work and the final ε-Pareto set;
 * ``batch`` — serve a JSONL file of generation requests through the
   shared-cache batch service (``repro.service``);
+* ``daemon`` — the persistent multi-tenant serving daemon: one-shot a
+  request file through the SLO-aware admission/worker-pool path, serve a
+  Unix socket, or act as the socket client (``--client``);
 * ``experiment`` — run a paper-figure experiment driver and print its table.
 
 ``generate``, ``online``, ``stream``, ``batch`` and ``experiment``
@@ -148,6 +151,51 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics", default=None, metavar="PATH",
                        help="write the service-registry snapshot here "
                        "(service.* + aggregated run counters)")
+
+    daemon = sub.add_parser(
+        "daemon", help="multi-tenant serving daemon (SLO admission + worker pool)"
+    )
+    daemon.add_argument("--requests", default=None, metavar="REQUESTS.jsonl",
+                        help="serve this request file (one-shot mode, or the "
+                        "payload replayed in --client mode)")
+    daemon.add_argument("--socket", default=None, metavar="PATH",
+                        help="serve JSONL batches over this Unix socket "
+                        "until interrupted (one batch per connection)")
+    daemon.add_argument("--client", action="store_true",
+                        help="act as the socket client instead: replay "
+                        "--requests against --socket and print the outcomes")
+    daemon.add_argument("--dataset", choices=dataset_names(), default="lki",
+                        help="graph + groups + default template served")
+    daemon.add_argument("--scale", type=float, default=0.15)
+    daemon.add_argument("--coverage", type=int, default=16)
+    daemon.add_argument("--groups", type=int, default=2)
+    daemon.add_argument("--engine", choices=("set", "bitset", "columnar"), default="bitset",
+                        help="default matching engine")
+    daemon.add_argument("--domain-cap", type=int, default=5)
+    daemon.add_argument("--no-warm", action="store_true",
+                        help="skip pre-building the per-label index state")
+    daemon.add_argument("--workers", type=int, default=2,
+                        help="replicated worker contexts (threads)")
+    daemon.add_argument("--queue-depth", type=int, default=64,
+                        help="per-tenant admission queue bound; offers "
+                        "beyond it are shed with a truncated partial")
+    daemon.add_argument("--max-retries", type=int, default=2,
+                        help="infrastructure-fault retries per request")
+    daemon.add_argument("--attempt-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abandon an attempt as a straggler after this "
+                        "long and retry on another worker")
+    daemon.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="inject seeded worker faults at this rate "
+                        "(crash/error per request; exercises the retry path)")
+    daemon.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed of the chaos schedule")
+    daemon.add_argument("--out", default=None, metavar="PATH",
+                        help="write per-request results as JSONL here")
+    daemon.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write the daemon registry snapshot here "
+                        "(service.daemon.* + service.admission.* + run "
+                        "counters)")
 
     stream = sub.add_parser(
         "stream", help="maintain a live archive over a graph-update stream"
@@ -451,7 +499,7 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_batch(args) -> int:
-    from repro.service import load_requests_jsonl, save_outcomes_jsonl
+    from repro.service import iter_requests_jsonl, save_outcomes_jsonl
     from repro.session import BatchSession
 
     bundle = dataset_bundle(
@@ -467,7 +515,9 @@ def _cmd_batch(args) -> int:
         warm=not args.no_warm,
         max_domain_values=args.domain_cap,
     )
-    requests = load_requests_jsonl(args.requests, default_template=bundle.template)
+    requests = list(
+        iter_requests_jsonl(args.requests, default_template=bundle.template)
+    )
     if not requests:
         print(f"no requests in {args.requests}")
         return 1
@@ -485,9 +535,109 @@ def _cmd_batch(args) -> int:
         f"\ncompleted {metrics.value('service.completed')}"
         f" / deduplicated {metrics.value('service.deduplicated')}"
         f" / failed {failed}"
+        f" / rejected {metrics.value('service.requests.rejected')}"
         f" / truncated {metrics.value('service.truncated')}"
         f"; workload literal-pool hit rate "
         f"{session.literal_pool_hit_rate:.2f}"
+    )
+    if args.out:
+        save_outcomes_jsonl(outcomes, args.out)
+        print(f"wrote per-request results to {args.out}")
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
+    return 0 if failed == 0 else 1
+
+
+def _cmd_daemon(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    if args.client:
+        from repro.service import replay_unix
+
+        if not args.socket or not args.requests:
+            print("daemon --client needs both --socket and --requests")
+            return 2
+        lines = Path(args.requests).read_text().splitlines()
+        results = replay_unix(args.socket, lines)
+        for result in results:
+            print(json_module.dumps(result))
+        failed = sum(1 for r in results if not r.get("ok"))
+        print(f"# {len(results)} outcomes, {failed} not ok", file=sys.stderr)
+        if args.out:
+            Path(args.out).write_text(
+                "".join(json_module.dumps(r) + "\n" for r in results)
+            )
+        return 0
+
+    from repro.service.daemon import ServingDaemon
+    from repro.service import save_outcomes_jsonl
+
+    bundle = dataset_bundle(
+        args.dataset,
+        scale=args.scale,
+        num_groups=args.groups,
+        coverage_total=args.coverage,
+    )
+    faults = None
+    if args.chaos_rate > 0.0:
+        from repro.runtime.faults import FaultInjector
+
+        faults = FaultInjector.random(
+            num_batches=10_000, rate=args.chaos_rate, seed=args.chaos_seed
+        )
+        print(f"chaos: {len(faults)} scheduled faults "
+              f"(rate {args.chaos_rate}, seed {args.chaos_seed})")
+    daemon = ServingDaemon(
+        bundle.graph,
+        bundle.groups,
+        workers=args.workers,
+        engine=args.engine,
+        defaults={"max_domain_values": args.domain_cap},
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        attempt_timeout=args.attempt_timeout,
+        warm=not args.no_warm,
+        faults=faults,
+        default_template=bundle.template,
+    )
+    if args.socket:
+        import asyncio
+
+        print(f"serving {bundle.name} on {args.socket} "
+              f"({args.workers} workers, queue depth {args.queue_depth})")
+        try:
+            asyncio.run(daemon.serve_unix(args.socket))
+        except KeyboardInterrupt:
+            print("daemon interrupted; shutting down")
+        finally:
+            daemon.shutdown()
+            if args.metrics:
+                _write_metrics(daemon.metrics, args.metrics)
+        return 0
+    if not args.requests:
+        print("daemon needs --requests (one-shot) or --socket (serve mode)")
+        return 2
+    lines = Path(args.requests).read_text().splitlines()
+    outcomes = daemon.serve(lines)
+    daemon.shutdown()
+    if not outcomes:
+        print(f"no requests in {args.requests}")
+        return 1
+    print_table(
+        [o.as_row() for o in outcomes],
+        f"daemon workload of {len(outcomes)} submissions over {bundle.name} "
+        f"({args.workers} workers, engine default: {args.engine})",
+    )
+    metrics = daemon.metrics
+    failed = metrics.value("service.daemon.failed")
+    print(
+        f"\ncompleted {metrics.value('service.daemon.completed')}"
+        f" / deduplicated {metrics.value('service.daemon.deduplicated')}"
+        f" / failed {failed}"
+        f" / rejected {metrics.value('service.requests.rejected')}"
+        f" / shed {metrics.value('service.daemon.shed')}"
+        f" / retries {metrics.value('service.daemon.retries')}"
     )
     if args.out:
         save_outcomes_jsonl(outcomes, args.out)
@@ -659,6 +809,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "online": _cmd_online,
         "stream": _cmd_stream,
         "batch": _cmd_batch,
+        "daemon": _cmd_daemon,
         "experiment": _cmd_experiment,
         "rpq": _cmd_rpq,
         "workload": _cmd_workload,

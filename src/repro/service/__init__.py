@@ -20,32 +20,65 @@ cache hierarchy:
 admission, canonical-template deduplication, per-request budgets,
 streamed outcomes); :class:`repro.session.BatchSession` and the CLI's
 ``fairsqg batch`` subcommand are the front doors. See ``docs/serving.md``.
+
+For *open-ended* traffic, :class:`ServingDaemon` promotes the scheduler
+loop to a persistent asyncio daemon: JSONL wire format over a Unix
+socket or stdio, SLO-aware admission with per-tenant bounded queues and
+deficit-round-robin fairness (:mod:`repro.service.admission`), a pool of
+replicated :class:`GraphContext` workers with retry/exactly-once outcome
+accounting, and load shedding by truncated ε-Pareto partials.
 """
 
 from repro.matching.bitset import WorkloadLiteralPools
+from repro.service.admission import (
+    AdmissionController,
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SLOClass,
+    SLO_CLASSES,
+    resolve_budget,
+)
 from repro.service.context import GraphContext
+from repro.service.daemon import DedupLedger, ServingDaemon, replay_unix
 from repro.service.requests import (
     ALLOWED_OPTIONS,
     GenerationRequest,
     RequestOutcome,
+    RequestRejection,
+    iter_requests_jsonl,
     load_requests_jsonl,
     outcome_to_dict,
+    parse_request_lines,
     request_from_dict,
     save_outcomes_jsonl,
+    shed_outcome,
 )
 from repro.service.scheduler import ALGORITHMS, BatchScheduler, round_robin_admission
 
 __all__ = [
     "ALGORITHMS",
     "ALLOWED_OPTIONS",
+    "AdmissionController",
     "BatchScheduler",
+    "DedupLedger",
     "GenerationRequest",
     "GraphContext",
     "RequestOutcome",
+    "RequestRejection",
+    "SHED_DEADLINE",
+    "SHED_QUEUE_FULL",
+    "SLOClass",
+    "SLO_CLASSES",
+    "ServingDaemon",
     "WorkloadLiteralPools",
+    "iter_requests_jsonl",
     "load_requests_jsonl",
     "outcome_to_dict",
+    "parse_request_lines",
+    "replay_unix",
     "request_from_dict",
+    "resolve_budget",
     "round_robin_admission",
     "save_outcomes_jsonl",
+    "shed_outcome",
 ]

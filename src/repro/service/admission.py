@@ -1,0 +1,327 @@
+"""SLO-aware admission: service classes, budgets and fair queueing.
+
+The batch scheduler admits a *finite* request list; the daemon
+(:mod:`repro.service.daemon`) faces an *open* stream and therefore needs
+an admission policy: who gets in when the queues are full, how much
+execution budget each admitted request earns, and in which order tenants
+are served. This module holds all three decisions, daemon-free, so they
+can be property-tested in isolation:
+
+* **SLO classes** (:data:`SLO_CLASSES`) map a request's declared service
+  class to :class:`~repro.runtime.budget.Budget` caps. Classes form a
+  strict ladder — a *stricter* class (lower :attr:`SLOClass.rank`) never
+  has a *looser* cap than a laxer one — which
+  ``tests/property/test_admission_properties.py`` pins as the
+  monotonicity invariant. :func:`resolve_budget` merges the class caps
+  with a request's explicit ``deadline``/``max_instances``/
+  ``max_backtracks`` fields, always taking the tighter bound.
+* **Load shedding**: an admission verdict is either acceptance or a
+  *shed reason* (:data:`SHED_QUEUE_FULL`, :data:`SHED_DEADLINE`). A shed
+  request is not an error — the daemon answers it with an *empty
+  truncated ε-Pareto partial* carrying the reason in
+  ``truncation_reason``, the same degradation contract budget-exhausted
+  runs already honor (a valid-but-partial fair answer beats a refusal).
+* **Deficit round robin** (:class:`AdmissionController`): one bounded
+  FIFO queue per tenant, served DRR-style. Each scheduling round every
+  backlogged tenant's deficit grows by :data:`DRR_QUANTUM` and the
+  tenant dequeues requests while its deficit covers their SLO cost
+  (interactive requests are cheap, batch requests expensive), so a
+  tenant spending its turns on heavy work gets proportionally fewer of
+  them, and no backlogged tenant waits more than one full rotation for
+  its head request — the bounded-lag invariant of the property suite.
+
+Counters live under ``service.admission.*`` and are registered only when
+a controller is constructed, so the default (daemon unused) serving path
+stays counter-silent.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ServiceError
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.budget import Budget
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (requests → here)
+    from repro.service.requests import GenerationRequest
+
+__all__ = [
+    "AdmissionController",
+    "DRR_QUANTUM",
+    "QueuedRequest",
+    "SHED_DEADLINE",
+    "SHED_QUEUE_FULL",
+    "SLOClass",
+    "SLO_CLASSES",
+    "resolve_budget",
+    "slo_class",
+]
+
+Clock = Callable[[], float]
+
+#: Shed reasons, reported through ``RunStats.truncation_reason`` on the
+#: empty partial result a shed request receives.
+SHED_QUEUE_FULL = "shed_queue_full"
+SHED_DEADLINE = "shed_deadline"
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service class of the admission ladder.
+
+    Attributes:
+        name: Wire-format identifier (the request's ``slo`` key).
+        rank: Position on the ladder; lower = stricter. Caps are
+            monotone in rank: a stricter class never allows more work.
+        deadline_seconds / max_instances / max_backtracks: Budget caps
+            applied to every request of the class (None = uncapped).
+        cost: DRR cost of one request of this class. Cheap interactive
+            requests drain several per rotation; expensive batch
+            requests eat the whole quantum.
+    """
+
+    name: str
+    rank: int
+    deadline_seconds: Optional[float]
+    max_instances: Optional[int]
+    max_backtracks: Optional[int]
+    cost: int
+
+    def caps(self) -> Tuple[Optional[float], Optional[int], Optional[int]]:
+        return (self.deadline_seconds, self.max_instances, self.max_backtracks)
+
+
+#: The serving ladder. ``interactive`` is the tight human-latency class,
+#: ``standard`` the default API class, ``batch`` the take-your-time class
+#: (uncapped — its requests still honor any explicit budget they carry).
+SLO_CLASSES: Dict[str, SLOClass] = {
+    cls.name: cls
+    for cls in (
+        SLOClass("interactive", rank=0, deadline_seconds=0.25,
+                 max_instances=500, max_backtracks=20_000, cost=1),
+        SLOClass("standard", rank=1, deadline_seconds=2.0,
+                 max_instances=20_000, max_backtracks=500_000, cost=2),
+        SLOClass("batch", rank=2, deadline_seconds=None,
+                 max_instances=None, max_backtracks=None, cost=4),
+    )
+}
+
+#: Deficit granted to every backlogged tenant per DRR rotation. Equals
+#: the maximum class cost so every rotation can serve at least the head
+#: request of every backlogged tenant regardless of its class.
+DRR_QUANTUM = max(cls.cost for cls in SLO_CLASSES.values())
+
+
+def slo_class(name: str) -> SLOClass:
+    """Look up a service class; unknown names fail loudly."""
+    try:
+        return SLO_CLASSES[name]
+    except KeyError:
+        raise ServiceError(
+            f"unknown SLO class {name!r}; known: {sorted(SLO_CLASSES)}"
+        ) from None
+
+
+def _tighter(a, b):
+    """The tighter of two optional caps (None = unbounded)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def resolve_budget(request: "GenerationRequest") -> Optional[Budget]:
+    """The effective execution budget: explicit fields ∩ SLO class caps.
+
+    Each of the three limits independently takes the tighter of the
+    request's own value and its class cap, so declaring a class can only
+    ever *shrink* the budget — never widen an explicit bound the caller
+    set. Returns None when nothing bounds the request (no class, no
+    explicit limits), keeping the :class:`~repro.runtime.budget.ExecutionGuard`
+    inert exactly as before.
+    """
+    caps = (None, None, None)
+    if request.slo is not None:
+        caps = slo_class(request.slo).caps()
+    deadline = _tighter(request.deadline_seconds, caps[0])
+    instances = _tighter(request.max_instances, caps[1])
+    backtracks = _tighter(request.max_backtracks, caps[2])
+    if deadline is None and instances is None and backtracks is None:
+        return None
+    return Budget(
+        deadline_seconds=deadline,
+        max_instances=instances,
+        max_backtracks=backtracks,
+    )
+
+
+def request_cost(request: "GenerationRequest") -> int:
+    """DRR cost of one request (its SLO class cost; default ``standard``)."""
+    if request.slo is None:
+        return SLO_CLASSES["standard"].cost
+    return slo_class(request.slo).cost
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request waiting for a worker.
+
+    ``seq`` is the daemon's submission sequence number (the exactly-once
+    ledger key); ``enqueued_at`` feeds the dispatch-time deadline check
+    and the queue-wait histogram.
+    """
+
+    seq: int
+    request: "GenerationRequest"
+    enqueued_at: float
+
+
+class _TenantQueue:
+    __slots__ = ("queue", "deficit")
+
+    def __init__(self) -> None:
+        self.queue: Deque[QueuedRequest] = deque()
+        self.deficit = 0
+
+
+class AdmissionController:
+    """Per-tenant bounded queues served deficit-round-robin.
+
+    Args:
+        metrics: Registry receiving the ``service.admission.*`` counters.
+        queue_depth: Per-tenant queue bound; an offer to a full queue is
+            shed (:data:`SHED_QUEUE_FULL`) instead of blocking — the
+            backpressure signal of the daemon.
+        clock: Seconds source for queue-wait / deadline-shed decisions;
+            injectable so tests can drive shedding deterministically.
+
+    The controller is intentionally synchronous and lock-free: the
+    daemon calls it only from its event-loop thread, and the property
+    suite drives it directly with adversarial arrival orders.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        queue_depth: int = 64,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if queue_depth <= 0:
+            raise ServiceError("queue_depth must be positive")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue_depth = queue_depth
+        self.clock: Clock = clock or time.monotonic
+        self._tenants: "OrderedDict[str, _TenantQueue]" = OrderedDict()
+        self._pending = 0
+        for name in (
+            "service.admission.admitted",
+            "service.admission.shed",
+            "service.admission.shed.queue_full",
+            "service.admission.shed.deadline",
+        ):
+            self.metrics.counter(name)
+
+    # ------------------------------------------------------------------ #
+    # Offering
+    # ------------------------------------------------------------------ #
+
+    def offer(self, seq: int, request: "GenerationRequest") -> Optional[str]:
+        """Admit or shed one request.
+
+        Returns None on admission, or the shed reason. A shed request
+        never enters a queue — the caller owes it an immediate empty
+        truncated partial.
+        """
+        tenant = self._tenants.get(request.client)
+        if tenant is None:
+            tenant = self._tenants.setdefault(request.client, _TenantQueue())
+        if len(tenant.queue) >= self.queue_depth:
+            self.metrics.inc("service.admission.shed")
+            self.metrics.inc("service.admission.shed.queue_full")
+            return SHED_QUEUE_FULL
+        tenant.queue.append(QueuedRequest(seq, request, self.clock()))
+        self._pending += 1
+        self.metrics.inc("service.admission.admitted")
+        if request.slo is not None:
+            self.metrics.inc(f"service.admission.slo.{request.slo}")
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Requests currently queued (all tenants)."""
+        return self._pending
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenants with a live queue, in first-appearance order."""
+        return list(self._tenants)
+
+    def next(self) -> Optional[Tuple[QueuedRequest, Optional[str]]]:
+        """Dequeue the next request under DRR, or None when idle.
+
+        Returns ``(entry, shed_reason)``: ``shed_reason`` is
+        :data:`SHED_DEADLINE` when the request's SLO deadline elapsed
+        while it queued — running it would burn a worker on an answer
+        the caller already gave up on, so the dispatcher sheds it and
+        moves on. The entry is consumed either way.
+        """
+        while self._tenants:
+            tenant_name = next(iter(self._tenants))
+            tenant = self._tenants[tenant_name]
+            if not tenant.queue:
+                # Idle tenants leave the rotation (and forfeit deficit,
+                # so sleeping cannot bank priority for a later burst).
+                del self._tenants[tenant_name]
+                continue
+            head = tenant.queue[0]
+            cost = request_cost(head.request)
+            if tenant.deficit < cost:
+                # This tenant's turn is spent: top up and rotate. One
+                # top-up always suffices (cost ≤ DRR_QUANTUM), so the
+                # loop advances every iteration.
+                tenant.deficit += DRR_QUANTUM
+                self._tenants.move_to_end(tenant_name)
+                continue
+            tenant.deficit -= cost
+            tenant.queue.popleft()
+            self._pending -= 1
+            if not tenant.queue:
+                tenant.deficit = 0
+            return head, self._shed_reason(head)
+        return None
+
+    def _shed_reason(self, entry: QueuedRequest) -> Optional[str]:
+        if entry.request.slo is None:
+            return None
+        deadline = slo_class(entry.request.slo).deadline_seconds
+        if deadline is None:
+            return None
+        if self.clock() - entry.enqueued_at >= deadline:
+            self.metrics.inc("service.admission.shed")
+            self.metrics.inc("service.admission.shed.deadline")
+            return SHED_DEADLINE
+        return None
+
+    def drain(self) -> List[QueuedRequest]:
+        """Remove and return every queued request (daemon shutdown).
+
+        Bypasses the DRR rotation and the deadline-shed check — drained
+        requests are the caller's to answer, not statistics.
+        """
+        drained: List[QueuedRequest] = []
+        for tenant in self._tenants.values():
+            drained.extend(tenant.queue)
+            tenant.queue.clear()
+            tenant.deficit = 0
+        self._tenants.clear()
+        self._pending = 0
+        drained.sort(key=lambda entry: entry.seq)
+        return drained

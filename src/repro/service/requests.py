@@ -22,13 +22,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
-from repro.core.result import GenerationResult
-from repro.errors import ServiceError
+from repro.core.result import GenerationResult, RunStats
+from repro.errors import ReproError, ServiceError
 from repro.query.serialization import template_from_dict, template_to_dict
 from repro.query.template import QueryTemplate
 from repro.runtime.budget import Budget
+from repro.service.admission import resolve_budget, slo_class
 
 PathLike = Union[str, Path]
 
@@ -58,6 +59,7 @@ _REQUEST_KEYS = frozenset(
         "deadline",
         "max_instances",
         "max_backtracks",
+        "slo",
         "options",
     }
 )
@@ -77,6 +79,10 @@ class GenerationRequest:
         deadline_seconds / max_instances / max_backtracks: Optional
             per-request execution budget
             (:class:`~repro.runtime.budget.Budget`).
+        slo: Optional service class (``"interactive"`` / ``"standard"`` /
+            ``"batch"``) — its :data:`~repro.service.admission.SLO_CLASSES`
+            caps tighten the budget and drive the daemon's admission
+            priority and deadline shedding.
         options: Extra :class:`~repro.core.config.GenerationConfig`
             overrides, restricted to :data:`ALLOWED_OPTIONS`.
     """
@@ -89,6 +95,7 @@ class GenerationRequest:
     deadline_seconds: Optional[float] = None
     max_instances: Optional[int] = None
     max_backtracks: Optional[int] = None
+    slo: Optional[str] = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -98,20 +105,18 @@ class GenerationRequest:
                 f"request {self.request_id!r} sets unknown option(s) "
                 f"{sorted(unknown)}; allowed: {sorted(ALLOWED_OPTIONS)}"
             )
+        if self.slo is not None:
+            slo_class(self.slo)  # unknown class names fail loudly
 
     def budget(self) -> Optional[Budget]:
-        """The request's execution budget, or None when unbounded."""
-        if (
-            self.deadline_seconds is None
-            and self.max_instances is None
-            and self.max_backtracks is None
-        ):
-            return None
-        return Budget(
-            deadline_seconds=self.deadline_seconds,
-            max_instances=self.max_instances,
-            max_backtracks=self.max_backtracks,
-        )
+        """The effective execution budget, or None when unbounded.
+
+        Explicit per-request limits are intersected with the request's
+        SLO-class caps (:func:`repro.service.admission.resolve_budget`),
+        each limit taking the tighter bound, so the synchronous batch
+        path and the daemon execute identical budgets for one request.
+        """
+        return resolve_budget(self)
 
     def canonical_signature(self) -> str:
         """Order-insensitive execution identity of this request.
@@ -132,6 +137,7 @@ class GenerationRequest:
                     self.max_instances,
                     self.max_backtracks,
                 ],
+                "slo": self.slo,
                 "options": {k: self.options[k] for k in sorted(self.options)},
             },
             sort_keys=True,
@@ -171,6 +177,15 @@ class RequestOutcome:
         """True iff the request produced a result (possibly truncated)."""
         return self.result is not None
 
+    @property
+    def shed(self) -> bool:
+        """True iff this is a load-shed empty partial (never executed)."""
+        return bool(
+            self.result is not None
+            and self.result.stats.truncation_reason is not None
+            and str(self.result.stats.truncation_reason).startswith("shed")
+        )
+
     def as_row(self) -> Dict[str, object]:
         """Row-dict rendering for table printers."""
         result = self.result
@@ -184,6 +199,75 @@ class RequestOutcome:
             "time (s)": round(self.elapsed_seconds, 4),
             "error": self.error or "",
         }
+
+
+@dataclass(frozen=True)
+class RequestRejection:
+    """A request line the service refused before admission.
+
+    Produced by the lenient wire-format parser
+    (:func:`parse_request_lines`) for malformed JSONL lines — truncated
+    JSON, non-object payloads, unknown keys, duplicate ids. A rejection
+    flows through the outcome stream like any other answer (structured
+    error object, ``service.requests.rejected`` counter) instead of
+    raising out of the batch loop and taking the whole workload down.
+
+    Duck-typed against :class:`RequestOutcome` just far enough for the
+    table printers and outcome writers (``ok`` / ``error`` /
+    ``deduplicated`` / ``as_row``).
+    """
+
+    request_id: str
+    reason: str
+    line_no: int = 0
+    client: str = "unknown"
+
+    #: Rejections never carry a result and are never deduplicated.
+    ok = False
+    shed = False
+    result = None
+    deduplicated = False
+    elapsed_seconds = 0.0
+
+    @property
+    def error(self) -> str:
+        return self.reason
+
+    def as_row(self) -> Dict[str, object]:
+        """Row-dict rendering for table printers (see
+        :meth:`RequestOutcome.as_row`)."""
+        return {
+            "id": self.request_id,
+            "client": self.client,
+            "algorithm": "-",
+            "|set|": "-",
+            "truncated": False,
+            "dedup": False,
+            "time (s)": 0.0,
+            "error": f"rejected: {self.reason}",
+        }
+
+
+def shed_outcome(request: GenerationRequest, reason: str) -> RequestOutcome:
+    """The answer a load-shed request receives: an empty truncated partial.
+
+    An empty instance list *is* a valid ε-Pareto set (of the empty
+    verified prefix), so shedding degrades exactly like budget
+    exhaustion does — ``ok`` stays True, ``truncated`` is set and
+    ``truncation_reason`` carries the shed reason
+    (:data:`~repro.service.admission.SHED_QUEUE_FULL` /
+    :data:`~repro.service.admission.SHED_DEADLINE`) — instead of turning
+    overload into errors.
+    """
+    return RequestOutcome(
+        request=request,
+        result=GenerationResult(
+            algorithm=request.algorithm,
+            instances=[],
+            epsilon=request.epsilon,
+            stats=RunStats(truncated=True, truncation_reason=reason),
+        ),
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -235,14 +319,104 @@ def request_from_dict(
             if data.get("max_backtracks") is not None
             else None
         ),
+        slo=(str(data["slo"]) if data.get("slo") is not None else None),
         options=dict(data.get("options", {})),
+    )
+
+
+def parse_request_line(
+    line: str,
+    default_template: Optional[QueryTemplate] = None,
+    index: int = 0,
+    line_no: int = 0,
+) -> Union[GenerationRequest, RequestRejection]:
+    """Parse one wire-format line, never raising on bad input.
+
+    Malformed lines — truncated/invalid JSON, non-object payloads,
+    unknown keys, bad field values — come back as
+    :class:`RequestRejection` carrying the caller-visible reason, so one
+    corrupt line costs one structured error outcome instead of the batch.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return RequestRejection(
+            request_id=f"line-{line_no or index + 1}",
+            reason=f"invalid JSON ({exc})",
+            line_no=line_no,
+        )
+    if not isinstance(data, dict):
+        return RequestRejection(
+            request_id=f"line-{line_no or index + 1}",
+            reason="expected a JSON object",
+            line_no=line_no,
+        )
+    request_id = str(data.get("id", f"req-{index}"))
+    client = str(data.get("client", "default"))
+    try:
+        return request_from_dict(data, default_template, index=index)
+    except ReproError as exc:
+        return RequestRejection(
+            request_id=request_id,
+            reason=str(exc),
+            line_no=line_no,
+            client=client,
+        )
+
+
+def parse_request_lines(
+    lines: Iterable[str],
+    default_template: Optional[QueryTemplate] = None,
+) -> Iterator[Union[GenerationRequest, RequestRejection]]:
+    """Lenient wire-format parser over raw lines.
+
+    Blank lines and ``#`` comments are skipped; every other line yields
+    either a request or a rejection. Duplicate request ids are rejected
+    (the first occurrence wins) — an id names exactly one outcome in the
+    result stream, so a duplicate can never silently shadow an answer.
+    """
+    seen_ids: set = set()
+    index = 0
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parsed = parse_request_line(
+            line, default_template, index=index, line_no=line_no
+        )
+        if isinstance(parsed, GenerationRequest):
+            if parsed.request_id in seen_ids:
+                yield RequestRejection(
+                    request_id=parsed.request_id,
+                    reason=f"duplicate request id {parsed.request_id!r}",
+                    line_no=line_no,
+                    client=parsed.client,
+                )
+                continue
+            seen_ids.add(parsed.request_id)
+            index += 1
+        yield parsed
+
+
+def iter_requests_jsonl(
+    path: PathLike, default_template: Optional[QueryTemplate] = None
+) -> Iterator[Union[GenerationRequest, RequestRejection]]:
+    """Lenient file reader: :func:`parse_request_lines` over ``path``."""
+    yield from parse_request_lines(
+        Path(path).read_text().splitlines(), default_template
     )
 
 
 def load_requests_jsonl(
     path: PathLike, default_template: Optional[QueryTemplate] = None
 ) -> List[GenerationRequest]:
-    """Read a batch request file (one JSON object per non-blank line)."""
+    """Read a batch request file, strictly (first bad line raises).
+
+    The lenient streaming variants (:func:`iter_requests_jsonl`,
+    :func:`parse_request_lines`) reject bad lines in-band instead; this
+    strict loader remains for programmatic callers that prefer to fail
+    the whole file.
+    """
     requests: List[GenerationRequest] = []
     for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
         line = line.strip()
@@ -260,8 +434,19 @@ def load_requests_jsonl(
     return requests
 
 
-def outcome_to_dict(outcome: RequestOutcome) -> Dict[str, Any]:
+def outcome_to_dict(
+    outcome: Union[RequestOutcome, RequestRejection]
+) -> Dict[str, Any]:
     """JSON-ready rendering of one outcome (the batch result stream)."""
+    if isinstance(outcome, RequestRejection):
+        return {
+            "id": outcome.request_id,
+            "client": outcome.client,
+            "ok": False,
+            "rejected": True,
+            "line": outcome.line_no,
+            "error": outcome.reason,
+        }
     payload: Dict[str, Any] = {
         "id": outcome.request.request_id,
         "client": outcome.request.client,
@@ -273,6 +458,8 @@ def outcome_to_dict(outcome: RequestOutcome) -> Dict[str, Any]:
     if outcome.error is not None:
         payload["error"] = outcome.error
         return payload
+    if outcome.shed:
+        payload["shed"] = True
     result = outcome.result
     payload.update(
         {
@@ -294,7 +481,9 @@ def outcome_to_dict(outcome: RequestOutcome) -> Dict[str, Any]:
     return payload
 
 
-def save_outcomes_jsonl(outcomes: List[RequestOutcome], path: PathLike) -> None:
+def save_outcomes_jsonl(
+    outcomes: List[Union[RequestOutcome, RequestRejection]], path: PathLike
+) -> None:
     """Write one result object per line, mirroring the request format."""
     Path(path).write_text(
         "".join(json.dumps(outcome_to_dict(o)) + "\n" for o in outcomes)

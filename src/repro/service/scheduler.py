@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
 
 from repro.core.base import QGenAlgorithm
 from repro.core.biqgen import BiQGen
@@ -43,7 +43,12 @@ from repro.core.rfqgen import RfQGen
 from repro.errors import ReproError, ServiceError
 from repro.groups.groups import GroupSet
 from repro.service.context import GraphContext
-from repro.service.requests import ALLOWED_OPTIONS, GenerationRequest, RequestOutcome
+from repro.service.requests import (
+    ALLOWED_OPTIONS,
+    GenerationRequest,
+    RequestOutcome,
+    RequestRejection,
+)
 
 #: Algorithm names accepted in requests (the CLI's ``--algorithm`` set).
 ALGORITHMS: Dict[str, Type[QGenAlgorithm]] = {
@@ -113,6 +118,7 @@ class BatchScheduler:
             "service.deduplicated",
             "service.truncated",
             "service.batches",
+            "service.requests.rejected",
         ):
             self.metrics.counter(name)
 
@@ -121,8 +127,8 @@ class BatchScheduler:
     # ------------------------------------------------------------------ #
 
     def stream(
-        self, requests: Iterable[GenerationRequest]
-    ) -> Iterator[RequestOutcome]:
+        self, requests: Iterable[Union[GenerationRequest, RequestRejection]]
+    ) -> Iterator[Union[RequestOutcome, RequestRejection]]:
         """Admit, deduplicate and execute; yield outcomes as they finish.
 
         Outcomes arrive in admission order (round-robin across clients).
@@ -130,10 +136,23 @@ class BatchScheduler:
         matches an earlier one of the *same* batch replays that result
         without re-running (never across batches, where an invalidation
         may have changed the graph in between).
+
+        :class:`~repro.service.requests.RequestRejection`s — the lenient
+        wire parser's answer to malformed lines — pass straight through
+        as structured error outcomes (counted under
+        ``service.requests.rejected``) ahead of the admitted work, so
+        one corrupt line never takes the batch down.
         """
         self.metrics.inc("service.batches")
+        admitted: List[GenerationRequest] = []
+        for item in requests:
+            if isinstance(item, RequestRejection):
+                self.metrics.inc("service.requests.rejected")
+                yield item
+            else:
+                admitted.append(item)
         completed: Dict[str, RequestOutcome] = {}
-        for request in round_robin_admission(list(requests)):
+        for request in round_robin_admission(admitted):
             self.metrics.inc("service.requests")
             signature = request.canonical_signature()
             earlier = completed.get(signature)
@@ -150,7 +169,9 @@ class BatchScheduler:
                 completed[signature] = outcome
             yield outcome
 
-    def run(self, requests: Iterable[GenerationRequest]) -> List[RequestOutcome]:
+    def run(
+        self, requests: Iterable[Union[GenerationRequest, RequestRejection]]
+    ) -> List[Union[RequestOutcome, RequestRejection]]:
         """:meth:`stream`, materialized."""
         return list(self.stream(requests))
 

@@ -19,6 +19,14 @@ selection/audit/explanation); this module wires the two common paths:
     >>> outcomes = batch.run([batch.request(t, epsilon=0.1) for t in templates])
     ...                                                       # doctest: +SKIP
     >>> batch.literal_pool_hit_rate                           # doctest: +SKIP
+
+* :class:`DaemonSession` — the same serving surface, but backed by the
+  persistent multi-tenant daemon (:mod:`repro.service.daemon`): SLO-aware
+  admission, deficit-round-robin tenant fairness, a replicated worker
+  pool with retries, and load shedding by truncated partials:
+
+    >>> daemon = DaemonSession(graph, groups, workers=4)      # doctest: +SKIP
+    >>> outcomes = daemon.serve(request_dicts)                # doctest: +SKIP
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.groups.groups import GroupSet
 from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
 from repro.service.context import GraphContext
+from repro.service.daemon import ServingDaemon
 from repro.service.requests import GenerationRequest, RequestOutcome
 from repro.service.scheduler import BatchScheduler
 
@@ -237,3 +246,92 @@ class BatchSession:
     def apply_delta(self, delta) -> None:
         """Mutate the served graph (``G ⊕ Δ``) and invalidate every tier."""
         self.context.apply_delta(delta)
+
+
+class DaemonSession:
+    """Multi-tenant serving facade over the persistent asyncio daemon.
+
+    The daemon analogue of :class:`BatchSession`: the same graph/groups
+    surface and the same outcome objects, but requests flow through
+    SLO-aware admission (per-tenant bounded queues, deficit round robin,
+    load shedding by truncated partials) and execute on a pool of
+    replicated worker contexts with infrastructure-fault retries. The
+    chaos suite pins that for any fault-free workload the outcomes are
+    byte-identical to :class:`BatchSession`'s.
+
+    Args:
+        graph: The data graph to serve.
+        groups: Groups/constraints every request is generated under.
+        workers: Replicated worker-context count.
+        engine: Default matching engine for requests.
+        metrics: Registry for ``service.daemon.*`` / ``service.admission.*``
+            counters (private if omitted).
+        queue_depth / max_retries / attempt_timeout / warm / columnar /
+            workload_pool_max_entries / faults: Forwarded to
+            :class:`~repro.service.daemon.ServingDaemon`.
+        **defaults: Further per-request config defaults, overridable per
+            request.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        groups: GroupSet,
+        workers: int = 2,
+        engine: str = "set",
+        metrics: Optional[MetricsRegistry] = None,
+        queue_depth: int = 64,
+        max_retries: int = 2,
+        attempt_timeout: Optional[float] = None,
+        warm: bool = True,
+        columnar: bool = False,
+        workload_pool_max_entries: Optional[int] = 4096,
+        faults=None,
+        **defaults,
+    ) -> None:
+        self.daemon = ServingDaemon(
+            graph,
+            groups,
+            workers=workers,
+            engine=engine,
+            defaults=defaults,
+            queue_depth=queue_depth,
+            max_retries=max_retries,
+            attempt_timeout=attempt_timeout,
+            warm=warm,
+            columnar=columnar,
+            workload_pool_max_entries=workload_pool_max_entries,
+            faults=faults,
+            metrics=metrics,
+        )
+        self._request_counter = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The daemon registry (admission + daemon + absorbed run counters)."""
+        return self.daemon.metrics
+
+    def request(
+        self,
+        template: QueryTemplate,
+        request_id: Optional[str] = None,
+        **kwargs,
+    ) -> GenerationRequest:
+        """Build a request for this session (ids auto-assigned if omitted)."""
+        if request_id is None:
+            self._request_counter += 1
+            request_id = f"req-{self._request_counter}"
+        return GenerationRequest(request_id, template, **kwargs)
+
+    def serve(self, submissions) -> List[RequestOutcome]:
+        """Serve a workload to completion; outcomes in submission order.
+
+        Accepts parsed :class:`GenerationRequest`s, raw JSONL request
+        lines, or a mix — malformed lines come back as structured
+        rejections instead of raising.
+        """
+        return self.daemon.serve(submissions)
+
+    def shutdown(self) -> None:
+        """Release the worker thread pool."""
+        self.daemon.shutdown()

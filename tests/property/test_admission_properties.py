@@ -1,0 +1,278 @@
+"""Property tests of the daemon's admission layer (``repro.service``).
+
+Three families of invariants, each over adversarial random inputs:
+
+* **DRR bounded lag** — for any arrival pattern of tenants and SLO
+  classes, the deficit-round-robin scheduler serves every admitted
+  request exactly once, preserves within-tenant FIFO order, and never
+  lets one tenant serve more than a bounded amount of work between two
+  consecutive serves of another *backlogged* tenant (no starvation).
+* **SLO budget monotonicity** — the resolved budget is always the
+  element-wise tighter of the explicit fields and the class caps, and a
+  stricter class never yields a looser budget than a laxer one for the
+  same request.
+* **Dedup ledger soundness** — under any interleaving of routes and
+  completions, every request gets exactly one fate (execute, replay or
+  promotion), distinct signatures are never conflated, and a fully
+  drained ledger holds no orphans.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.obs.registry import MetricsRegistry
+from repro.query import Literal, Op, QueryTemplate
+from repro.service.admission import (
+    AdmissionController,
+    DRR_QUANTUM,
+    SLO_CLASSES,
+    request_cost,
+    resolve_budget,
+)
+from repro.service.daemon import DedupLedger
+from repro.service.requests import GenerationRequest
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TEMPLATE = (
+    QueryTemplate.builder("admission-prop")
+    .node("u0", "person", Literal("kind", Op.EQ, "target"))
+    .node("u1", "person")
+    .fixed_edge("u1", "u0", "rec")
+    .range_var("xl", "u1", "score", Op.GE)
+    .output("u0")
+    .build()
+)
+
+slo_names = st.sampled_from([None, *SLO_CLASSES])
+
+arrivals = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c", "d"]), slo_names),
+    min_size=1,
+    max_size=60,
+)
+
+
+def make_request(request_id, client, slo):
+    return GenerationRequest(
+        request_id, TEMPLATE, client=client, slo=slo
+    )
+
+
+def drain_order(controller):
+    """Dequeue everything (ignoring shed verdicts), in served order."""
+    order = []
+    while True:
+        item = controller.next()
+        if item is None:
+            return order
+        order.append(item[0])
+
+
+# ---------------------------------------------------------------------- #
+# DRR fairness
+# ---------------------------------------------------------------------- #
+
+
+@SETTINGS
+@given(arrivals)
+def test_drr_serves_everything_once_in_tenant_fifo_order(pattern):
+    controller = AdmissionController(MetricsRegistry(), queue_depth=len(pattern))
+    for seq, (client, slo) in enumerate(pattern):
+        assert controller.offer(seq, make_request(f"r{seq}", client, slo)) is None
+    served = drain_order(controller)
+    # Exactly once each.
+    assert sorted(e.seq for e in served) == list(range(len(pattern)))
+    # Within-tenant submission order is preserved.
+    for client in {c for c, _ in pattern}:
+        seqs = [e.seq for e in served if e.request.client == client]
+        assert seqs == sorted(seqs)
+    assert len(controller) == 0
+
+
+@SETTINGS
+@given(arrivals)
+def test_drr_bounded_lag_between_serves_of_a_backlogged_tenant(pattern):
+    """While a tenant is backlogged, any other tenant serves at most
+    ``2 * DRR_QUANTUM - 1`` cost units before the backlogged tenant's
+    next request — one carried remainder plus one fresh quantum."""
+    controller = AdmissionController(MetricsRegistry(), queue_depth=len(pattern))
+    remaining = {}
+    for seq, (client, slo) in enumerate(pattern):
+        controller.offer(seq, make_request(f"r{seq}", client, slo))
+        remaining[client] = remaining.get(client, 0) + 1
+    bound = 2 * DRR_QUANTUM - 1
+    # served[(t, c)]: cost tenant c served since backlogged tenant t's
+    # last serve. One DRR turn spends at most (quantum-1) carried deficit
+    # plus one fresh quantum, and between t's turns every other tenant
+    # gets exactly one turn — hence the 2*quantum - 1 per-pair bound.
+    served = {}
+    tenants = {c for c, _ in pattern}
+    while True:
+        item = controller.next()
+        if item is None:
+            break
+        entry = item[0]
+        client = entry.request.client
+        cost = request_cost(entry.request)
+        for waiter in tenants:
+            if waiter != client and remaining.get(waiter, 0) > 0:
+                burned = served.get((waiter, client), 0) + cost
+                assert burned <= bound
+                served[(waiter, client)] = burned
+        for other in tenants:
+            served[(client, other)] = 0
+        remaining[client] -= 1
+
+
+@SETTINGS
+@given(arrivals, st.integers(min_value=1, max_value=8))
+def test_queue_depth_bounds_every_tenant_independently(pattern, depth):
+    controller = AdmissionController(MetricsRegistry(), queue_depth=depth)
+    queued = {}
+    for seq, (client, slo) in enumerate(pattern):
+        verdict = controller.offer(seq, make_request(f"r{seq}", client, slo))
+        if verdict is None:
+            queued[client] = queued.get(client, 0) + 1
+            assert queued[client] <= depth
+        else:
+            assert queued.get(client, 0) == depth
+    assert len(controller) == sum(queued.values())
+
+
+# ---------------------------------------------------------------------- #
+# SLO budget monotonicity
+# ---------------------------------------------------------------------- #
+
+optional_float = st.one_of(st.none(), st.floats(min_value=0.001, max_value=100))
+optional_int = st.one_of(st.none(), st.integers(min_value=1, max_value=10**6))
+
+
+def tighter_or_equal(a, b):
+    """a ≤ b with None = unbounded."""
+    if b is None:
+        return True
+    return a is not None and a <= b
+
+
+@SETTINGS
+@given(slo_names, optional_float, optional_int, optional_int)
+def test_resolved_budget_is_the_elementwise_tighter_bound(
+    slo, deadline, instances, backtracks
+):
+    request = GenerationRequest(
+        "r", TEMPLATE, slo=slo, deadline_seconds=deadline,
+        max_instances=instances, max_backtracks=backtracks,
+    )
+    budget = resolve_budget(request)
+    caps = SLO_CLASSES[slo].caps() if slo else (None, None, None)
+    explicit = (deadline, instances, backtracks)
+    expected = tuple(
+        min((v for v in pair if v is not None), default=None)
+        for pair in zip(explicit, caps)
+    )
+    resolved = (
+        (budget.deadline_seconds, budget.max_instances, budget.max_backtracks)
+        if budget is not None
+        else (None, None, None)
+    )
+    assert resolved == expected
+    # Declaring a class can only shrink, never widen.
+    for got, exp in zip(resolved, explicit):
+        assert tighter_or_equal(got, exp)
+
+
+@SETTINGS
+@given(optional_float, optional_int, optional_int)
+def test_stricter_class_never_yields_a_looser_budget(deadline, instances, backtracks):
+    ladder = sorted(SLO_CLASSES.values(), key=lambda c: c.rank)
+    budgets = []
+    for cls in ladder:
+        request = GenerationRequest(
+            "r", TEMPLATE, slo=cls.name, deadline_seconds=deadline,
+            max_instances=instances, max_backtracks=backtracks,
+        )
+        budget = resolve_budget(request)
+        budgets.append(
+            (budget.deadline_seconds, budget.max_instances, budget.max_backtracks)
+            if budget is not None
+            else (None, None, None)
+        )
+    for strict, lax in zip(budgets, budgets[1:]):
+        for s, l in zip(strict, lax):
+            assert tighter_or_equal(s, l)
+
+
+# ---------------------------------------------------------------------- #
+# Dedup ledger soundness
+# ---------------------------------------------------------------------- #
+
+ledger_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["route", "complete"]),
+        st.integers(min_value=0, max_value=4),  # signature index
+        st.booleans(),  # completion succeeds?
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@SETTINGS
+@given(ledger_scripts)
+def test_ledger_gives_every_request_exactly_one_fate(script):
+    ledger = DedupLedger()
+    fates = {}  # seq -> "execute" | "replay"
+    executing = {}  # signature -> seq currently executing
+    seq_signature = {}
+    next_seq = 0
+    for op, sig_index, ok in script:
+        signature = f"sig-{sig_index}"
+        if op == "route":
+            seq = next_seq
+            next_seq += 1
+            seq_signature[seq] = signature
+            verdict = ledger.route(signature, seq)
+            if verdict == DedupLedger.EXECUTE:
+                assert signature not in executing
+                fates[seq] = "execute"
+                executing[signature] = seq
+            elif verdict == DedupLedger.WAIT:
+                assert signature in executing
+            else:  # a completed outcome replayed immediately
+                assert verdict.ok
+                fates[seq] = "replay"
+        elif signature in executing:
+            outcome = SimpleNamespace(ok=ok)
+            replay, promoted = ledger.complete(signature, outcome)
+            del executing[signature]
+            for waiter in replay:
+                assert ok  # replays only happen on success
+                assert seq_signature[waiter] == signature
+                assert waiter not in fates
+                fates[waiter] = "replay"
+            if promoted is not None:
+                assert not ok  # promotion only happens on failure
+                assert seq_signature[promoted] == signature
+                assert promoted not in fates
+                fates[promoted] = "execute"
+                executing[signature] = promoted
+    # Drain: complete every in-flight signature successfully.
+    while executing:
+        signature, _ = next(iter(executing.items()))
+        replay, promoted = ledger.complete(signature, SimpleNamespace(ok=True))
+        del executing[signature]
+        assert promoted is None
+        for waiter in replay:
+            assert seq_signature[waiter] == signature
+            assert waiter not in fates
+            fates[waiter] = "replay"
+    assert ledger.orphans == []
+    assert sorted(fates) == list(range(next_seq))
