@@ -43,7 +43,14 @@ from repro.core.parallel import ParallelQGen
 from repro.core.preferences import rank_by_preference, select_by_preference
 from repro.datasets import dataset_bundle, dataset_names
 from repro.graph import AttributedGraph, GraphBuilder
-from repro.groups import GroupSet, NodeGroup
+from repro.groups import (
+    GroupRule,
+    GroupSet,
+    GroupSystem,
+    NodeGroup,
+    system_from_dict,
+    system_from_rules,
+)
 from repro.query import Instantiation, Literal, Op, QueryInstance, QueryTemplate
 from repro.runtime import (
     Budget,
@@ -81,7 +88,11 @@ __all__ = [
     "Literal",
     "Op",
     "NodeGroup",
+    "GroupRule",
     "GroupSet",
+    "GroupSystem",
+    "system_from_dict",
+    "system_from_rules",
     "GenerationConfig",
     "GenerationResult",
     "InstanceEvaluator",

@@ -16,7 +16,7 @@ from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
 from repro.core.indicators import normalized_epsilon_indicator, r_indicator
 from repro.core.lattice import InstanceLattice
 from repro.datasets.registry import DatasetBundle, dataset_bundle
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 from repro.obs import MetricsRegistry, current_registry
 from repro.query.template import QueryTemplate
 
@@ -25,7 +25,7 @@ def make_config(
     bundle: DatasetBundle,
     settings: BenchSettings,
     template: Optional[QueryTemplate] = None,
-    groups: Optional[GroupSet] = None,
+    groups: Optional[GroupSystem] = None,
     epsilon: Optional[float] = None,
     max_domain_values: Optional[int] = None,
     **overrides,

@@ -96,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.15)
     generate.add_argument("--coverage", type=int, default=16)
     generate.add_argument("--groups", type=int, default=2)
+    generate.add_argument("--group-system", default=None, metavar="SPEC.json",
+                          help="JSON group-system spec (attribute-combination "
+                          "rules, overlap allowed; see docs/fairness.md) "
+                          "replacing the dataset's default groups")
     generate.add_argument("--domain-cap", type=int, default=5)
     generate.add_argument("--engine", choices=("set", "bitset", "columnar"), default="set",
                           help="matching engine verifying instances "
@@ -140,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--scale", type=float, default=0.15)
     batch.add_argument("--coverage", type=int, default=16)
     batch.add_argument("--groups", type=int, default=2)
+    batch.add_argument("--group-system", default=None, metavar="SPEC.json",
+                       help="JSON group-system spec replacing the dataset's "
+                       "default groups for the whole batch (requests may "
+                       "also carry per-request 'group_system' specs)")
     batch.add_argument("--engine", choices=("set", "bitset", "columnar"), default="bitset",
                        help="default matching engine (bitset exercises the "
                        "workload literal-pool cache tier)")
@@ -169,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--scale", type=float, default=0.15)
     daemon.add_argument("--coverage", type=int, default=16)
     daemon.add_argument("--groups", type=int, default=2)
+    daemon.add_argument("--group-system", default=None, metavar="SPEC.json",
+                        help="JSON group-system spec replacing the dataset's "
+                        "default groups (requests may also carry per-request "
+                        "'group_system' specs)")
     daemon.add_argument("--engine", choices=("set", "bitset", "columnar"), default="bitset",
                         help="default matching engine")
     daemon.add_argument("--domain-cap", type=int, default=5)
@@ -204,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--scale", type=float, default=0.15)
     stream.add_argument("--coverage", type=int, default=16)
     stream.add_argument("--groups", type=int, default=2)
+    stream.add_argument("--group-system", default=None, metavar="SPEC.json",
+                        help="JSON group-system spec replacing the dataset's "
+                        "default groups for the streamed archive")
     stream.add_argument("--epsilon", type=float, default=0.05)
     stream.add_argument("--domain-cap", type=int, default=5)
     stream.add_argument("--engine", choices=("set", "bitset", "columnar"), default="set",
@@ -321,6 +336,26 @@ def _metrics_registry(args):
     return None
 
 
+def _load_group_system(args, graph, registry=None):
+    """Materialize ``--group-system SPEC.json`` over ``graph``.
+
+    Returns ``None`` when the flag was not given (callers fall back to
+    the dataset bundle's default disjoint groups — the legacy path).
+    Coverage targets are clamped to matched populations so a hand-written
+    spec can never be unsatisfiable by construction.
+    """
+    path = getattr(args, "group_system", None)
+    if path is None:
+        return None
+    import json
+    from pathlib import Path
+
+    from repro.groups.system import system_from_dict
+
+    data = json.loads(Path(path).read_text())
+    return system_from_dict(data, graph, clamp=True, metrics=registry)
+
+
 def _write_metrics(registry, path: str) -> None:
     """Write a registry snapshot (JSON, or Prometheus for ``.prom``)."""
     from pathlib import Path
@@ -362,6 +397,7 @@ def _cmd_generate(args) -> int:
         matcher_engine=args.engine,
         use_delta_scoring=args.delta_scoring,
         budget=_budget_from_args(args),
+        groups=_load_group_system(args, bundle.graph, registry),
     )
     algorithm = ALGORITHMS[args.algorithm](config)
     result = algorithm.run()
@@ -440,7 +476,7 @@ def _cmd_stream(args) -> int:
     session = StreamingSession(
         bundle.graph,
         bundle.template,
-        bundle.groups,
+        _load_group_system(args, bundle.graph) or bundle.groups,
         epsilon=args.epsilon,
         max_domain_values=args.domain_cap,
         matcher_engine=args.engine,
@@ -510,7 +546,7 @@ def _cmd_batch(args) -> int:
     )
     session = BatchSession(
         bundle.graph,
-        bundle.groups,
+        _load_group_system(args, bundle.graph) or bundle.groups,
         engine=args.engine,
         warm=not args.no_warm,
         max_domain_values=args.domain_cap,
@@ -590,7 +626,7 @@ def _cmd_daemon(args) -> int:
               f"(rate {args.chaos_rate}, seed {args.chaos_seed})")
     daemon = ServingDaemon(
         bundle.graph,
-        bundle.groups,
+        _load_group_system(args, bundle.graph) or bundle.groups,
         workers=args.workers,
         engine=args.engine,
         defaults={"max_domain_values": args.domain_cap},

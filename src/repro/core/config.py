@@ -17,7 +17,7 @@ from repro.core.relevance import RelevanceScorer
 from repro.graph.active_domain import ActiveDomainIndex
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.indexes import GraphIndexes
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
 from repro.runtime.budget import Budget, CancellationToken
@@ -33,7 +33,11 @@ class GenerationConfig:
     Attributes:
         graph: The data graph ``G``.
         template: The query template ``Q(u_o)``.
-        groups: Disjoint node groups ``P`` with coverage constraints.
+        groups: Node groups ``P`` with coverage constraints — the paper's
+            disjoint :class:`~repro.groups.groups.GroupSet` or a
+            generalized overlapping
+            :class:`~repro.groups.system.GroupSystem` (multi-attribute
+            predicates, relaxed thresholds, pluggable aggregate ``f``).
         epsilon: The ε of ε-dominance (must be > 0).
         lam: Relevance/diversity balance λ of the diversity measure.
         relevance: Optional relevance scorer (default: constant 1).
@@ -99,7 +103,7 @@ class GenerationConfig:
 
     graph: AttributedGraph
     template: QueryTemplate
-    groups: GroupSet
+    groups: GroupSystem
     epsilon: float = 0.01
     lam: float = 0.5
     relevance: Optional[RelevanceScorer] = None
@@ -193,7 +197,7 @@ class GenerationConfig:
         """Copy with a different ε (parameter sweeps)."""
         return replace(self, epsilon=epsilon)
 
-    def with_groups(self, groups: GroupSet) -> "GenerationConfig":
+    def with_groups(self, groups: GroupSystem) -> "GenerationConfig":
         """Copy with different groups/constraints."""
         return replace(self, groups=groups)
 

@@ -31,7 +31,7 @@ from repro.core.distance import (
 )
 from repro.core.relevance import ConstantRelevance, RelevanceScorer
 from repro.graph.attributed_graph import AttributedGraph
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 
 #: Answers at or below this size always use the exact pairwise path.
 _DECOMPOSE_THRESHOLD = 64
@@ -289,43 +289,52 @@ class DiversityMeasure:
 
 
 class CoverageMeasure:
-    """Computes ``f(q, P)`` and feasibility for one group set.
+    """Computes ``f(q, P)`` and feasibility for one group system.
 
-    ``f`` penalizes the total absolute deviation from the desired coverage;
-    the result is clamped at 0 so ``f ∈ [0, C]`` (an answer wildly
-    overshooting every group cannot go negative).
+    The aggregate error and its upper bound are delegated to the group
+    container, so one measure serves the paper's disjoint L1 setting
+    (:class:`~repro.groups.groups.GroupSet` — the error penalizes the
+    total absolute deviation, ``f ∈ [0, C]``) and the generalized
+    overlapping systems (``"max"`` / ``"weighted"`` aggregates, relaxed
+    feasibility thresholds). The result is clamped at 0 either way (an
+    answer wildly overshooting every group cannot go negative).
+
+    For the L1 aggregate every quantity stays a pure integer until the
+    final float cast, so delegation preserves bitwise equality with the
+    pre-generalization arithmetic.
     """
 
-    def __init__(self, groups: GroupSet) -> None:
+    def __init__(self, groups: GroupSystem) -> None:
         self.groups = groups
 
     @property
-    def upper_bound(self) -> int:
-        """``C = Σ c_i`` — the maximum possible coverage quality."""
-        return self.groups.total_coverage
+    def upper_bound(self):
+        """The maximum possible coverage quality (``C = Σ c_i`` for L1)."""
+        return self.groups.quality_bound
 
     def of(self, matches: Iterable[int]) -> float:
         """``f`` for an answer set."""
         error = self.groups.coverage_error(matches)
-        return float(max(0, self.groups.total_coverage - error))
+        return float(max(0, self.groups.quality_bound - error))
 
     def of_overlaps(self, overlaps: Mapping[str, int]) -> float:
         """``f`` from maintained per-group overlap counters.
 
-        All-integer until the final cast, so the value is exactly
-        :meth:`of` of any answer set with these overlaps — the delta
-        path's coverage reduction.
+        The aggregate recomputes from the integer counters in the
+        from-scratch summation order (all-integer for L1/max), so the
+        value is exactly :meth:`of` of any answer set with these
+        overlaps — the delta path's coverage reduction.
         """
-        error = sum(abs(overlaps[g.name] - g.coverage) for g in self.groups)
-        return float(max(0, self.groups.total_coverage - error))
+        error = self.groups.error_of_overlaps(overlaps)
+        return float(max(0, self.groups.quality_bound - error))
 
     def is_feasible(self, matches: Iterable[int]) -> bool:
-        """Feasibility: every group covered with ≥ ``c_i`` answer nodes."""
+        """Feasibility: every group covered with ≥ ``c_i − relax_i`` nodes."""
         return self.groups.is_feasible(matches)
 
     def feasible_overlaps(self, overlaps: Mapping[str, int]) -> bool:
         """:meth:`is_feasible` from maintained per-group overlap counters."""
-        return all(overlaps[g.name] >= g.coverage for g in self.groups)
+        return self.groups.feasible_overlaps(overlaps)
 
     def overlaps(self, matches: Iterable[int]) -> Dict[str, int]:
         """Per-group overlap counts (for reports and the case study)."""
@@ -343,7 +352,7 @@ class WeightedCoverageMeasure(CoverageMeasure):
     accept it unchanged through :class:`GenerationConfig`-level injection.
     """
 
-    def __init__(self, groups: GroupSet, weights: Dict[str, float]) -> None:
+    def __init__(self, groups: GroupSystem, weights: Dict[str, float]) -> None:
         super().__init__(groups)
         for name in weights:
             if name not in groups.names:

@@ -1,12 +1,25 @@
 """Node groups and fairness constraint helpers.
 
 A :class:`GroupSet` is the paper's ``P``: ``m`` disjoint node groups, each
-with a coverage constraint ``c_i ≤ |P_i|``. Helpers express the two
-fairness policies the paper calls out — Equal Opportunity (same ``c`` per
-group) and the disparate-impact "80% rule".
+with a coverage constraint ``c_i ≤ |P_i|``. Its generalization
+:class:`GroupSystem` allows overlapping attribute-combination groups,
+relaxed per-group thresholds and a pluggable aggregate error ``f`` (see
+``docs/fairness.md``). Helpers express the two fairness policies the
+paper calls out — Equal Opportunity (same ``c`` per group) and the
+disparate-impact "80% rule".
 """
 
-from repro.groups.groups import GroupSet, NodeGroup
+from repro.groups.groups import GroupSet, NodeGroup, groups_from_attribute
+from repro.groups.system import (
+    AGGREGATES,
+    GroupRule,
+    GroupSystem,
+    canonical_spec,
+    rules_from_spec,
+    system_from_dict,
+    system_from_rules,
+    validate_system_spec,
+)
 from repro.groups.fairness import (
     disparate_impact_ratio,
     equal_opportunity_constraints,
@@ -20,8 +33,17 @@ from repro.groups.intersectional import (
 )
 
 __all__ = [
+    "AGGREGATES",
     "NodeGroup",
+    "GroupRule",
     "GroupSet",
+    "GroupSystem",
+    "canonical_spec",
+    "groups_from_attribute",
+    "rules_from_spec",
+    "system_from_dict",
+    "system_from_rules",
+    "validate_system_spec",
     "equal_opportunity_constraints",
     "disparate_impact_ratio",
     "satisfies_eighty_percent_rule",

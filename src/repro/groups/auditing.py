@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 from repro.groups.fairness import disparate_impact_ratio, satisfies_eighty_percent_rule
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 
 
 @dataclass(frozen=True)
@@ -99,7 +99,7 @@ class FairnessAudit:
         )
 
 
-def audit_answer(answer: Iterable[int], groups: GroupSet) -> FairnessAudit:
+def audit_answer(answer: Iterable[int], groups: GroupSystem) -> FairnessAudit:
     """Audit an answer set against the groups and their constraints."""
     answer_set = set(answer)
     overlaps = groups.overlaps(answer_set)

@@ -1,57 +1,33 @@
-"""Disjoint node groups with coverage constraints (paper's ``P`` and ``C``)."""
+"""Disjoint node groups with coverage constraints (paper's ``P`` and ``C``).
+
+:class:`GroupSet` is the paper's exact setting — ``m`` pairwise-disjoint
+groups scored with the L1 aggregate — expressed as the strict special
+case of the generalized :class:`~repro.groups.system.GroupSystem`
+(overlap allowed, relaxed thresholds, pluggable aggregate ``f``; see
+``docs/fairness.md``). Disjointness is validated at construction and all
+coverage arithmetic stays the pure-integer L1 path, so legacy archives
+and counter baselines are byte-identical to the pre-generalization code.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import GroupError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.system import GroupSystem, NodeGroup
+
+__all__ = ["GroupSet", "NodeGroup", "groups_from_attribute"]
 
 
-@dataclass(frozen=True)
-class NodeGroup:
-    """One node group ``P_i`` with its coverage constraint ``c_i``.
-
-    Attributes:
-        name: Human-readable group name (e.g. ``"female"``, ``"Action"``).
-        members: Node ids belonging to the group.
-        coverage: Required coverage ``c_i`` — a feasible query answer must
-            contain at least this many members; the coverage error counts
-            the deviation from exactly this many.
-    """
-
-    name: str
-    members: FrozenSet[int]
-    coverage: int
-
-    def __post_init__(self) -> None:
-        if self.coverage < 0:
-            raise GroupError(f"group {self.name!r}: coverage must be non-negative")
-        if self.coverage > len(self.members):
-            raise GroupError(
-                f"group {self.name!r}: coverage {self.coverage} exceeds size {len(self.members)}"
-            )
-
-    def overlap(self, nodes: Iterable[int]) -> int:
-        """``|nodes ∩ P_i|``."""
-        members = self.members
-        if isinstance(nodes, (set, frozenset)):
-            # Callers overwhelmingly pass (frozen)sets — answer sets from
-            # EvaluatedInstance.matches — where set intersection beats a
-            # per-element membership scan.
-            return len(members & nodes)
-        return sum(1 for node in nodes if node in members)
-
-    def __len__(self) -> int:
-        return len(self.members)
-
-
-class GroupSet:
+class GroupSet(GroupSystem):
     """The paper's ``P``: pairwise-disjoint groups with constraints ``C``.
 
     Disjointness is validated at construction — the size bound of Theorem 2
-    relies on ``C ≤ |V|``, which holds only for disjoint groups.
+    relies on ``C ≤ |V|``, which holds only for disjoint groups. The
+    aggregate is fixed to the paper's L1 sum; overlapping membership or a
+    different aggregate requires the general
+    :class:`~repro.groups.system.GroupSystem`.
 
     Example:
         >>> groups = GroupSet([NodeGroup("m", frozenset({1, 2}), 1),
@@ -63,109 +39,36 @@ class GroupSet:
     """
 
     def __init__(self, groups: Sequence[NodeGroup]) -> None:
-        if not groups:
-            raise GroupError("at least one group is required")
-        names = [g.name for g in groups]
-        if len(set(names)) != len(names):
-            raise GroupError(f"duplicate group names: {names}")
+        super().__init__(groups, aggregate="l1")
         seen: set = set()
         for group in groups:
             if seen & group.members:
                 raise GroupError(f"group {group.name!r} overlaps a previous group")
             seen |= group.members
-        self._groups: Tuple[NodeGroup, ...] = tuple(groups)
-        self._by_name: Dict[str, NodeGroup] = {g.name: g for g in groups}
-        # node -> group-name inverted index (well-defined because groups are
-        # disjoint); built lazily on first membership query and reused by
-        # the delta-scoring engine's O(|Δ|) overlap maintenance.
-        self._node_index: Optional[Dict[int, str]] = None
-
-    # ------------------------------------------------------------------ #
-    # Accessors
-    # ------------------------------------------------------------------ #
-
-    def __iter__(self) -> Iterator[NodeGroup]:
-        return iter(self._groups)
-
-    def __len__(self) -> int:
-        return len(self._groups)
-
-    def __getitem__(self, name: str) -> NodeGroup:
-        try:
-            return self._by_name[name]
-        except KeyError:
-            raise GroupError(f"unknown group {name!r}") from None
-
-    @property
-    def names(self) -> Tuple[str, ...]:
-        """Group names in declaration order."""
-        return tuple(g.name for g in self._groups)
-
-    @property
-    def total_coverage(self) -> int:
-        """``C = Σ c_i`` — the normalizer of the coverage measure."""
-        return sum(g.coverage for g in self._groups)
-
-    def constraints(self) -> Dict[str, int]:
-        """Mapping group name -> ``c_i``."""
-        return {g.name: g.coverage for g in self._groups}
-
-    # ------------------------------------------------------------------ #
-    # Coverage computations
-    # ------------------------------------------------------------------ #
 
     def group_of(self, node_id: int) -> Optional[str]:
         """Name of the (unique) group containing ``node_id``, or None.
 
         Backed by the lazily-built node→group inverted index, so a lookup
-        is O(1) after the first call.
+        is O(1) after the first call. Well-defined because groups are
+        disjoint (the general multi-membership form is
+        :meth:`~repro.groups.system.GroupSystem.groups_of`).
         """
-        index = self._node_index
-        if index is None:
-            index = self._node_index = {
-                node: g.name for g in self._groups for node in g.members
-            }
-        return index.get(node_id)
-
-    def overlap_counts(self, nodes: Iterable[int]) -> Dict[str, int]:
-        """Per-group overlap counters computed in O(|nodes|) via the
-        inverted index (one lookup per node instead of one scan per group).
-
-        Equals :meth:`overlaps` on any input; this is the construction the
-        delta-scoring engine maintains incrementally.
-        """
-        counts = {name: 0 for name in self.names}
-        for node in nodes:
-            name = self.group_of(node)
-            if name is not None:
-                counts[name] += 1
-        return counts
-
-    def overlaps(self, nodes: Iterable[int]) -> Dict[str, int]:
-        """Per-group overlap counts ``|nodes ∩ P_i|`` for an answer set."""
-        nodes = set(nodes)
-        return {g.name: g.overlap(nodes) for g in self._groups}
-
-    def is_feasible(self, nodes: Iterable[int]) -> bool:
-        """Feasibility: every group covered with at least ``c_i`` nodes."""
-        nodes = set(nodes)
-        return all(g.overlap(nodes) >= g.coverage for g in self._groups)
-
-    def coverage_error(self, nodes: Iterable[int]) -> int:
-        """``Σ_i | |nodes ∩ P_i| − c_i |`` — total absolute deviation."""
-        nodes = set(nodes)
-        return sum(abs(g.overlap(nodes) - g.coverage) for g in self._groups)
+        names = self.groups_of(node_id)
+        return names[0] if names else None
 
     def with_constraints(self, constraints: Mapping[str, int]) -> "GroupSet":
         """A copy with some coverage constraints replaced."""
         groups: List[NodeGroup] = []
-        for group in self._groups:
+        for group in self:
             coverage = constraints.get(group.name, group.coverage)
-            groups.append(NodeGroup(group.name, group.members, coverage))
+            groups.append(
+                NodeGroup(group.name, group.members, coverage, group.relax)
+            )
         return GroupSet(groups)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{g.name}(|P|={len(g)}, c={g.coverage})" for g in self._groups)
+        parts = ", ".join(f"{g.name}(|P|={len(g)}, c={g.coverage})" for g in self)
         return f"GroupSet({parts})"
 
 

@@ -23,6 +23,7 @@ from repro.obs.baselines import (
     save_baseline,
     within_tolerance,
 )
+from repro.obs.catalog import CATALOG, MetricSpec, is_public, public_metrics
 from repro.obs.export import load_snapshot, to_prometheus, write_json, write_prometheus
 from repro.obs.registry import (
     Counter,
@@ -36,8 +37,10 @@ from repro.obs.tracing import collecting, current_registry, default_registry, tr
 
 __all__ = [
     "BaselineMismatch",
+    "CATALOG",
     "ComparisonReport",
     "Counter",
+    "MetricSpec",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -47,8 +50,10 @@ __all__ = [
     "counters_matching",
     "current_registry",
     "default_registry",
+    "is_public",
     "load_baseline",
     "load_snapshot",
+    "public_metrics",
     "save_baseline",
     "to_prometheus",
     "trace",

@@ -10,8 +10,11 @@ answer set in delta-updatable form:
   removal- and insert-updatable version of the sorted-prefix-sum /
   value-count inputs of ``pair_sum_numeric`` / ``pair_sum_categorical``
   (:mod:`repro.core.distance`);
-* per-group overlap counters, maintained through the node→group inverted
-  index on :class:`~repro.groups.groups.GroupSet`.
+* per-group overlap counters, maintained through the node→groups inverted
+  index on :class:`~repro.groups.system.GroupSystem` (each node updates
+  every group it belongs to — exactly one for the disjoint
+  :class:`~repro.groups.groups.GroupSet`, so the legacy integer counter
+  stream is unchanged).
 
 States are *persistent by copying*: :meth:`derive` clones the parent's
 structures and applies the delta, leaving the parent untouched for its
@@ -36,7 +39,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tup
 
 from repro.core.distance import _is_number
 from repro.graph.attributed_graph import AttributedGraph
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 
 
 class AttributeStats:
@@ -137,7 +140,7 @@ class ScoreState:
         matches: Iterable[int],
         graph: AttributedGraph,
         attributes: Sequence[str],
-        groups: Optional[GroupSet],
+        groups: Optional[GroupSystem],
     ) -> "ScoreState":
         """From-scratch construction (the delta path's fallback).
 
@@ -176,8 +179,7 @@ class ScoreState:
         if groups is not None:
             overlaps = {name: 0 for name in groups.names}
             for node in nodes:
-                name = groups.group_of(node)
-                if name is not None:
+                for name in groups.groups_of(node):
                     overlaps[name] += 1
         return cls(nodes, attrs, overlaps)
 
@@ -186,7 +188,7 @@ class ScoreState:
         removed: FrozenSet[int],
         added: FrozenSet[int],
         graph: AttributedGraph,
-        groups: Optional[GroupSet],
+        groups: Optional[GroupSystem],
     ) -> "ScoreState":
         """A new state for (this answer − removed + added); self unchanged."""
         if removed:
@@ -209,7 +211,7 @@ class ScoreState:
         attrs: Dict[str, AttributeStats],
         overlaps: Dict[str, int],
         graph: AttributedGraph,
-        groups: Optional[GroupSet],
+        groups: Optional[GroupSystem],
         sign: int,
     ) -> None:
         if attrs:
@@ -222,8 +224,7 @@ class ScoreState:
                     else:
                         st.remove(value)
         if groups is not None:
-            group = groups.group_of(node)
-            if group is not None:
+            for group in groups.groups_of(node):
                 overlaps[group] += sign
 
     # -- Introspection (tests, debugging) -------------------------------- #

@@ -63,7 +63,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.config import GenerationConfig
 from repro.errors import ReproError, ServiceError
 from repro.graph.attributed_graph import AttributedGraph
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.faults import FaultInjectionError, FaultInjector, FaultKind
 from repro.service.admission import AdmissionController
@@ -77,7 +77,7 @@ from repro.service.requests import (
     parse_request_line,
     shed_outcome,
 )
-from repro.service.scheduler import ALGORITHMS
+from repro.service.scheduler import ALGORITHMS, resolve_request_groups
 
 __all__ = [
     "DedupLedger",
@@ -268,7 +268,7 @@ class ServingDaemon:
     def __init__(
         self,
         graph: AttributedGraph,
-        groups: GroupSet,
+        groups: GroupSystem,
         *,
         workers: int = 2,
         engine: str = "set",
@@ -297,6 +297,12 @@ class ServingDaemon:
             )
         self.graph = graph
         self.groups = groups
+        # Materialized per-request group systems (requests carrying a
+        # `group_system` scenario spec), keyed by canonical spec. The
+        # serving graph is pinned for the daemon's lifetime, so entries
+        # never go stale; shared across workers (worst case under races:
+        # one redundant build).
+        self._systems: Dict[str, GroupSystem] = {}
         self.defaults = defaults
         self.max_retries = max_retries
         self.attempt_timeout = attempt_timeout
@@ -614,11 +620,18 @@ class ServingDaemon:
                 f"unknown algorithm {request.algorithm!r}; "
                 f"known: {sorted(ALGORITHMS)}"
             )
+        groups = resolve_request_groups(
+            request,
+            context.graph,
+            self.groups,
+            cache=self._systems,
+            metrics=self.metrics,
+        )
         config = context.bind(
             GenerationConfig(
                 context.graph,
                 request.template,
-                self.groups,
+                groups,
                 epsilon=request.epsilon,
                 budget=request.budget(),
                 metrics=context.metrics,

@@ -1,7 +1,9 @@
 """Batch request/outcome model and its JSONL wire format.
 
 A serving batch is a list of :class:`GenerationRequest` — one FairSQG
-generation each, all against the batch's shared graph and groups. The
+generation each, all against the batch's shared graph and groups (a
+request may override the groups with its own ``group_system``
+fairness-scenario spec; see ``docs/fairness.md``). The
 request carries the template, the algorithm name, ε, an optional
 per-request execution budget and a whitelist of configuration overrides;
 :meth:`GenerationRequest.canonical_signature` is the deduplication key
@@ -26,6 +28,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
 from repro.core.result import GenerationResult, RunStats
 from repro.errors import ReproError, ServiceError
+from repro.groups.system import canonical_spec, validate_system_spec
 from repro.query.serialization import template_from_dict, template_to_dict
 from repro.query.template import QueryTemplate
 from repro.runtime.budget import Budget
@@ -60,6 +63,7 @@ _REQUEST_KEYS = frozenset(
         "max_instances",
         "max_backtracks",
         "slo",
+        "group_system",
         "options",
     }
 )
@@ -83,6 +87,13 @@ class GenerationRequest:
             ``"batch"``) — its :data:`~repro.service.admission.SLO_CLASSES`
             caps tighten the budget and drive the daemon's admission
             priority and deadline shedding.
+        group_system: Optional fairness-scenario spec (the
+            :func:`repro.groups.system.system_from_dict` wire shape):
+            attribute-combination group rules, per-group coverage/relax
+            and an aggregate error mode, materialized against the serving
+            graph in place of the batch's default groups. Structurally
+            validated at parse time so a malformed spec becomes a
+            :class:`RequestRejection`, not a batch failure.
         options: Extra :class:`~repro.core.config.GenerationConfig`
             overrides, restricted to :data:`ALLOWED_OPTIONS`.
     """
@@ -97,6 +108,9 @@ class GenerationRequest:
     max_backtracks: Optional[int] = None
     slo: Optional[str] = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    # Appended after options so pre-existing positional construction
+    # (request_id .. slo, options) keeps meaning what it always did.
+    group_system: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         unknown = set(self.options) - ALLOWED_OPTIONS
@@ -107,6 +121,8 @@ class GenerationRequest:
             )
         if self.slo is not None:
             slo_class(self.slo)  # unknown class names fail loudly
+        if self.group_system is not None:
+            validate_system_spec(self.group_system)
 
     def budget(self) -> Optional[Budget]:
         """The effective execution budget, or None when unbounded.
@@ -138,6 +154,11 @@ class GenerationRequest:
                     self.max_backtracks,
                 ],
                 "slo": self.slo,
+                "group_system": (
+                    canonical_spec(self.group_system)
+                    if self.group_system is not None
+                    else None
+                ),
                 "options": {k: self.options[k] for k in sorted(self.options)},
             },
             sort_keys=True,
@@ -320,6 +341,9 @@ def request_from_dict(
             else None
         ),
         slo=(str(data["slo"]) if data.get("slo") is not None else None),
+        group_system=(
+            data["group_system"] if data.get("group_system") is not None else None
+        ),
         options=dict(data.get("options", {})),
     )
 

@@ -29,6 +29,7 @@ counters, so one ``--metrics`` snapshot tells the whole serving story.
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
@@ -41,7 +42,9 @@ from repro.core.enumqgen import EnumQGen
 from repro.core.kungs import Kungs
 from repro.core.rfqgen import RfQGen
 from repro.errors import ReproError, ServiceError
-from repro.groups.groups import GroupSet
+from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.system import GroupSystem, canonical_spec, system_from_dict
+from repro.obs.registry import MetricsRegistry
 from repro.service.context import GraphContext
 from repro.service.requests import (
     ALLOWED_OPTIONS,
@@ -58,6 +61,38 @@ ALGORITHMS: Dict[str, Type[QGenAlgorithm]] = {
     "rfqgen": RfQGen,
     "biqgen": BiQGen,
 }
+
+
+def resolve_request_groups(
+    request: GenerationRequest,
+    graph: AttributedGraph,
+    default_groups: GroupSystem,
+    cache: Optional[Dict[str, GroupSystem]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> GroupSystem:
+    """The groups a request is generated under.
+
+    Requests without a ``group_system`` spec run under the batch's
+    default groups — the legacy path, untouched. A request carrying a
+    spec gets it materialized against the serving graph (coverage targets
+    clamped to matched populations so a wire spec can never be
+    unsatisfiable by construction). ``cache`` memoizes systems by the
+    spec's canonical form, so a scenario repeated across a batch scans
+    the graph once; construction work lands under ``groups.*`` on
+    ``metrics`` for the first build only.
+    """
+    spec = request.group_system
+    if spec is None:
+        return default_groups
+    key = json.dumps(canonical_spec(spec), sort_keys=True, default=str)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    system = system_from_dict(spec, graph, clamp=True, metrics=metrics)
+    if cache is not None:
+        cache[key] = system
+    return system
 
 
 def round_robin_admission(
@@ -98,7 +133,7 @@ class BatchScheduler:
     def __init__(
         self,
         context: GraphContext,
-        groups: GroupSet,
+        groups: GroupSystem,
         defaults: Optional[Dict[str, object]] = None,
     ) -> None:
         unknown = set(defaults or ()) - ALLOWED_OPTIONS
@@ -111,6 +146,10 @@ class BatchScheduler:
         self.groups = groups
         self.defaults = dict(defaults or {})
         self.metrics = context.metrics
+        # Materialized per-request group systems, keyed by canonical spec
+        # (scenario repeats across a batch cost one graph scan).
+        self._systems: Dict[str, GroupSystem] = {}
+        self._systems_epoch = (context.generation, context.revision)
         for name in (
             "service.requests",
             "service.completed",
@@ -180,10 +219,24 @@ class BatchScheduler:
     def _configure(self, request: GenerationRequest) -> GenerationConfig:
         options = dict(self.defaults)
         options.update(request.options)
+        # Materialized systems are functions of the graph's contents; a
+        # graph swap (generation) or in-place streaming delta (revision)
+        # may change memberships, so the memo dies with either.
+        epoch = (self.context.generation, self.context.revision)
+        if epoch != self._systems_epoch:
+            self._systems.clear()
+            self._systems_epoch = epoch
+        groups = resolve_request_groups(
+            request,
+            self.context.graph,
+            self.groups,
+            cache=self._systems,
+            metrics=self.metrics,
+        )
         config = GenerationConfig(
             self.context.graph,
             request.template,
-            self.groups,
+            groups,
             epsilon=request.epsilon,
             budget=request.budget(),
             metrics=self.metrics,

@@ -45,7 +45,7 @@ from repro.core.representatives import select_representatives
 from repro.core.result import GenerationResult
 from repro.graph.attributed_graph import AttributedGraph
 from repro.groups.auditing import FairnessAudit, audit_answer
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 from repro.obs.registry import MetricsRegistry
 from repro.query.template import QueryTemplate
 from repro.service.context import GraphContext
@@ -75,7 +75,7 @@ class FairSQGSession:
         self,
         graph: AttributedGraph,
         template: QueryTemplate,
-        groups: GroupSet,
+        groups: GroupSystem,
         epsilon: float = 0.05,
         algorithm: Type[QGenAlgorithm] = BiQGen,
         context: Optional[GraphContext] = None,
@@ -177,7 +177,7 @@ class BatchSession:
     def __init__(
         self,
         graph: AttributedGraph,
-        groups: GroupSet,
+        groups: GroupSystem,
         engine: str = "set",
         metrics: Optional[MetricsRegistry] = None,
         warm: bool = True,
@@ -276,7 +276,7 @@ class DaemonSession:
     def __init__(
         self,
         graph: AttributedGraph,
-        groups: GroupSet,
+        groups: GroupSystem,
         workers: int = 2,
         engine: str = "set",
         metrics: Optional[MetricsRegistry] = None,

@@ -3,10 +3,14 @@
 Reproduces the paper's experiment inputs: a template generator "to produce
 query templates with practical search conditions, controlled by the number
 of variables |X| ... query size |Q(u_o)| ... and topologies" (Section V),
-and the random instance streams OnlineQGen consumes in Exp-3.
+and the random instance streams OnlineQGen consumes in Exp-3. Beyond the
+paper, :mod:`repro.workload.scenarios` generates seeded multi-attribute
+fairness scenarios (overlapping ``group_system`` specs) for the serving
+tier.
 """
 
 from repro.workload.batch import requests_from_templates
+from repro.workload.scenarios import ScenarioGenerator, multi_attribute_scenarios
 from repro.workload.template_gen import TemplateGenerator, TemplateSpec
 from repro.workload.stream import (
     drifting_instance_stream,
@@ -16,8 +20,10 @@ from repro.workload.stream import (
 from repro.workload.updates import random_delta_stream
 
 __all__ = [
+    "ScenarioGenerator",
     "TemplateGenerator",
     "TemplateSpec",
+    "multi_attribute_scenarios",
     "random_delta_stream",
     "random_instance_stream",
     "drifting_instance_stream",

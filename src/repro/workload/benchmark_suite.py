@@ -21,7 +21,7 @@ from repro.core.config import GenerationConfig
 from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
 from repro.core.lattice import InstanceLattice
 from repro.errors import ConfigurationError
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 
 
 @dataclass
@@ -157,7 +157,7 @@ class CoverageWorkloadGenerator:
 
     @staticmethod
     def _resolve_goal(
-        groups: GroupSet, fractions: Mapping[str, float]
+        groups: GroupSystem, fractions: Mapping[str, float]
     ) -> Dict[str, float]:
         goal: Dict[str, float] = {}
         for name in groups.names:

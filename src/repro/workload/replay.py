@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.groups.auditing import FairnessAudit, audit_answer
-from repro.groups.groups import GroupSet
+from repro.groups.system import GroupSystem
 from repro.matching.matcher import SubgraphMatcher
 from repro.query.instance import QueryInstance
 
@@ -73,7 +73,7 @@ class ReplayReport:
 def replay_workload(
     graph: AttributedGraph,
     instances: Sequence[QueryInstance],
-    groups: Optional[GroupSet] = None,
+    groups: Optional[GroupSystem] = None,
 ) -> ReplayReport:
     """Execute every instance against ``graph``; audit when groups given.
 

@@ -1,0 +1,95 @@
+"""Counter-regression gate for the overlapping group-system path.
+
+Runs one seeded multi-attribute scenario (gender × major conjunctions
+over the toy talent graph, ``max`` aggregate) through a full BiQGen
+generation and pins the resulting work counters — including the new
+``groups.*`` construction counters — against a checked-in baseline.
+Companion gate: the legacy disjoint baselines in this directory must keep
+reproducing *without* any ``groups.*`` counter, so the generalization
+provably costs legacy configs nothing.
+
+Refresh after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/regression --update-baselines
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import BiQGen
+from repro.groups import system_from_dict
+from repro.obs import MetricsRegistry
+from repro.obs.baselines import compare_counters, load_baseline, save_baseline
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+# The pinned scenario: hand-written (not generator-drawn) so the baseline
+# diff stays reviewable, but the same shape ScenarioGenerator emits —
+# single-attribute groups plus a conjunction subset of its parent.
+SCENARIO = {
+    "aggregate": "max",
+    "groups": [
+        {"name": "F", "label": "person", "where": {"gender": "F"},
+         "coverage": 1},
+        {"name": "CS", "label": "person", "where": {"major": "CS"},
+         "coverage": 1},
+        {"name": "F&Biz", "label": "person",
+         "where": {"gender": "F", "major": "Business"},
+         "coverage": 1, "relax": 1},
+    ],
+}
+
+
+def _run_scenario(talent_config):
+    registry = MetricsRegistry()
+    system = system_from_dict(
+        SCENARIO, talent_config.graph, clamp=True, metrics=registry
+    )
+    config = replace(talent_config, groups=system, metrics=registry)
+    BiQGen(config).run()
+    return dict(registry.counters())
+
+
+def test_overlapping_scenario_counters_match_baseline(
+    talent_config, update_baselines
+):
+    counters = _run_scenario(talent_config)
+    path = BASELINE_DIR / "group_system.json"
+    if update_baselines:
+        save_baseline(path, counters)
+        pytest.skip(f"baseline rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing baseline {path}; "
+        "run: pytest tests/regression --update-baselines"
+    )
+    baseline = load_baseline(path)
+    report = compare_counters(
+        counters, baseline["counters"], baseline["tolerance"]
+    )
+    assert report.ok, report.describe()
+
+
+def test_scenario_baseline_pins_group_construction():
+    """The baseline must pin the groups.* counters exactly: 1 system,
+    3 rules, and the conjunction's members double-counted in the index."""
+    baseline = load_baseline(BASELINE_DIR / "group_system.json")
+    counters = baseline["counters"]
+    assert counters["groups.systems_built"] == 1
+    assert counters["groups.rules_evaluated"] == 3
+    assert counters["groups.multi_membership_nodes"] >= 1
+    assert "gen.biqgen.generated" in counters
+
+
+def test_legacy_baselines_free_of_group_counters():
+    """Disjoint configs never build rule systems: no legacy baseline may
+    contain a groups.* counter (the byte-identity guarantee, counter side)."""
+    for path in sorted(BASELINE_DIR.glob("*.json")):
+        if path.name == "group_system.json":
+            continue
+        counters = load_baseline(path)["counters"]
+        grouped = [name for name in counters if name.startswith("groups.")]
+        assert grouped == [], f"{path.name} grew groups.* counters: {grouped}"

@@ -83,14 +83,114 @@ class TestCli:
         assert "dead relative link" in capsys.readouterr().out
 
 
+def crossref_text(tmp_path, text, catalog):
+    path = tmp_path / "observability.md"
+    path.write_text(text)
+    return docs_lint.check_metric_crossref(path, catalog=catalog)
+
+
+_TABLE = """# Obs
+
+## Metric namespace
+
+| Prefix | Component | Headline metrics |
+|---|---|---|
+| `matcher.*` | `SubgraphMatcher` | `match_calls`, `backtrack_calls` |
+| `gen.<algo>.*` | generators | `generated`; BiQGen adds `pruned_sandwich` |
+| `service.requests.rejected` | lenient parsing | skipped lines |
+
+## Something else
+
+`ghost.counter` outside the section is ignored.
+"""
+
+_CATALOG = [
+    "matcher.match_calls",
+    "matcher.backtrack_calls",
+    "gen.*.generated",
+    "gen.biqgen.pruned_sandwich",
+    "service.requests.rejected",
+]
+
+
+class TestMetricCrossRef:
+    def test_clean_table_has_no_findings(self, tmp_path):
+        assert crossref_text(tmp_path, _TABLE, _CATALOG) == []
+
+    def test_documented_metric_missing_from_catalog(self, tmp_path):
+        text = _TABLE.replace("`backtrack_calls`", "`backtrack_callz`")
+        findings = crossref_text(tmp_path, text, _CATALOG)
+        # Forward: the typo'd token resolves nowhere. (Reverse stays
+        # quiet — the row's `matcher.*` prefix still covers the real
+        # counter's namespace.)
+        assert len(findings) == 1
+        assert "backtrack_callz" in str(findings[0])
+        assert findings[0].line == 7
+
+    def test_catalog_metric_missing_from_docs(self, tmp_path):
+        findings = crossref_text(
+            tmp_path, _TABLE, _CATALOG + ["groups.systems_built"]
+        )
+        assert len(findings) == 1
+        assert "groups.systems_built" in str(findings[0])
+        assert "no row" in str(findings[0])
+
+    def test_placeholder_segments_become_wildcards(self, tmp_path):
+        # gen.<algo>.* must cover gen.biqgen.pruned_sandwich even though
+        # the suffix only appears via the row's description cell.
+        findings = crossref_text(tmp_path, _TABLE, _CATALOG)
+        assert findings == []
+
+    def test_non_metric_backticks_ignored(self, tmp_path):
+        text = _TABLE.replace(
+            "skipped lines",
+            "skipped by `iter_requests_jsonl()` at `--strict` / "
+            "`GenerationConfig.knob` / `repro.service` level",
+        )
+        assert crossref_text(tmp_path, text, _CATALOG) == []
+
+    def test_tokens_outside_the_section_ignored(self, tmp_path):
+        # `ghost.counter` after the next ## heading produced no finding.
+        assert crossref_text(tmp_path, _TABLE, _CATALOG) == []
+
+    def test_partial_segment_wildcard_prefixes_namespace(self, tmp_path):
+        text = _TABLE.replace(
+            "| `service.requests.rejected` | lenient parsing | skipped lines |",
+            "| `runtime.worker_*` | scheduler | `worker_timeouts` |",
+        )
+        catalog = _CATALOG[:-1] + ["runtime.worker_timeouts"]
+        assert crossref_text(tmp_path, text, catalog) == []
+
+    def test_main_cross_ref_flag(self, tmp_path, capsys):
+        page = tmp_path / "observability.md"
+        page.write_text(_TABLE)
+        # The flag routes through the real repo catalog, whose many
+        # namespaces the toy table does not cover — exit 1, reverse
+        # findings printed.
+        assert docs_lint.main(["--cross-ref", str(page)]) == 1
+        assert "no row in" in capsys.readouterr().out
+
+    def test_repo_catalog_loads(self):
+        catalog = docs_lint._load_catalog()
+        assert "groups.systems_built" in catalog
+        assert any(entry.startswith("gen.") for entry in catalog)
+
+
 class TestRepositoryDocs:
     def test_readme_and_docs_are_clean(self):
         """The actual gate: every shipped doc page lints clean."""
         findings = docs_lint.lint(docs_lint.default_files())
         assert findings == [], "\n".join(str(f) for f in findings)
 
+    def test_observability_cross_references_the_catalog(self):
+        """The second gate: the metric table and the catalog agree."""
+        findings = docs_lint.check_metric_crossref(
+            docs_lint.REPO_ROOT / "docs" / "observability.md"
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
+
     def test_default_files_cover_the_doc_pages(self):
         names = {p.name for p in docs_lint.default_files()}
         assert "README.md" in names
-        assert {"architecture.md", "serving.md", "usage.md",
+        assert {"architecture.md", "fairness.md", "serving.md", "usage.md",
                 "observability.md", "theory.md"} <= names

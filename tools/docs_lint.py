@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation linter: dead relative links and broken python fences.
+"""Documentation linter: dead links, broken fences, stale metric rows.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` whose target is not an
    absolute URL or a pure in-page anchor must point at an existing file
@@ -9,12 +9,20 @@ Two checks, both cheap enough for every CI run:
    relative to the markdown file's directory).
 2. **Python fences** — every ```python code block must parse
    (``ast.parse``), so rotted examples fail CI instead of readers.
+3. **Metric cross-reference** (``--cross-ref``) — the metric-namespace
+   table in ``docs/observability.md`` is checked both ways against the
+   public metric catalog (``repro.obs.catalog``): every backticked
+   metric token in a table row must resolve to a catalog entry, and
+   every catalog entry must be covered by some documented token or
+   namespace pattern. Renaming a counter without updating the docs —
+   or shipping a public counter without documenting it — fails CI.
 
 Links inside code fences are ignored (they are examples, not links).
 
 Usage::
 
     python tools/docs_lint.py                # lint README.md + docs/*.md
+    python tools/docs_lint.py --cross-ref    # same + metric cross-ref
     python tools/docs_lint.py path/to.md ... # lint specific files
 
 Exits 1 if any finding is reported, printing one ``file:line: message``
@@ -27,8 +35,9 @@ import argparse
 import ast
 import re
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import List, NamedTuple, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -37,6 +46,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 _LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"^\s*```(\S*)\s*$")
 _SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+#: Backticked spans, the raw material of the metric cross-reference.
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+#: A backticked span that *is* a metric token: lowercase dotted name,
+#: optionally with ``*`` wildcards or ``<placeholder>`` segments.
+#: Everything else in backticks (class names, ``flag=value``, calls with
+#: parens, CLI flags, file paths) deliberately fails this and is ignored.
+_METRIC_TOKEN_RE = re.compile(r"[a-z][a-z0-9_.<>*]*\Z")
+#: ``<algo>`` / ``<reason>`` placeholder segments become ``*`` wildcards.
+_PLACEHOLDER_RE = re.compile(r"<[a-z_]+>")
+#: The observability section whose table rows the cross-ref scans.
+_METRIC_SECTION = "## Metric namespace"
 
 
 class Finding(NamedTuple):
@@ -117,6 +138,134 @@ def _check_fences(path: Path, fences: List[Tuple[int, str, str]]) -> List[Findin
     return findings
 
 
+def _load_catalog() -> List[str]:
+    """The public metric catalog's name patterns, imported from src/."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.catalog import CATALOG
+
+    return [spec.name for spec in CATALOG]
+
+
+def _metric_tokens(cell: str) -> List[str]:
+    """Backticked metric tokens of one table cell, wildcard-normalized.
+
+    Module paths (``repro.*``) are prose, not metrics, and are skipped.
+    """
+    tokens = []
+    for span in _BACKTICK_RE.findall(cell):
+        if not _METRIC_TOKEN_RE.fullmatch(span):
+            continue
+        if span.startswith("repro."):
+            continue
+        tokens.append(_PLACEHOLDER_RE.sub("*", span))
+    return tokens
+
+
+def _prefix_of(token: str) -> str:
+    """The namespace a first-cell pattern contributes to its row.
+
+    ``matcher.bitset.*`` → ``matcher.bitset``; ``gen.<algo>.*`` →
+    ``gen.*`` (a whole-segment wildcard still prefixes);
+    ``runtime.worker_*`` → ``runtime`` (a partial last segment cannot
+    prefix anything); exact names like ``service.requests.rejected``
+    prefix as themselves.
+    """
+    if token.endswith(".*"):
+        token = token[:-2]
+    head, _, tail = token.rpartition(".")
+    if head and "*" in tail and tail != "*":
+        return head
+    return token
+
+
+def _patterns_intersect(a: str, b: str) -> bool:
+    """Whether two name patterns can describe the same concrete metric.
+
+    Either side may carry ``*`` wildcards (documented families vs.
+    catalog families), so the match runs in both directions.
+    """
+    return a == b or fnmatchcase(a, b) or fnmatchcase(b, a)
+
+
+def _is_separator_row(cells: Sequence[str]) -> bool:
+    return all(re.fullmatch(r":?-{3,}:?", cell) for cell in cells if cell)
+
+
+def check_metric_crossref(
+    path: Path, catalog: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Cross-reference a doc's metric-namespace table with the catalog.
+
+    Forward: every metric token in a table row (resolved against the
+    row's namespace prefixes) must match a catalog entry. Reverse: every
+    catalog entry must be covered by some documented token or first-cell
+    namespace pattern.
+    """
+    if catalog is None:
+        catalog = _load_catalog()
+    findings: List[Finding] = []
+    documented: List[str] = []
+    in_section = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("## "):
+            in_section = stripped == _METRIC_SECTION
+            continue
+        if not in_section or not stripped.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if not cells or _is_separator_row(cells):
+            continue
+        first_tokens = _metric_tokens(cells[0])
+        if not first_tokens:
+            continue  # the header row, or a prose-only first cell
+        prefixes = [_prefix_of(token) for token in first_tokens]
+        for token in first_tokens:
+            if not any(_patterns_intersect(token, entry) for entry in catalog):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        f"documented metric pattern `{token}` matches "
+                        "nothing in repro.obs.catalog",
+                    )
+                )
+            documented.append(token)
+        for cell in cells[1:]:
+            for token in _metric_tokens(cell):
+                candidates = [token] + [f"{p}.{token}" for p in prefixes]
+                matching = [
+                    candidate
+                    for candidate in candidates
+                    if any(_patterns_intersect(candidate, e) for e in catalog)
+                ]
+                if not matching:
+                    findings.append(
+                        Finding(
+                            path,
+                            lineno,
+                            f"documented metric `{token}` is not in "
+                            "repro.obs.catalog (tried "
+                            f"{', '.join(candidates)}) — renamed, removed "
+                            "or never public?",
+                        )
+                    )
+                documented.extend(matching or candidates)
+    for entry in catalog:
+        if not any(_patterns_intersect(entry, doc) for doc in documented):
+            findings.append(
+                Finding(
+                    path,
+                    0,
+                    f"public metric `{entry}` has no row in the "
+                    f"{_METRIC_SECTION!r} table",
+                )
+            )
+    return findings
+
+
 def lint_file(path: Path) -> List[Finding]:
     """All findings for one markdown file."""
     prose, fences = _segments(path.read_text())
@@ -141,9 +290,24 @@ def main(argv=None) -> int:
         type=Path,
         help="markdown files to lint (default: README.md + docs/*.md)",
     )
+    parser.add_argument(
+        "--cross-ref",
+        action="store_true",
+        help="also cross-reference the observability metric table "
+        "against repro.obs.catalog (both directions)",
+    )
     args = parser.parse_args(argv)
     paths = args.files or default_files()
     findings = lint(paths)
+    if args.cross_ref:
+        targets = [p for p in paths if p.name == "observability.md"]
+        if not targets:
+            targets = [REPO_ROOT / "docs" / "observability.md"]
+        for target in targets:
+            if target.exists():
+                findings.extend(check_metric_crossref(target))
+            else:
+                findings.append(Finding(target, 0, "file does not exist"))
     for finding in findings:
         print(finding)
     if findings:
