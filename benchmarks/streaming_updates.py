@@ -46,7 +46,7 @@ from repro.datasets.synthetic import (
     UniformInt,
     build_synthetic,
 )
-from repro.groups import GroupSet, NodeGroup
+from repro.groups import GroupRule, GroupSet, NodeGroup, system_from_rules
 from repro.matching.delta import GraphDelta, apply_delta
 from repro.query import Literal, Op, QueryTemplate
 from repro.service.context import GraphContext
@@ -112,6 +112,64 @@ def build_bundle(scale: float):
         ]
     )
     return graph, template, groups
+
+
+# Overlapping rule-built system for the membership-churn section: "na"
+# and "eu" nest inside "western", so one region rewrite moves up to two
+# memberships at once. "region" feeds no template literal — the churn
+# moves group membership and kernel statistics, not match sets.
+MEMBERSHIP_RULES = (
+    GroupRule("na", {"region": "NA"}, 4, label="person"),
+    GroupRule("eu", {"region": "EU"}, 4, label="person"),
+    GroupRule("western", {"region": ("NA", "EU")}, 8, label="person"),
+)
+
+#: Region rewrites per delta (touched fraction = this / nodes ≤ 1%).
+CHURN_OPS = 8
+
+
+def build_membership_bundle(scale: float):
+    """Like :func:`build_bundle` plus a rule-carrying "region" attribute."""
+    spec = SyntheticSpec(
+        name="stream-membership-bench",
+        nodes=[
+            NodePopulation(
+                "person",
+                GRAPH_NODES,
+                {
+                    "yearsOfExp": GaussInt(12, 6, 0, 40),
+                    "score": UniformInt(0, 100),
+                    "major": UniformChoice(
+                        ("CS", "EE", "Business", "Design", "Math", "Bio")
+                    ),
+                    "region": UniformChoice(
+                        ("NA", "EU", "AS", "SA", "AF", "OC")
+                    ),
+                },
+            ),
+        ],
+        edges=[
+            EdgePopulation(
+                "person", "knows", "person", out_degree=UniformInt(1, 2)
+            ),
+        ],
+    )
+    graph = build_synthetic(spec, scale=scale, seed=GRAPH_SEED)
+    # No label-narrowing literal: answers stay large (hundreds of nodes),
+    # so the invalidate arm's from-scratch state rebuilds carry real
+    # O(|answer|·k) cost while a patch stays O(|changes|) — the regime
+    # the surgical tier exists for.
+    template = (
+        QueryTemplate.builder("stream-region-knows")
+        .node("u0", "person")
+        .node("u1", "person")
+        .fixed_edge("u1", "u0", "knows")
+        .range_var("xl1", "u0", "yearsOfExp", Op.GE)
+        .range_var("xl2", "u1", "score", Op.GE)
+        .output("u0")
+        .build()
+    )
+    return graph, template
 
 
 def archive_fingerprint(archive):
@@ -196,6 +254,84 @@ def run_section(scale: float, ledger_size: int, updates: int, engine: str) -> Di
     }
 
 
+def run_membership_section(
+    scale: float, ledger_size: int, updates: int, engine: str = "set"
+) -> Dict:
+    """Membership churn: surgical patching vs invalidate-and-rescore.
+
+    Both arms run identical attribute-only delta streams over a
+    rule-built overlapping system with delta scoring enabled; they
+    differ only in ``membership_patching``. Every step of *both* arms
+    is asserted byte-identical to a cold rebuild whose group system is
+    re-materialized from the rules on the reference graph.
+    """
+    options = dict(
+        epsilon=EPSILON, max_domain_values=DOMAIN_CAP,
+        matcher_engine=engine, use_delta_scoring=True,
+    )
+    deltas = None
+    arms: Dict[str, Dict] = {}
+    for arm in ("patched", "invalidate"):
+        graph, template = build_membership_bundle(scale)
+        groups = system_from_rules(graph, MEMBERSHIP_RULES, clamp=True)
+        session = StreamingSession(
+            graph, template, groups,
+            membership_patching=(arm == "patched"), **options,
+        )
+        session.generate(count=ledger_size, seed=GENERATE_SEED)
+        if deltas is None:
+            # The graphs of both arms are seed-identical, so one stream
+            # drawn against the first applies verbatim to the second.
+            deltas = list(
+                random_delta_stream(
+                    graph, count=updates, seed=STREAM_SEED,
+                    edge_ops=0, attr_ops=CHURN_OPS, attributes=["region"],
+                )
+            )
+        reference = apply_delta(graph, GraphDelta())
+        seconds: List[float] = []
+        moves = 0
+        for step, delta in enumerate(deltas):
+            report = session.update(delta)
+            seconds.append(report.seconds)
+            moves += report.membership_moves
+            reference = apply_delta(reference, delta)
+            ref_groups = system_from_rules(
+                reference, MEMBERSHIP_RULES, clamp=True
+            )
+            cold = cold_rebuild(
+                reference, template, ref_groups,
+                session.ledger_instances(), **options,
+            )
+            if archive_fingerprint(session.archive) != archive_fingerprint(cold):
+                raise AssertionError(
+                    f"membership-churn archive diverged from cold rebuild "
+                    f"at step {step} ({arm} arm)"
+                )
+        counters = session.metrics.counters()
+        arms[arm] = {
+            "mean_seconds": round(statistics.mean(seconds), 5),
+            "membership_moves": moves,
+            "patched_entries": counters.get("scoring.patched_entries", 0),
+            "invalidated_entries": counters.get(
+                "scoring.invalidated_entries", 0
+            ),
+            "full_rescores": counters["streaming.full_rescores"],
+        }
+        graph_nodes = graph.num_nodes
+    patched = arms["patched"]["mean_seconds"]
+    invalidate = arms["invalidate"]["mean_seconds"]
+    return {
+        "engine": engine,
+        "graph_nodes": graph_nodes,
+        "ledger_size": ledger_size,
+        "updates": updates,
+        "touched_fraction": round(CHURN_OPS / graph_nodes, 4),
+        "arms": arms,
+        "patch_speedup": round(invalidate / patched, 2) if patched else None,
+    }
+
+
 def run(smoke: bool = False) -> Dict:
     scale, ledger_size, updates = SMOKE if smoke else FULL
     sections = [
@@ -211,6 +347,7 @@ def run(smoke: bool = False) -> Dict:
             "scale": scale,
         },
         "engines": {section["engine"]: section for section in sections},
+        "membership_churn": run_membership_section(scale, ledger_size, updates),
     }
 
 
@@ -237,6 +374,14 @@ def main(argv=None) -> int:
             f"{entry['speedup']}x at "
             f"{entry['mean_touched_fraction']*100:.2f}% nodes touched"
         )
+    churn = report["membership_churn"]
+    print(
+        f"  membership churn ({churn['touched_fraction']*100:.2f}% nodes, "
+        f"{churn['arms']['patched']['membership_moves']} moves): patch "
+        f"{churn['arms']['patched']['mean_seconds']*1000:.2f} ms vs "
+        f"invalidate {churn['arms']['invalidate']['mean_seconds']*1000:.2f} ms "
+        f"— {churn['patch_speedup']}x"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -236,6 +236,26 @@ class InstanceEvaluator:
             return self.scoring.invalidate_nodes(nodes)
         return 0
 
+    def patch_scoring(self, changes, diff, distance_nodes=()) -> tuple:
+        """Surgical score repair: patch cached state instead of dropping it.
+
+        The streaming session's preferred scoped tier (see
+        :meth:`repair_scoring` for the invalidation fallback): distance
+        pair-caches touching ``distance_nodes`` are dropped — pairwise
+        kernels read live graph values, so they cannot be patched — while
+        the scoring engine's maintained states and scores are repaired in
+        place from the coalesced attribute ``changes`` and the group
+        :class:`~repro.groups.system.MembershipDiff`. Returns the
+        engine's ``(patched, invalidated)`` entry counts.
+        """
+        if distance_nodes:
+            distance = getattr(self.diversity, "distance", None)
+            if distance is not None and hasattr(distance, "invalidate_nodes"):
+                distance.invalidate_nodes(distance_nodes)
+        if self.scoring is not None:
+            return self.scoring.patch_nodes(changes, diff)
+        return (0, 0)
+
     def rebuild_measures(self) -> None:
         """Rebuild measures and scoring against the (mutated) graph.
 

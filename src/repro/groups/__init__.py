@@ -12,8 +12,11 @@ disparate-impact "80% rule".
 from repro.groups.groups import GroupSet, NodeGroup, groups_from_attribute
 from repro.groups.system import (
     AGGREGATES,
+    EMPTY_MEMBERSHIP_DIFF,
     GroupRule,
     GroupSystem,
+    MembershipDiff,
+    MembershipMove,
     canonical_spec,
     rules_from_spec,
     system_from_dict,
@@ -34,6 +37,9 @@ from repro.groups.intersectional import (
 
 __all__ = [
     "AGGREGATES",
+    "EMPTY_MEMBERSHIP_DIFF",
+    "MembershipDiff",
+    "MembershipMove",
     "NodeGroup",
     "GroupRule",
     "GroupSet",

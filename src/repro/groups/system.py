@@ -48,6 +48,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -57,6 +58,54 @@ from repro.obs.registry import MetricsRegistry
 
 #: Supported aggregate error modes for the coverage measure ``f``.
 AGGREGATES = ("l1", "max", "weighted")
+
+
+@dataclass(frozen=True)
+class MembershipMove:
+    """One node whose group membership changed under an attribute delta.
+
+    Attributes:
+        node: The node id that moved.
+        removed: Group names the node left (declaration order).
+        added: Group names the node joined (declaration order).
+    """
+
+    node: int
+    removed: Tuple[str, ...]
+    added: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MembershipDiff:
+    """What :meth:`GroupSystem.repair_membership` actually changed.
+
+    Attributes:
+        moves: Per-node membership changes. Empty for static (non-rule)
+            systems — declared member sets cannot move under attribute
+            churn — and for deltas that did not flip any rule predicate.
+        coverage_changes: ``(group, old_coverage, new_coverage)`` triples
+            emitted when clamp-mode re-clamping adjusted a coverage
+            target because a group shrank below (or grew back toward) its
+            declared target. Non-empty diffs here invalidate *every*
+            cached score, not just those touching moved nodes — the
+            streaming session escalates to a full measure rebuild.
+    """
+
+    moves: Tuple[MembershipMove, ...] = ()
+    coverage_changes: Tuple[Tuple[str, int, int], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.moves and not self.coverage_changes
+
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        """The moved node ids (the score-repair seed set)."""
+        return frozenset(move.node for move in self.moves)
+
+
+#: The shared no-op diff (static systems, membership-neutral deltas).
+EMPTY_MEMBERSHIP_DIFF = MembershipDiff()
 
 
 @dataclass(frozen=True)
@@ -170,6 +219,13 @@ class GroupSystem:
         # built lazily on first membership query and reused by the
         # delta-scoring engine's O(|Δ|·k) overlap maintenance.
         self._membership: Optional[Dict[int, Tuple[str, ...]]] = None
+        # Declarative provenance, set by system_from_rules(): the rules
+        # that materialized each group, the clamp mode, and the source
+        # graph. Only rule-built systems can repair membership under
+        # attribute churn — statically declared member sets never move.
+        self._rules: Optional[Tuple["GroupRule", ...]] = None
+        self._clamp: bool = False
+        self._graph: Optional[AttributedGraph] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -243,6 +299,122 @@ class GroupSystem:
     def is_disjoint(self) -> bool:
         """True iff no node belongs to more than one group."""
         return self.max_memberships <= 1
+
+    @property
+    def has_rules(self) -> bool:
+        """True iff this system was materialized from attribute rules
+        (and can therefore repair its membership under attribute churn)."""
+        return self._rules is not None
+
+    @property
+    def rules(self) -> Tuple["GroupRule", ...]:
+        """The materializing rules (empty for statically declared systems)."""
+        return self._rules or ()
+
+    def repair_membership(
+        self,
+        receipt: Any,
+        graph: Optional[AttributedGraph] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> MembershipDiff:
+        """Re-evaluate membership of the nodes an in-place delta touched.
+
+        The surgical counterpart of rebuilding the system from scratch
+        with :func:`system_from_rules` on the mutated graph: only the
+        attribute-updated nodes of ``receipt`` (a streaming
+        :class:`~repro.streaming.graph_ops.DeltaReceipt`) have their rule
+        predicates re-tested, the node→groups inverted index and the
+        member sets are patched in place, and the returned
+        :class:`MembershipDiff` names exactly which nodes moved where —
+        O(|Δ| · rules) instead of O(|V| · rules).
+
+        Static (non-rule) systems return the exact diff against their
+        declared member sets, which is always empty: declared membership
+        is a set of node ids, and attribute churn cannot move it.
+
+        Clamp-mode systems re-clamp coverage targets exactly as a cold
+        :func:`system_from_rules` rebuild would (``min(declared, |P_i|)``);
+        without clamp, a group shrinking below its declared target raises
+        :class:`~repro.errors.GroupError` — the same error the cold
+        rebuild would raise, so the two paths never silently diverge.
+
+        ``metrics`` (when given, rules path only) counts the pass under
+        ``groups.membership_repairs``.
+        """
+        rules = self._rules
+        if rules is None:
+            return EMPTY_MEMBERSHIP_DIFF
+        if graph is None:
+            graph = self._graph
+        if graph is None:
+            raise GroupError(
+                "repair_membership needs a graph (rule-built system "
+                "detached from its source graph)"
+            )
+        delta = getattr(receipt, "delta", receipt)
+        touched = sorted({node for node, _, _ in delta.set_attributes})
+        if metrics is not None:
+            metrics.inc("groups.membership_repairs")
+        if not touched:
+            return EMPTY_MEMBERSHIP_DIFF
+        index = self._membership_index()
+        moves: List[MembershipMove] = []
+        removed_by_group: Dict[str, Set[int]] = {}
+        added_by_group: Dict[str, Set[int]] = {}
+        for node in touched:
+            old_names = index.get(node, ())
+            label = graph.label(node)
+            attributes = graph.attributes(node)
+            new_names = tuple(
+                rule.name for rule in rules if rule.matches(label, attributes)
+            )
+            if metrics is not None:
+                metrics.inc("groups.rules_evaluated", len(rules))
+            if new_names == old_names:
+                continue
+            removed = tuple(n for n in old_names if n not in new_names)
+            added = tuple(n for n in new_names if n not in old_names)
+            if new_names:
+                index[node] = new_names
+            else:
+                index.pop(node, None)
+            for name in removed:
+                removed_by_group.setdefault(name, set()).add(node)
+            for name in added:
+                added_by_group.setdefault(name, set()).add(node)
+            moves.append(MembershipMove(node, removed, added))
+        if not moves:
+            return EMPTY_MEMBERSHIP_DIFF
+        coverage_changes: List[Tuple[str, int, int]] = []
+        declared = {rule.name: rule.coverage for rule in rules}
+        for group in self._groups:
+            name = group.name
+            removed_nodes = removed_by_group.get(name)
+            added_nodes = added_by_group.get(name)
+            if not removed_nodes and not added_nodes:
+                continue
+            members = group.members
+            if removed_nodes:
+                members = members - removed_nodes
+            if added_nodes:
+                members = members | added_nodes
+            # NodeGroup is frozen; membership repair is the one sanctioned
+            # in-place mutation (every holder — measures, score states,
+            # configs — must observe the same patched container).
+            object.__setattr__(group, "members", members)
+            target = declared[name]
+            coverage = min(target, len(members)) if self._clamp else target
+            if coverage > len(members):
+                raise GroupError(
+                    f"group {name!r}: membership churn left {len(members)} "
+                    f"members, below the declared coverage {coverage} "
+                    "(a cold rebuild would be unsatisfiable; declare the "
+                    "system with clamp=True to auto-lower targets)"
+                )
+            if coverage != group.coverage:
+                coverage_changes.append((name, group.coverage, coverage))
+                object.__setattr__(group, "coverage", coverage)
+        return MembershipDiff(tuple(moves), tuple(coverage_changes))
 
     # ------------------------------------------------------------------ #
     # Coverage computations
@@ -422,6 +594,9 @@ def system_from_rules(
         else None
     )
     system = GroupSystem(groups, aggregate, weights)
+    system._rules = tuple(rules)
+    system._clamp = clamp
+    system._graph = graph
     if metrics is not None:
         membership = system._membership_index()
         metrics.inc("groups.systems_built")

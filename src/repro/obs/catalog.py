@@ -71,6 +71,7 @@ _COUNTERS: Tuple[str, ...] = (
     "graph.columnar.csr_patches",
     # group systems
     "groups.members_indexed",
+    "groups.membership_repairs",
     "groups.multi_membership_nodes",
     "groups.rules_evaluated",
     "groups.systems_built",
@@ -117,6 +118,7 @@ _COUNTERS: Tuple[str, ...] = (
     "scoring.fallback_large_delta",
     "scoring.full_builds",
     "scoring.invalidated_entries",
+    "scoring.patched_entries",
     "scoring.score_calls",
     "scoring.state_evictions",
     # serving tier
@@ -165,6 +167,7 @@ _COUNTERS: Tuple[str, ...] = (
     "streaming.instances_changed",
     "streaming.instances_rechecked",
     "streaming.instances_skipped",
+    "streaming.membership_moves",
     "streaming.offers",
     "streaming.recheck_pool_nodes",
     "streaming.rescored",

@@ -33,16 +33,31 @@ Every decision increments a ``scoring.*`` counter on the run's
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import FrozenSet, Iterable, NamedTuple, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.core.distance import _is_number
 from repro.core.measures import (
     CoverageMeasure,
     DiversityMeasure,
     WeightedCoverageMeasure,
 )
 from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.system import MembershipDiff
 from repro.obs.registry import MetricsRegistry
 from repro.scoring.state import ScoreState
+
+#: One coalesced in-place attribute change: (node, name, old, new).
+AttributeChange = Tuple[int, str, Any, Any]
 
 
 class ScoredAnswer(NamedTuple):
@@ -84,6 +99,11 @@ class ScoreEngine:
         self.max_entries = max_entries
         self._scores: "OrderedDict[FrozenSet[int], ScoredAnswer]" = OrderedDict()
         self._states: "OrderedDict[FrozenSet[int], ScoreState]" = OrderedDict()
+        # node → cached fingerprints containing it, covering both LRUs.
+        # Streaming invalidation and patching walk this instead of the
+        # caches themselves, so their cost tracks the touched entries,
+        # not the LRU capacity.
+        self._by_node: Dict[int, Set[FrozenSet[int]]] = {}
         # Capability detection — exact-subclass checks, not isinstance: a
         # subclass may override of()/is_feasible with semantics the
         # maintained reductions do not reproduce.
@@ -143,6 +163,7 @@ class ScoreEngine:
         """Drop all cached scores and states (run boundary)."""
         self._scores.clear()
         self._states.clear()
+        self._by_node.clear()
 
     def invalidate_nodes(self, nodes: Iterable[int]) -> int:
         """Drop cached entries whose answer set touches ``nodes``.
@@ -152,20 +173,126 @@ class ScoreEngine:
         cached score) of an answer containing it, so after an in-place
         attribute update those entries are stale while every disjoint
         answer's entry stays valid. Edge-only deltas never need this —
-        scores are pure functions of the answer *node set*. Returns the
+        scores are pure functions of the answer *node set*. Driven by the
+        node→keys inverted index, so the cost is proportional to the
+        entries actually touched, not the LRU capacity. Returns the
         number of dropped entries, also counted under
         ``scoring.invalidated_entries``.
         """
-        touched = frozenset(nodes)
         dropped = 0
-        for lru in (self._scores, self._states):
-            stale = [key for key in lru if key & touched]
-            for key in stale:
-                del lru[key]
-            dropped += len(stale)
+        for key in self._keys_touching(nodes):
+            dropped += self._drop_entry(key)
         if dropped:
             self.metrics.inc("scoring.invalidated_entries", dropped)
         return dropped
+
+    def patch_nodes(
+        self,
+        changes: Sequence[AttributeChange],
+        diff: Optional[MembershipDiff] = None,
+    ) -> Tuple[int, int]:
+        """Repair intersecting cached entries in place after a delta.
+
+        The surgical tier between "keep everything" (edge-only deltas)
+        and "drop everything touched" (:meth:`invalidate_nodes`):
+        ``changes`` are the coalesced in-place attribute rewrites on
+        kernel-relevant nodes, ``diff`` the group-membership moves the
+        same delta caused. Every cached state whose answer intersects the
+        touched nodes is patched — multiset ``remove``+``add`` per
+        attribute change, ±1 overlap adjustments per membership move —
+        and its cached score recomputed from the patched statistics via
+        the exact reduction order a fresh build would replay, so patched
+        entries stay bitwise-identical to rebuilt ones.
+
+        Per-entry fallback to invalidation (the entry is dropped and the
+        next ``score()`` call rebuilds) when:
+
+        * the score has no retained state to patch (state LRU eviction),
+        * a changed value straddles the numeric/non-numeric boundary
+          (the decomposed reduction may flip formulas — rebuilt wholesale
+          rather than reasoned about), or
+        * the touched fraction of the answer exceeds
+          ``max_delta_fraction`` (same threshold as the derive path —
+          past it a rebuild is no slower).
+
+        Returns ``(patched, invalidated)`` entry counts, published under
+        ``scoring.patched_entries`` / ``scoring.invalidated_entries``.
+        """
+        per_node: Dict[int, list] = {}
+        straddlers: Set[int] = set()
+        for node, name, old, new in changes:
+            per_node.setdefault(node, []).append((name, old, new))
+            if (
+                old is not None
+                and new is not None
+                and _is_number(old) != _is_number(new)
+            ):
+                straddlers.add(node)
+        touched: Set[int] = set(per_node)
+        if diff is not None:
+            touched.update(move.node for move in diff.moves)
+        patched = invalidated = 0
+        for key in self._keys_touching(touched):
+            state = self._states.get(key)
+            touched_in = key & touched
+            budget = self.max_delta_fraction * max(1, len(key))
+            if (
+                state is None
+                or key & straddlers
+                or len(touched_in) > budget
+            ):
+                invalidated += self._drop_entry(key)
+                continue
+            for node in touched_in:
+                for name, old, new in per_node.get(node, ()):
+                    state.patch_attribute(node, name, old, new)
+            if diff is not None:
+                state.patch_membership(diff)
+            if key in self._scores:
+                delta = self._diversity_of(state)
+                coverage, feasible = self._coverage_of(state)
+                self._scores[key] = ScoredAnswer(delta, coverage, feasible)
+            patched += 1
+        if patched:
+            self.metrics.inc("scoring.patched_entries", patched)
+        if invalidated:
+            self.metrics.inc("scoring.invalidated_entries", invalidated)
+        return patched, invalidated
+
+    # ------------------------------------------------------------------ #
+    # Node → cached-keys inverted index
+    # ------------------------------------------------------------------ #
+
+    def _keys_touching(self, nodes: Iterable[int]) -> Set[FrozenSet[int]]:
+        """Cached fingerprints intersecting ``nodes`` (via the index)."""
+        keys: Set[FrozenSet[int]] = set()
+        for node in nodes:
+            bucket = self._by_node.get(node)
+            if bucket:
+                keys.update(bucket)
+        return keys
+
+    def _drop_entry(self, key: FrozenSet[int]) -> int:
+        """Remove a fingerprint from both LRUs and the index."""
+        dropped = 0
+        if self._scores.pop(key, None) is not None:
+            dropped += 1
+        if self._states.pop(key, None) is not None:
+            dropped += 1
+        self._index_discard(key)
+        return dropped
+
+    def _index_add(self, key: FrozenSet[int]) -> None:
+        for node in key:
+            self._by_node.setdefault(node, set()).add(key)
+
+    def _index_discard(self, key: FrozenSet[int]) -> None:
+        for node in key:
+            bucket = self._by_node.get(node)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_node[node]
 
     # ------------------------------------------------------------------ #
     # State management
@@ -211,11 +338,15 @@ class ScoreEngine:
         return state
 
     def _remember(self, lru: OrderedDict, key, value, eviction_counter: str) -> None:
+        if key not in self._scores and key not in self._states:
+            self._index_add(key)
         lru[key] = value
         lru.move_to_end(key)
         if self.max_entries is not None:
             while len(lru) > self.max_entries:
-                lru.popitem(last=False)
+                evicted, _ = lru.popitem(last=False)
+                if evicted not in self._scores and evicted not in self._states:
+                    self._index_discard(evicted)
                 self.metrics.inc(eviction_counter)
 
     # ------------------------------------------------------------------ #

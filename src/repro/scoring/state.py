@@ -227,6 +227,60 @@ class ScoreState:
             for group in groups.groups_of(node):
                 overlaps[group] += sign
 
+    # -- In-place patches (streaming attribute churn) --------------------- #
+
+    def patch_attribute(self, node: int, name: str, old: Any, new: Any) -> None:
+        """Repair one tracked attribute after an in-place value change.
+
+        ``remove(old)`` + ``add(new)`` on the attribute's multiset — the
+        surgical alternative to rebuilding the state when a streaming
+        delta rewrites an answer node's attribute in place. ``old`` /
+        ``new`` of ``None`` express attribute insertion / removal. The
+        node's membership in this answer is the *caller's* invariant
+        (the engine routes patches through its node→keys index); untracked
+        attribute names are ignored — they cannot feed the reductions.
+
+        Exactness: the multiset after remove+add equals the multiset a
+        from-scratch build over the mutated graph would collect, and every
+        downstream reduction is insensitive to the internal orderings that
+        can differ (the numeric list is kept sorted; the categorical
+        formula is all-integer over counts) — pinned by the patched ≡
+        rebuilt signature property suite.
+        """
+        st = self.attrs.get(name)
+        if st is None:
+            return
+        if old is not None:
+            st.remove(old)
+        if new is not None:
+            st.add(new)
+
+    def patch_membership(self, diff: Any) -> int:
+        """±1 overlap-counter adjustments from a membership diff.
+
+        ``diff`` is a :class:`~repro.groups.system.MembershipDiff`; moves
+        of nodes outside this answer are skipped (binary search on the
+        sorted answer list). Returns how many moves applied. No-op when
+        this state maintains no overlap counters (coverage measure not
+        delta-capable) — the engine's score recomputation then reads the
+        patched group container directly.
+        """
+        overlaps = self.overlaps
+        if not overlaps:
+            return 0
+        nodes = self.nodes
+        applied = 0
+        for move in diff.moves:
+            i = bisect_left(nodes, move.node)
+            if i >= len(nodes) or nodes[i] != move.node:
+                continue
+            for name in move.removed:
+                overlaps[name] -= 1
+            for name in move.added:
+                overlaps[name] += 1
+            applied += 1
+        return applied
+
     # -- Introspection (tests, debugging) -------------------------------- #
 
     def signature(self) -> Tuple:

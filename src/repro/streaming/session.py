@@ -38,13 +38,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.evaluator import EvaluatedInstance, InstanceEvaluator
 from repro.core.relevance import ConstantRelevance
 from repro.core.update import EpsilonParetoArchive
 from repro.errors import ConfigurationError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.groups.system import (
+    EMPTY_MEMBERSHIP_DIFF,
+    GroupSystem,
+    MembershipDiff,
+)
 from repro.matching.delta import GraphDelta
 from repro.obs.registry import MetricsRegistry
 from repro.query.instance import QueryInstance
@@ -112,6 +117,8 @@ class UpdateReport:
             incremental path aborted and the cold fallback repaired state.
         archive_size: Archive size after the update.
         seconds: Wall-clock cost of the update.
+        membership_moves: Nodes whose group membership the delta moved
+            (rule-built systems only; 0 for static member sets).
     """
 
     receipt: Optional[DeltaReceipt]
@@ -124,6 +131,7 @@ class UpdateReport:
     recovered: Optional[str] = None
     archive_size: int = 0
     seconds: float = 0.0
+    membership_moves: int = 0
 
     @property
     def is_empty(self) -> bool:
@@ -139,11 +147,24 @@ class StreamingSession:
             :class:`~repro.graph.attributed_graph.AttributedGraph`, which
             gets a private context.
         template: Query template of the maintained workload.
-        groups: Protected groups with coverage constraints.
+        groups: Protected groups with coverage constraints. Rule-built
+            :class:`~repro.groups.system.GroupSystem`\\ s (from
+            ``system_from_rules``) additionally get their membership
+            repaired in place on every attribute delta — touched nodes
+            are re-evaluated against the rules and the resulting
+            :class:`~repro.groups.system.MembershipDiff` drives surgical
+            score patching (``streaming.membership_moves``).
         faults: Optional :class:`~repro.runtime.faults.FaultInjector`;
             probed per (update index, ledger index) during repair, so
             chaos tests can kill an update mid-flight and watch the cold
             fallback restore the invariant.
+        membership_patching: Route attribute deltas through the scoring
+            engine's in-place patch tier
+            (:meth:`~repro.scoring.engine.ScoreEngine.patch_nodes`)
+            instead of invalidate-and-rescore. On by default; only
+            engages when delta scoring is enabled. ``False`` forces the
+            legacy invalidation fallback (the benchmark's comparison
+            arm).
         **options: Forwarded to
             :class:`~repro.core.config.GenerationConfig` (``epsilon``,
             ``matcher_engine``, ``use_delta_scoring``, …).
@@ -168,6 +189,7 @@ class StreamingSession:
         template,
         groups,
         faults: Optional[FaultInjector] = None,
+        membership_patching: bool = True,
         **options,
     ) -> None:
         if isinstance(context, AttributedGraph):
@@ -184,6 +206,7 @@ class StreamingSession:
                 "under edge deltas"
             )
         self.faults = faults
+        self.membership_patching = membership_patching
         self.evaluator = InstanceEvaluator(self.config, metrics=self.metrics)
         self.archive = EpsilonParetoArchive(self.config.epsilon)
         self.ledger: List[_LedgerEntry] = []
@@ -191,6 +214,15 @@ class StreamingSession:
         self._updates = 0
         for name in _COUNTERS:
             self.metrics.counter(name)
+        # Membership-churn counters exist only for rule-built systems, so
+        # legacy (static member set) streaming baselines stay free of them.
+        if getattr(self.config.groups, "has_rules", False):
+            self.metrics.counter("streaming.membership_moves")
+            self.metrics.counter("groups.membership_repairs")
+        # Per-attribute carrier refcounts over output-label nodes: the
+        # kernel-universe drift check reads these instead of rescanning
+        # the graph (one O(|V|) scan here, O(|Δ|) maintenance per delta).
+        self._carrier_counts = self._scan_carrier_counts()
 
     # ------------------------------------------------------------------ #
     # Views
@@ -263,14 +295,23 @@ class StreamingSession:
         tick = time.perf_counter()
         self._updates += 1
 
-        # Phase 0 — pre-mutation reads: old-side influence depths and the
-        # spread snapshot of scoring-relevant touched attributes (both must
-        # see the graph before it changes).
+        # Phase 0 — pre-mutation reads: old-side influence depths, the
+        # spread snapshot of scoring-relevant touched attributes, and the
+        # pre-update value of every attribute the delta rewrites (all must
+        # see the graph before it changes; the old values feed both the
+        # carrier-refcount maintenance and the surgical score patches).
         max_diameter = max((e.diameter for e in self.ledger), default=0)
         old_depths = influence_depths(self.graph, delta.touched_nodes, max_diameter)
         relevant_attrs, universe_sensitive = self._scoring_relevant_attributes(delta)
         distance = self.evaluator.diversity.distance
         old_spreads = {name: distance.ranges.spread(name) for name in relevant_attrs}
+        old_values: Dict[Tuple[int, str], Any] = {}
+        final_values: Dict[Tuple[int, str], Any] = {}
+        for node, name, value in delta.set_attributes:
+            pair = (node, name)
+            if pair not in old_values:
+                old_values[pair] = self.graph.attributes(node).get(name)
+            final_values[pair] = value
 
         # Phase 1 — mutate the pinned graph; repair shared indexes and the
         # workload literal-pool tier (context-owned), then the evaluator's
@@ -285,27 +326,63 @@ class StreamingSession:
         self.metrics.inc("streaming.edges_inserted", receipt.edges_inserted)
         self.metrics.inc("streaming.edges_deleted", receipt.edges_deleted)
         self.metrics.inc("streaming.attrs_set", receipt.attributes_set)
+        self._patch_carrier_counts(old_values, final_values)
+
+        # Phase 1b — membership repair. Rule-built group systems re-test
+        # only the attribute-touched nodes against their rules and patch
+        # member sets + the node→groups inverted index in place; static
+        # member sets cannot move under attribute churn (empty diff).
+        diff: MembershipDiff = EMPTY_MEMBERSHIP_DIFF
+        container = self.config.groups
+        if isinstance(container, GroupSystem) and container.has_rules:
+            diff = container.repair_membership(
+                receipt, graph=self.graph, metrics=self.metrics
+            )
+            if diff.moves:
+                self.metrics.inc("streaming.membership_moves", len(diff.moves))
 
         # Phase 2 — score-repair tier. Edge-only deltas keep every cached
         # score (pure functions of the node set). Attribute deltas that
-        # cannot move a normalizing spread drop only state touching the
-        # updated nodes; a spread change rebuilds the measures.
-        full_rescore = False
+        # cannot move a normalizing spread patch (or, fallback, drop) only
+        # state touching the updated/moved nodes; a spread change, kernel
+        # universe drift or a re-clamped coverage target rebuilds the
+        # measures outright.
+        full_rescore = bool(diff.coverage_changes)
         scoped_rescore = False
         if universe_sensitive and self._kernel_universe_drifted():
             full_rescore = True
         elif relevant_attrs:
             distance.ranges.drop(relevant_attrs)
-            full_rescore = any(
+            full_rescore = full_rescore or any(
                 distance.ranges.spread(name) != old_spreads[name]
                 for name in relevant_attrs
             )
             scoped_rescore = not full_rescore
+        score_touched: FrozenSet[int] = frozenset()
+        if not full_rescore:
+            if scoped_rescore:
+                score_touched |= receipt.touched_nodes
+            if diff.moves:
+                score_touched |= diff.nodes
         if full_rescore:
             self.evaluator.rebuild_measures()
             self.metrics.inc("streaming.full_rescores")
-        elif scoped_rescore:
-            self.evaluator.repair_scoring(receipt.touched_nodes)
+        elif score_touched:
+            if self.membership_patching and self.evaluator.scoring is not None:
+                changes = (
+                    self._kernel_changes(old_values, final_values)
+                    if scoped_rescore
+                    else ()
+                )
+                self.evaluator.patch_scoring(
+                    changes,
+                    diff if diff.moves else None,
+                    distance_nodes=(
+                        receipt.touched_nodes if scoped_rescore else ()
+                    ),
+                )
+            else:
+                self.evaluator.repair_scoring(score_touched)
 
         # Phase 3 — delta-seeded re-verification + archive replay, guarded
         # by the optional per-update budget; any injected fault or budget
@@ -313,7 +390,7 @@ class StreamingSession:
         report: UpdateReport
         try:
             report = self._repair_ledger(
-                receipt, old_depths, new_depths, full_rescore, scoped_rescore, budget
+                receipt, old_depths, new_depths, full_rescore, score_touched, budget
             )
         except FaultInjectionError:
             self.metrics.inc("streaming.fault_recoveries")
@@ -325,7 +402,12 @@ class StreamingSession:
         seconds = time.perf_counter() - tick
         self.metrics.observe("streaming.update_seconds", seconds)
         self._publish_sizes()
-        return replace(report, archive_size=len(self.archive), seconds=seconds)
+        return replace(
+            report,
+            archive_size=len(self.archive),
+            seconds=seconds,
+            membership_moves=len(diff.moves),
+        )
 
     def consume(
         self, events: Iterable[Union[UpdateEvent, OfferEvent, GenerateEvent]]
@@ -386,17 +468,84 @@ class StreamingSession:
     def _kernel_universe_drifted(self) -> bool:
         """Whether a fresh kernel would select a different attribute tuple.
 
-        Called post-mutation; compares the live union of attribute names
-        over output-label nodes with the pinned kernel's tuple — the
-        selection :class:`~repro.core.distance._TupleDistanceBase` makes
-        at construction when no explicit attribute list is configured.
+        Called post-mutation; compares the attribute universe over
+        output-label nodes with the pinned kernel's tuple — the selection
+        :class:`~repro.core.distance._TupleDistanceBase` makes at
+        construction when no explicit attribute list is configured. The
+        universe is read off the maintained carrier refcounts
+        (:meth:`_patch_carrier_counts`), so the check is O(universe)
+        instead of a full-graph rescan; refcount ≡ fresh-scan equivalence
+        is pinned by the streaming property suite.
+        """
+        fresh = tuple(sorted(self._carrier_counts))
+        return fresh != self.evaluator.diversity.distance.attributes
+
+    def _scan_carrier_counts(self) -> Dict[str, int]:
+        """Fresh per-attribute carrier refcounts over output-label nodes.
+
+        ``counts[name]`` = how many output-label nodes currently carry
+        attribute ``name``. One full scan at session start; afterwards
+        :meth:`_patch_carrier_counts` maintains the map in O(|Δ|) per
+        delta. Names at refcount zero are removed, so the key set *is*
+        the attribute universe a fresh kernel would derive.
+        """
+        graph = self.graph
+        label = self.evaluator.diversity.output_label
+        counts: Dict[str, int] = {}
+        for node_id in graph.nodes_with_label(label):
+            for name in graph.attributes(node_id):
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def _patch_carrier_counts(
+        self,
+        old_values: Dict[Tuple[int, str], Any],
+        final_values: Dict[Tuple[int, str], Any],
+    ) -> None:
+        """Maintain the carrier refcounts from one delta's coalesced writes.
+
+        Only presence transitions move a refcount: ``None → value`` adds
+        a carrier, ``value → None`` removes one; value-to-value rewrites
+        leave the universe untouched. Called post-mutation (labels are
+        immutable, so reading them after the apply is safe).
+        """
+        graph = self.graph
+        label = self.evaluator.diversity.output_label
+        counts = self._carrier_counts
+        for (node, name), new in final_values.items():
+            if graph.label(node) != label:
+                continue
+            old = old_values[(node, name)]
+            if old is None and new is not None:
+                counts[name] = counts.get(name, 0) + 1
+            elif old is not None and new is None:
+                remaining = counts.get(name, 0) - 1
+                if remaining > 0:
+                    counts[name] = remaining
+                else:
+                    counts.pop(name, None)
+
+    def _kernel_changes(
+        self,
+        old_values: Dict[Tuple[int, str], Any],
+        final_values: Dict[Tuple[int, str], Any],
+    ) -> List[Tuple[int, str, Any, Any]]:
+        """The delta's coalesced kernel-relevant attribute rewrites.
+
+        Exactly the (node, name, old, new) tuples that can move a
+        maintained :class:`~repro.scoring.state.AttributeStats` multiset:
+        kernel attributes on output-label nodes (answers contain only
+        output-label nodes, and only kernel attributes feed δ).
         """
         diversity = self.evaluator.diversity
+        kernel = set(diversity.distance.attributes)
+        label = diversity.output_label
         graph = self.graph
-        fresh: set = set()
-        for node_id in graph.nodes_with_label(diversity.output_label):
-            fresh.update(graph.attributes(node_id).keys())
-        return tuple(sorted(fresh)) != diversity.distance.attributes
+        return [
+            (node, name, old_values[(node, name)], new)
+            for (node, name), new in final_values.items()
+            if name in kernel and graph.label(node) == label
+        ]
 
     def _guard_for(self, budget: Optional[Budget]) -> ExecutionGuard:
         """A per-update guard over the session's *running* counters.
@@ -431,12 +580,16 @@ class StreamingSession:
         old_depths: Dict[int, int],
         new_depths: Dict[int, int],
         full_rescore: bool,
-        scoped_rescore: bool,
+        score_touched: FrozenSet[int],
         budget: Optional[Budget],
     ) -> UpdateReport:
-        """Incrementally repair every ledger entry, then replay the archive."""
+        """Incrementally repair every ledger entry, then replay the archive.
+
+        ``score_touched`` seeds the scoped rescore: entries whose answer
+        intersects it get fresh (δ, f) — a cache hit against patched
+        engine state on the patch path, a rebuild on the fallback path.
+        """
         guard = self._guard_for(budget)
-        touched = receipt.touched_nodes
         balls: Dict[int, FrozenSet[int]] = {}
         rechecked = skipped = changed = rescored = kept = 0
         matcher = self.evaluator.matcher
@@ -465,7 +618,7 @@ class StreamingSession:
             if (
                 match_changed
                 or full_rescore
-                or (scoped_rescore and bool(matches & touched))
+                or bool(matches & score_touched)
             ):
                 entry.evaluated = self._rescore(old, matches, match_changed)
                 rescored += 1

@@ -17,7 +17,7 @@ import pytest
 from repro.core.evaluator import InstanceEvaluator
 from repro.core.update import EpsilonParetoArchive
 from repro.graph.builder import GraphBuilder
-from repro.groups import GroupSet, NodeGroup
+from repro.groups import GroupRule, GroupSet, NodeGroup, system_from_rules
 from repro.matching.delta import GraphDelta, apply_delta
 from repro.query import Literal, Op, QueryTemplate
 from repro.service.context import GraphContext
@@ -78,6 +78,15 @@ def build_groups():
             NodeGroup("F", frozenset({5, 7}), 1),
         ]
     )
+
+
+# Overlapping rule-built system: "gender" / "major" churn moves directors
+# between M/F and in/out of the umbrella "tech" group.
+MEMBERSHIP_RULES = (
+    GroupRule("M", {"gender": "M"}, 1, label="person"),
+    GroupRule("F", {"gender": "F"}, 1, label="person"),
+    GroupRule("tech", {"major": ("CS", "Design")}, 1, label="person"),
+)
 
 
 def archive_fingerprint(archive):
@@ -193,6 +202,72 @@ class TestStreamingDifferential:
                 reference, template, groups, session.ledger_instances(), **options
             )
             assert archive_fingerprint(session.archive) == archive_fingerprint(cold)
+
+    def test_membership_moving_stream(self, engine, scoring):
+        """Rule-built overlapping system under attribute churn that moves
+        group memberships: the live archive still equals a cold rebuild
+        whose system is re-materialized from the rules on the reference
+        graph, at every step."""
+        options = self._options(engine, scoring)
+        graph = build_graph()
+        template = build_template()
+        groups = system_from_rules(graph, MEMBERSHIP_RULES, clamp=True)
+        session = StreamingSession(graph, template, groups, **options)
+        session.generate(count=24, seed=3)
+        reference = build_graph()
+        deltas = list(
+            random_delta_stream(
+                graph, count=8, seed=7, edge_ops=1, attr_ops=2,
+                attributes=["gender", "major"],
+            )
+        )
+        moves = 0
+        for step, delta in enumerate(deltas):
+            report = session.update(delta)
+            moves += report.membership_moves
+            reference = apply_delta(reference, delta)
+            assert graph_signature(session.graph) == graph_signature(reference)
+            ref_groups = system_from_rules(reference, MEMBERSHIP_RULES, clamp=True)
+            cold, evaluations = cold_rebuild(
+                reference, template, ref_groups,
+                session.ledger_instances(), **options
+            )
+            assert archive_fingerprint(session.archive) == archive_fingerprint(
+                cold
+            ), f"archive drifted from cold rebuild at step {step}"
+            maintained = [entry.evaluated for entry in session.ledger]
+            for live, fresh in zip(maintained, evaluations):
+                assert live.matches == fresh.matches
+                assert live.delta == fresh.delta
+                assert live.coverage == fresh.coverage
+                assert live.feasible == fresh.feasible
+        counters = session.metrics.counters()
+        assert counters["streaming.membership_moves"] == moves
+        assert moves > 0, "stream never moved a membership — weak test"
+        assert counters["groups.membership_repairs"] == 8
+
+    def test_membership_patching_off_is_equivalent(self, engine, scoring):
+        """The invalidation fallback arm (membership_patching=False)
+        produces the same archives — only the repair mechanism differs."""
+        options = self._options(engine, scoring)
+        results = []
+        for patching in (True, False):
+            graph = build_graph()
+            groups = system_from_rules(graph, MEMBERSHIP_RULES, clamp=True)
+            session = StreamingSession(
+                graph, build_template(), groups,
+                membership_patching=patching, **options
+            )
+            session.generate(count=24, seed=3)
+            fingerprints = []
+            for delta in random_delta_stream(
+                graph, count=8, seed=7, edge_ops=1, attr_ops=2,
+                attributes=["gender", "major"],
+            ):
+                session.update(delta)
+                fingerprints.append(archive_fingerprint(session.archive))
+            results.append(fingerprints)
+        assert results[0] == results[1]
 
     def test_graph_identity_preserved(self, engine, scoring):
         """In-place updates never replace the pinned graph object."""

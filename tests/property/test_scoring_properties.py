@@ -1,6 +1,6 @@
 """Property-based tests for the delta-scoring subsystem.
 
-Two contracts:
+Three contracts:
 
 * ``DiversityMeasure`` modes agree: ``exact`` ≡ ``decomposed`` within
   1e-9 on answer sets straddling ``_DECOMPOSE_THRESHOLD`` (the satellite
@@ -8,7 +8,11 @@ Two contracts:
   auto-mode switch, not just for tiny answers);
 * the delta-scoring engine is **bitwise** faithful: along random
   remove/add chains, every ``ScoreEngine.score`` result equals the
-  measures' own from-scratch ``of()`` with ``==``, not approximately.
+  measures' own from-scratch ``of()`` with ``==``, not approximately;
+* in-place patching is exact: a ``ScoreState`` repaired through
+  ``patch_attribute`` / ``patch_membership`` under random attribute
+  churn (with rule-built group memberships moving underneath) has the
+  same ``signature()`` as a from-scratch build on the mutated graph.
 """
 
 from __future__ import annotations
@@ -21,7 +25,9 @@ from repro.core.measures import (
     _DECOMPOSE_THRESHOLD,
 )
 from repro.graph.attributed_graph import AttributedGraph
+from repro.groups import GroupRule, system_from_rules
 from repro.groups.groups import GroupSet, NodeGroup
+from repro.matching.delta import GraphDelta
 from repro.obs.registry import MetricsRegistry
 from repro.scoring import ScoreEngine, ScoreState
 
@@ -156,3 +162,77 @@ class TestEngineBitwiseFaithful:
             assert state.signature() == ScoreState.build(
                 answer, graph, attributes, groups
             ).signature()
+
+
+# Overlapping predicates over "grp": churning that attribute moves nodes
+# between groups (including into/out of both "ga" and the umbrella "gab").
+PATCH_RULES = (
+    GroupRule("ga", {"grp": "a"}, 0, label="m"),
+    GroupRule("gb", {"grp": "b"}, 0, label="m"),
+    GroupRule("gab", {"grp": ("a", "b")}, 0, label="m"),
+)
+
+_DOMAINS = {
+    "num": tuple(range(8)),
+    "cat": ("x", "y", "z"),
+    "grp": ("a", "b", "c"),
+}
+
+
+def _churn_graph(n: int, seed: int) -> AttributedGraph:
+    """Like :func:`_graph` but with a rule-carrying "grp" attribute."""
+    graph = AttributedGraph("prop-patching")
+    for i in range(n):
+        r = (i * 2654435761 + seed * 40503) & 0xFFFF
+        attrs = {"grp": _DOMAINS["grp"][r % 3]}
+        if r % 5 != 0:
+            attrs["num"] = _DOMAINS["num"][(r >> 3) % 8]
+        if r % 4 != 1:
+            attrs["cat"] = _DOMAINS["cat"][(r >> 7) % 3]
+        graph.add_node(i, "m", attrs)
+    return graph.freeze()
+
+
+@st.composite
+def attribute_churn(draw):
+    """An answer set plus random in-place attribute rewrites/removals."""
+    n = draw(st.integers(min_value=8, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    answer = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=2)
+    )
+    changes = []
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        name = draw(st.sampled_from(("num", "cat", "grp")))
+        value = draw(st.one_of(st.none(), st.sampled_from(_DOMAINS[name])))
+        changes.append(
+            (draw(st.integers(min_value=0, max_value=n - 1)), name, value)
+        )
+    return n, seed, answer, changes
+
+
+class TestPatchedStateExactness:
+    @SETTINGS
+    @given(setup=attribute_churn())
+    def test_patched_state_equals_rebuilt(self, setup):
+        """patch_attribute + patch_membership ≡ from-scratch build."""
+        n, seed, answer, changes = setup
+        graph = _churn_graph(n, seed)
+        system = system_from_rules(graph, PATCH_RULES)
+        attributes = ("cat", "num")
+        state = ScoreState.build(answer, graph, attributes, system)
+        for node, name, value in changes:
+            old = graph._set_attribute_in_place(node, name, value)
+            if node in answer:
+                state.patch_attribute(node, name, old, value)
+        diff = system.repair_membership(
+            GraphDelta(set_attributes=tuple(changes))
+        )
+        state.patch_membership(diff)
+        # The repaired system agrees with a fresh rule scan everywhere...
+        fresh = system_from_rules(graph, PATCH_RULES)
+        for node in graph.node_ids():
+            assert set(system.groups_of(node)) == set(fresh.groups_of(node))
+        # ...and the patched statistics are byte-identical to rebuilt ones.
+        rebuilt = ScoreState.build(answer, graph, attributes, fresh)
+        assert state.signature() == rebuilt.signature()

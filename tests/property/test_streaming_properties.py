@@ -10,7 +10,9 @@ Three algebraic laws lock the update semantics down:
 * **No-op** — the empty delta changes nothing and increments nothing.
 
 Plus the foundational differential: in-place application is extensionally
-equal to materializing application, for every generated delta.
+equal to materializing application, for every generated delta — and the
+session's per-attribute carrier refcounts (the O(|Δ|) replacement for the
+kernel-universe drift rescan) always equal a fresh full scan.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -212,6 +214,55 @@ class TestCommutation:
                 )
             )
         assert results[0] == results[1]
+
+
+@st.composite
+def attr_delta_stream(draw):
+    """A graph plus attribute-only deltas that insert/rewrite/remove.
+
+    Values of ``None`` remove the attribute and the fresh name ``"y"``
+    can appear and vanish, so the stream exercises every carrier-count
+    transition — including kernel-universe drift in both directions
+    (a name gaining its first output-label carrier / losing its last).
+    """
+    n = draw(st.integers(min_value=3, max_value=6))
+    values = [draw(st.integers(min_value=0, max_value=4)) for _ in range(n)]
+    possible = [(i, j, "e") for i in range(n) for j in range(n) if i != j]
+    present = draw(st.lists(st.sampled_from(possible), max_size=8, unique=True))
+    graph = build_small_graph(values, present)
+    deltas = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        attrs = tuple(
+            (
+                draw(st.integers(min_value=0, max_value=n - 1)),
+                draw(st.sampled_from(("x", "y"))),
+                draw(st.one_of(st.none(), st.integers(min_value=0, max_value=4))),
+            )
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        deltas.append(GraphDelta(set_attributes=attrs))
+    return graph, deltas
+
+
+class TestCarrierRefcounts:
+    @SETTINGS
+    @given(setup=attr_delta_stream(), bound=st.integers(min_value=0, max_value=4))
+    def test_refcounts_equal_fresh_scan(self, setup, bound):
+        """Receipt-maintained carrier counts ≡ a full-graph rescan —
+        hence identical kernel-universe drift decisions — after every
+        update, for both scoring modes."""
+        graph, deltas = setup
+        for scoring in (False, True):
+            session = make_session(
+                apply_delta(graph, GraphDelta()), use_delta_scoring=scoring
+            )
+            session.offer(
+                [QueryInstance(Instantiation(two_hop_template(), {"xl": bound}))]
+            )
+            assert session._carrier_counts == session._scan_carrier_counts()
+            for delta in deltas:
+                session.update(delta)
+                assert session._carrier_counts == session._scan_carrier_counts()
 
 
 class TestEmptyDelta:

@@ -84,11 +84,18 @@ def test_scenario_baseline_pins_group_construction():
     assert "gen.biqgen.generated" in counters
 
 
+# Baselines of scenarios that *are* rule-built — the only ones allowed
+# to carry groups.* counters.
+RULE_BUILT_BASELINES = frozenset(
+    {"group_system.json", "streaming_membership.json"}
+)
+
+
 def test_legacy_baselines_free_of_group_counters():
     """Disjoint configs never build rule systems: no legacy baseline may
     contain a groups.* counter (the byte-identity guarantee, counter side)."""
     for path in sorted(BASELINE_DIR.glob("*.json")):
-        if path.name == "group_system.json":
+        if path.name in RULE_BUILT_BASELINES:
             continue
         counters = load_baseline(path)["counters"]
         grouped = [name for name in counters if name.startswith("groups.")]

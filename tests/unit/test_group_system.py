@@ -17,6 +17,8 @@ from repro.groups import (
     system_from_rules,
     validate_system_spec,
 )
+from repro.graph.builder import GraphBuilder
+from repro.matching.delta import GraphDelta
 from repro.obs.registry import MetricsRegistry
 from repro.workload.scenarios import ScenarioGenerator, multi_attribute_scenarios
 
@@ -301,6 +303,112 @@ class TestSystemFromRules:
         assert not any(
             name.startswith("groups.") for name in registry.counters()
         )
+
+
+def _churn_graph():
+    """Mutable twin of ``talent_graph``'s persons (that fixture is
+    session-scoped; membership repair mutates attributes in place)."""
+    b = GraphBuilder("repair-toy")
+    b.node("person", gender="M", major="CS")       # 0
+    b.node("person", gender="F", major="Business")  # 1
+    b.node("person", gender="M", major="CS")       # 2
+    b.node("person", gender="F", major="Design")   # 3
+    return b.build()
+
+
+REPAIR_RULES = [
+    GroupRule("M", {"gender": "M"}, 1, label="person"),
+    GroupRule("F", {"gender": "F"}, 1, label="person"),
+    GroupRule("tech", {"major": ("CS", "Design")}, 1, label="person"),
+]
+
+
+def _churn(graph, *changes):
+    """Apply attribute changes in place; return the matching delta."""
+    for node, name, value in changes:
+        graph._set_attribute_in_place(node, name, value)
+    return GraphDelta(set_attributes=tuple(changes))
+
+
+class TestRepairMembership:
+    def test_static_system_returns_empty_diff(self):
+        system = overlapping_system()
+        diff = system.repair_membership(
+            GraphDelta(set_attributes=((1, "gender", "F"),))
+        )
+        assert diff.is_empty
+        assert not system.has_rules
+
+    def test_moves_patch_index_and_members(self):
+        graph = _churn_graph()
+        system = system_from_rules(graph, REPAIR_RULES)
+        delta = _churn(graph, (0, "gender", "F"))
+        diff = system.repair_membership(delta)
+        assert len(diff.moves) == 1
+        move = diff.moves[0]
+        assert (move.node, move.removed, move.added) == (0, ("M",), ("F",))
+        assert system["M"].members == frozenset({2})
+        assert system["F"].members == frozenset({0, 1, 3})
+        assert system.groups_of(0) == ("F", "tech")
+        assert not diff.coverage_changes
+
+    def test_membership_neutral_delta_is_empty(self):
+        graph = _churn_graph()
+        system = system_from_rules(graph, REPAIR_RULES)
+        # "name" feeds no rule predicate; node 1 was not in "tech" anyway.
+        delta = _churn(graph, (0, "name", "alice"), (1, "major", "Law"))
+        assert system.repair_membership(delta).is_empty
+
+    def test_repaired_equals_cold_rebuild(self):
+        graph = _churn_graph()
+        system = system_from_rules(graph, REPAIR_RULES)
+        delta = _churn(
+            graph, (0, "gender", "F"), (1, "major", "CS"), (3, "major", None)
+        )
+        system.repair_membership(delta)
+        rebuilt = system_from_rules(graph, REPAIR_RULES)
+        for name in system.names:
+            assert system[name].members == rebuilt[name].members
+            assert system[name].coverage == rebuilt[name].coverage
+
+    def test_clamp_records_coverage_changes(self):
+        graph = _churn_graph()
+        rule = GroupRule("M", {"gender": "M"}, 2, label="person")
+        system = system_from_rules(graph, [rule], clamp=True)
+        assert system["M"].coverage == 2
+        delta = _churn(graph, (0, "gender", "F"))
+        diff = system.repair_membership(delta)
+        assert diff.coverage_changes == (("M", 2, 1),)
+        assert system["M"].coverage == 1
+
+    def test_shrink_below_coverage_raises_without_clamp(self):
+        graph = _churn_graph()
+        rule = GroupRule("M", {"gender": "M"}, 2, label="person")
+        system = system_from_rules(graph, [rule])
+        delta = _churn(graph, (0, "gender", "F"))
+        with pytest.raises(GroupError, match="below the declared coverage"):
+            system.repair_membership(delta)
+
+    def test_metrics_counters(self):
+        graph = _churn_graph()
+        system = system_from_rules(graph, REPAIR_RULES)
+        registry = MetricsRegistry()
+        delta = _churn(graph, (0, "gender", "F"), (1, "gender", "M"))
+        system.repair_membership(delta, metrics=registry)
+        counters = registry.counters()
+        assert counters["groups.membership_repairs"] == 1
+        # 3 rules re-tested on each of the 2 touched nodes.
+        assert counters["groups.rules_evaluated"] == 6
+
+    def test_detached_system_needs_graph(self):
+        graph = _churn_graph()
+        system = system_from_rules(graph, REPAIR_RULES)
+        system._graph = None
+        delta = _churn(graph, (0, "gender", "F"))
+        with pytest.raises(GroupError, match="needs a graph"):
+            system.repair_membership(delta)
+        diff = system.repair_membership(delta, graph=graph)
+        assert diff.moves[0].node == 0
 
 
 VALID_SPEC = {

@@ -13,6 +13,7 @@ from repro.core.measures import (
 )
 from repro.errors import ConfigurationError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.groups import GroupRule, system_from_rules
 from repro.groups.groups import GroupSet, NodeGroup
 from repro.obs.registry import MetricsRegistry
 from repro.scoring import AttributeStats, ScoreEngine, ScoreState
@@ -207,6 +208,120 @@ class TestScoreEngine:
         assert not engine._scores and not engine._states
         engine.score(frozenset(range(5)))
         assert metrics.value("scoring.full_builds") == 2
+
+
+class TestScorePatching:
+    """The streaming patch tier: in-place entry repair + the node index."""
+
+    RULES = [
+        GroupRule("red", {"cat": "r"}, 0, label="m"),
+        GroupRule("warm", {"cat": ("r", "g")}, 0, label="m"),
+    ]
+
+    def _engine(self, **kwargs):
+        # Fresh (mutable) graph per test — patching rewrites attributes
+        # in place, so the shared module-level GRAPH must stay untouched.
+        graph = _mixed_graph()
+        groups = system_from_rules(graph, self.RULES)
+        diversity = DiversityMeasure(graph, "m", lam=0.5)
+        coverage = CoverageMeasure(groups)
+        metrics = MetricsRegistry()
+        engine = ScoreEngine(graph, diversity, coverage, metrics=metrics, **kwargs)
+        return graph, groups, engine, metrics
+
+    def _mutate(self, graph, groups, engine, *changes):
+        """In-place churn + membership repair, mirroring the session."""
+        from repro.matching.delta import GraphDelta
+
+        patched = []
+        for node, name, value in changes:
+            old = graph._set_attribute_in_place(node, name, value)
+            patched.append((node, name, old, value))
+        diff = groups.repair_membership(
+            GraphDelta(set_attributes=tuple(changes))
+        )
+        engine.diversity.distance.invalidate_nodes(
+            [node for node, _, _ in changes]
+        )
+        return patched, diff
+
+    def test_patched_scores_equal_fresh_rebuild(self):
+        graph, groups, engine, metrics = self._engine()
+        answers = [frozenset(range(12)), frozenset(range(8, 20)),
+                   frozenset(range(30, 38))]
+        for answer in answers:
+            engine.score(answer)
+        # Spread-safe churn: "num" stays inside its active range, "cat"
+        # moves node 4 out of "red" (and node 9 into it).
+        changes, diff = self._mutate(
+            graph, groups, engine,
+            (4, "cat", "b"), (9, "cat", "r"), (10, "num", 5),
+        )
+        patched, invalidated = engine.patch_nodes(changes, diff)
+        assert patched == 2 and invalidated == 0  # third answer disjoint
+        assert metrics.value("scoring.patched_entries") == 2
+        fresh_div = DiversityMeasure(graph, "m", lam=0.5)
+        fresh_cov = CoverageMeasure(system_from_rules(graph, self.RULES))
+        for answer in answers:
+            scored = engine.score(answer)
+            assert scored.delta == fresh_div.of(answer)
+            assert scored.coverage == fresh_cov.of(answer)
+            assert scored.feasible == fresh_cov.is_feasible(answer)
+        # All three still served from the fingerprint cache — warm.
+        assert metrics.value("scoring.cache_hits") == 3
+
+    def test_straddler_falls_back_to_invalidation(self):
+        graph, groups, engine, metrics = self._engine()
+        answer = frozenset(range(0, 40, 5))  # the "mix" carriers
+        engine.score(answer)
+        # node 10 has mix="s10" (string); a numeric rewrite straddles the
+        # numeric/non-numeric boundary — drop, don't patch. 20 sits inside
+        # the numeric mix range, so no normalizing spread moves (a spread
+        # change is the session's full-rescore tier, not the engine's).
+        changes, diff = self._mutate(graph, groups, engine, (10, "mix", 20))
+        patched, invalidated = engine.patch_nodes(changes, diff)
+        assert patched == 0 and invalidated == 2
+        assert metrics.value("scoring.patched_entries") == 0
+        assert metrics.value("scoring.invalidated_entries") == 2
+        scored = engine.score(answer)  # rebuild, still exact
+        assert metrics.value("scoring.full_builds") == 2
+        assert scored.delta == DiversityMeasure(graph, "m", lam=0.5).of(answer)
+
+    def test_large_patch_fraction_falls_back(self):
+        graph, groups, engine, _ = self._engine(max_delta_fraction=0.1)
+        answer = frozenset(range(5))
+        engine.score(answer)
+        changes, diff = self._mutate(graph, groups, engine, (1, "num", 3))
+        patched, invalidated = engine.patch_nodes(changes, diff)
+        # 1 touched node > 0.1 · 5 — past the threshold a rebuild wins.
+        assert patched == 0 and invalidated == 2
+
+    def test_invalidate_nodes_drops_only_intersecting(self):
+        graph, groups, engine, metrics = self._engine()
+        warm = frozenset(range(10))
+        cold = frozenset(range(20, 30))
+        engine.score(warm)
+        engine.score(cold)
+        dropped = engine.invalidate_nodes([25])
+        assert dropped == 2  # cold's score + state entries
+        assert metrics.value("scoring.invalidated_entries") == 2
+        engine.score(warm)
+        assert metrics.value("scoring.cache_hits") == 1
+        engine.score(cold)
+        assert metrics.value("scoring.full_builds") == 3
+
+    def test_eviction_keeps_index_consistent(self):
+        graph, groups, engine, _ = self._engine(max_entries=2)
+        for i in range(6):
+            engine.score(frozenset({i, i + 1}))
+        live = set(engine._scores) | set(engine._states)
+        indexed = set()
+        for bucket in engine._by_node.values():
+            indexed |= bucket
+        assert indexed == live
+        # Patching nodes of evicted entries is a clean no-op.
+        changes, diff = self._mutate(graph, groups, engine, (0, "num", 5))
+        assert engine.patch_nodes(changes, diff) == (0, 0)
 
 
 class TestGroupIndex:
